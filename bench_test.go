@@ -1,0 +1,194 @@
+// Package repro's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation section (§5). Each benchmark runs a
+// reduced-repetition version of the corresponding experiment (wall-clock
+// budget: ~seconds per figure) and reports the headline quantities as custom
+// metrics, so `go test -bench=. -benchmem` regenerates the whole evaluation:
+//
+//	Figure  8 — dataset statistics table
+//	Figure  9 — end-to-end vs MOSTCITED/MOSTRECENT (+speedup metric)
+//	Figure 10 — cost-oblivious multi-tenant comparison
+//	Figure 11 — cost-aware multi-tenant comparison
+//	Figure 12 — model-correlation / noise grid
+//	Figure 13 — cost-awareness lesion
+//	Figure 14 — kernel training-set size
+//	Figure 15 — hybrid lesion (+crossover metric)
+//
+// cmd/experiments prints the corresponding full tables.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+// benchCfg trades repetitions for benchmark wall-clock; cmd/experiments
+// runs the full protocol.
+var benchCfg = experiments.FigureConfig{RunsSmall: 10, RunsLarge: 2, TestUsers: 10, Seed: 1}
+
+func finalAvg(r experiments.Result, series int) float64 {
+	s := r.Series[series]
+	return s.Avg[len(s.Avg)-1]
+}
+
+func BenchmarkFigure08DatasetStats(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stats := experiments.Figure8()
+		if len(stats) != 6 {
+			b.Fatalf("%d datasets", len(stats))
+		}
+	}
+}
+
+func BenchmarkFigure09EndToEnd(b *testing.B) {
+	var res experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Figure9(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(finalAvg(res, 0), "easeml-final-loss")
+	b.ReportMetric(finalAvg(res, 1), "mostcited-final-loss")
+	b.ReportMetric(finalAvg(res, 2), "mostrecent-final-loss")
+	if s, ok := experiments.Figure9Speedup(res, 0.15); ok {
+		b.ReportMetric(s, "speedup@0.15")
+	}
+}
+
+func BenchmarkFigure10CostOblivious(b *testing.B) {
+	// One representative pair per benchmark iteration: the real-quality
+	// dataset plus one SYN instance (the full six-dataset sweep lives in
+	// cmd/experiments).
+	var deep, syn experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		deep, err = experiments.Run(experiments.Protocol{
+			Dataset:   dataset.DeepLearning(),
+			TestUsers: benchCfg.TestUsers,
+			Runs:      benchCfg.RunsSmall,
+			Seed:      benchCfg.Seed,
+		}, []experiments.Strategy{experiments.EaseML(), experiments.RoundRobin(), experiments.Random()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		syn, err = experiments.Run(experiments.Protocol{
+			Dataset:   dataset.Syn(0.5, 1.0),
+			TestUsers: benchCfg.TestUsers,
+			Runs:      benchCfg.RunsLarge,
+			Seed:      benchCfg.Seed,
+		}, []experiments.Strategy{experiments.EaseML(), experiments.RoundRobin(), experiments.Random()})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(finalAvg(deep, 0), "deep-easeml-loss")
+	b.ReportMetric(finalAvg(deep, 1), "deep-roundrobin-loss")
+	b.ReportMetric(finalAvg(syn, 0), "syn-easeml-loss")
+	b.ReportMetric(finalAvg(syn, 1), "syn-roundrobin-loss")
+}
+
+func BenchmarkFigure11CostAware(b *testing.B) {
+	var deep experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		deep, err = experiments.Run(experiments.Protocol{
+			Dataset:   dataset.DeepLearning(),
+			TestUsers: benchCfg.TestUsers,
+			Runs:      benchCfg.RunsSmall,
+			CostAware: true,
+			Seed:      benchCfg.Seed,
+		}, []experiments.Strategy{experiments.EaseML(), experiments.RoundRobin(), experiments.Random()})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(finalAvg(deep, 0), "easeml-loss")
+	b.ReportMetric(finalAvg(deep, 1), "roundrobin-loss")
+	b.ReportMetric(finalAvg(deep, 2), "random-loss")
+}
+
+func BenchmarkFigure12Correlation(b *testing.B) {
+	// Strong vs weak model correlation at α=1: stronger correlation must
+	// help every scheduler (§5.3.1).
+	var strong, weak experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		strong, err = experiments.Run(experiments.Protocol{
+			Dataset:   dataset.Syn(0.5, 1.0),
+			TestUsers: benchCfg.TestUsers,
+			Runs:      benchCfg.RunsLarge,
+			Seed:      benchCfg.Seed,
+		}, []experiments.Strategy{experiments.EaseML()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		weak, err = experiments.Run(experiments.Protocol{
+			Dataset:   dataset.Syn(0.01, 1.0),
+			TestUsers: benchCfg.TestUsers,
+			Runs:      benchCfg.RunsLarge,
+			Seed:      benchCfg.Seed,
+		}, []experiments.Strategy{experiments.EaseML()})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Mid-budget worst-case losses (the Figure 12 panels).
+	mid := len(strong.Series[0].Worst) / 2
+	b.ReportMetric(strong.Series[0].Worst[mid], "strongcorr-worst@50")
+	b.ReportMetric(weak.Series[0].Worst[mid], "weakcorr-worst@50")
+}
+
+func BenchmarkFigure13CostLesion(b *testing.B) {
+	var res experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Figure13(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(finalAvg(res, 0), "costaware-loss")
+	b.ReportMetric(finalAvg(res, 1), "costoblivious-loss")
+}
+
+func BenchmarkFigure14KernelTraining(b *testing.B) {
+	var res map[string]experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Figure14(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(finalAvg(res["10%"], 0), "kernel10pct-loss")
+	b.ReportMetric(finalAvg(res["50%"], 0), "kernel50pct-loss")
+	b.ReportMetric(finalAvg(res["100%"], 0), "kernel100pct-loss")
+}
+
+func BenchmarkFigure15Hybrid(b *testing.B) {
+	cfg := benchCfg
+	cfg.RunsLarge = 1 // a full-budget 179CLASSIFIER replay is ~4s per run
+	var res experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Figure15(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Early-budget (10%) losses: GREEDY ahead of ROUNDROBIN, HYBRID close
+	// to GREEDY.
+	g10 := res.Series[0].Avg[10]
+	r10 := res.Series[1].Avg[10]
+	h10 := res.Series[2].Avg[10]
+	b.ReportMetric(g10, "greedy-loss@10")
+	b.ReportMetric(r10, "roundrobin-loss@10")
+	b.ReportMetric(h10, "hybrid-loss@10")
+	if x, ok := experiments.Crossover(res.Series[0], res.Series[1]); ok {
+		b.ReportMetric(x, "rr-overtakes-greedy@pct")
+	}
+}

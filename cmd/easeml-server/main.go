@@ -1,0 +1,50 @@
+// Command easeml-server runs the ease.ml service: a multi-tenant declarative
+// machine-learning platform backed by a simulated GPU pool. Users submit
+// jobs, feed examples and query the best model over HTTP (see
+// internal/server for the endpoint list, cmd/easeml for the CLI client).
+//
+// Usage:
+//
+//	easeml-server [-addr :9000] [-gpus 24] [-seed 1] [-auto 0]
+//
+// With -auto N > 0 the server runs one scheduling round every N
+// milliseconds in the background; otherwise rounds are driven explicitly
+// via POST /admin/rounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/easeml"
+)
+
+func main() {
+	addr := flag.String("addr", ":9000", "listen address")
+	gpus := flag.Int("gpus", 24, "simulated GPU pool size")
+	seed := flag.Int64("seed", 1, "training-surface seed")
+	auto := flag.Int("auto", 0, "run one scheduling round every N ms (0 = manual)")
+	flag.Parse()
+
+	svc := easeml.NewService(easeml.ServiceConfig{
+		GPUs: *gpus,
+		Seed: *seed,
+		Addr: "http://localhost" + *addr,
+	})
+	if *auto > 0 {
+		go func() {
+			ticker := time.NewTicker(time.Duration(*auto) * time.Millisecond)
+			defer ticker.Stop()
+			for range ticker.C {
+				if _, err := svc.RunRounds(1); err != nil {
+					log.Printf("scheduling round failed: %v", err)
+				}
+			}
+		}()
+	}
+	fmt.Printf("ease.ml server listening on %s (%d GPUs, seed %d)\n", *addr, *gpus, *seed)
+	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+}

@@ -1,0 +1,244 @@
+// Command easeml is the CLI client for the ease.ml service — the
+// command-line counterpart of the generated feed/refine/infer binaries of
+// the paper's Figure 3.
+//
+// Usage:
+//
+//	easeml [-server http://localhost:9000] <command> [args]
+//
+// Commands:
+//
+//	submit <name> <program>      submit a declarative job
+//	jobs                         list job ids
+//	status <job>                 show trained models and the current best
+//	feed <job> <in...> : <out...> feed one example (values separated, ':' splits input/output)
+//	feedimg <job> <image> <out...> feed one JPEG/PNG image with its label
+//	refine <job> <example> <on|off>
+//	infer <job> <in...>          apply the best model
+//	rounds <n>                   run n scheduling rounds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/tensor"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://localhost:9000", "ease.ml server URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cl := client.New(*serverURL)
+	var err error
+	switch args[0] {
+	case "submit":
+		err = cmdSubmit(cl, args[1:])
+	case "jobs":
+		err = cmdJobs(cl)
+	case "status":
+		err = cmdStatus(cl, args[1:])
+	case "feed":
+		err = cmdFeed(cl, args[1:])
+	case "feedimg":
+		err = cmdFeedImg(cl, args[1:])
+	case "refine":
+		err = cmdRefine(cl, args[1:])
+	case "infer":
+		err = cmdInfer(cl, args[1:])
+	case "rounds":
+		err = cmdRounds(cl, args[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easeml:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: easeml [-server URL] <command>
+commands: submit <name> <program> | jobs | status <job> |
+          feed <job> <in...> : <out...> | feedimg <job> <image> <out...> |
+          refine <job> <example> <on|off> | infer <job> <in...> | rounds <n>`)
+}
+
+func cmdSubmit(cl *client.Client, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("submit needs <name> <program>")
+	}
+	resp, err := cl.Submit(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s (template %s, %d candidate models)\n", resp.ID, resp.Template, len(resp.Candidates))
+	for _, c := range resp.Candidates {
+		fmt.Println("  ", c)
+	}
+	return nil
+}
+
+func cmdJobs(cl *client.Client) error {
+	jobs, err := cl.Jobs()
+	if err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		fmt.Println(j)
+	}
+	return nil
+}
+
+func cmdStatus(cl *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("status needs <job>")
+	}
+	st, err := cl.Status(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s (%s): %d/%d models trained, %d examples (%d enabled)\n",
+		st.ID, st.Template, st.Trained, st.NumCandidates, st.Examples, st.Enabled)
+	if st.Best != nil {
+		fmt.Printf("best: %s  accuracy %.4f  (round %d)\n", st.Best.Name, st.Best.Accuracy, st.Best.Round)
+	}
+	for _, m := range st.Models {
+		fmt.Printf("  round %3d  %-40s acc %.4f  cost %8.1f\n", m.Round, m.Name, m.Accuracy, m.Cost)
+	}
+	return nil
+}
+
+func cmdFeed(cl *client.Client, args []string) error {
+	if len(args) < 4 {
+		return fmt.Errorf("feed needs <job> <in...> : <out...>")
+	}
+	job := args[0]
+	sep := -1
+	for i, a := range args[1:] {
+		if a == ":" {
+			sep = i + 1
+		}
+	}
+	if sep < 0 {
+		return fmt.Errorf("feed needs a ':' separator between input and output values")
+	}
+	in, err := parseFloats(args[1:sep])
+	if err != nil {
+		return err
+	}
+	out, err := parseFloats(args[sep+1:])
+	if err != nil {
+		return err
+	}
+	ids, err := cl.Feed(job, [][]float64{in}, [][]float64{out})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("example %d added\n", ids[0])
+	return nil
+}
+
+// cmdFeedImg loads a JPEG/PNG through the default image loader (§2:
+// "loads JPEG images into Tensor[A,B,3]") and feeds it with its label.
+func cmdFeedImg(cl *client.Client, args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("feedimg needs <job> <image> <out...>")
+	}
+	f, err := os.Open(args[1])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	img, err := tensor.DecodeImage(f)
+	if err != nil {
+		return err
+	}
+	out, err := parseFloats(args[2:])
+	if err != nil {
+		return err
+	}
+	ids, err := cl.Feed(args[0], [][]float64{img.Data()}, [][]float64{out})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("example %d added (image %v)\n", ids[0], img.Shape())
+	return nil
+}
+
+func cmdRefine(cl *client.Client, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("refine needs <job> <example> <on|off>")
+	}
+	id, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("example id: %w", err)
+	}
+	var enabled bool
+	switch strings.ToLower(args[2]) {
+	case "on", "true", "1":
+		enabled = true
+	case "off", "false", "0":
+		enabled = false
+	default:
+		return fmt.Errorf("refine state %q: use on or off", args[2])
+	}
+	if err := cl.Refine(args[0], id, enabled); err != nil {
+		return err
+	}
+	fmt.Println("ok")
+	return nil
+}
+
+func cmdInfer(cl *client.Client, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("infer needs <job> <in...>")
+	}
+	in, err := parseFloats(args[1:])
+	if err != nil {
+		return err
+	}
+	resp, err := cl.Infer(args[0], in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s → %v\n", resp.Model, resp.Output)
+	return nil
+}
+
+func cmdRounds(cl *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("rounds needs <n>")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("round count: %w", err)
+	}
+	resp, err := cl.RunRounds(n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ran %d rounds (%d total)\n", resp.Ran, resp.Total)
+	return nil
+}
+
+func parseFloats(args []string) ([]float64, error) {
+	out := make([]float64, 0, len(args))
+	for _, a := range args {
+		v, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %w", a, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/easeml"
+	"repro/internal/client"
+)
+
+// End-to-end CLI command coverage against a real in-process service.
+func newTestClient(t *testing.T) (*client.Client, string) {
+	t.Helper()
+	svc := easeml.NewService(easeml.ServiceConfig{GPUs: 4, Seed: 5})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return client.New(srv.URL), srv.URL
+}
+
+func TestCLICommandsHappyPath(t *testing.T) {
+	cl, _ := newTestClient(t)
+	if err := cmdSubmit(cl, []string{"ts", "{input: {[Tensor[4]], [next]}, output: {[Tensor[2]], []}}"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdJobs(cl); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFeed(cl, []string{"job-0001", "1", "2", "3", "4", ":", "0", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRefine(cl, []string{"job-0001", "1", "off"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRounds(cl, []string{"2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStatus(cl, []string{"job-0001"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfer(cl, []string{"job-0001", "1", "2", "3", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIArgumentErrors(t *testing.T) {
+	cl, _ := newTestClient(t)
+	cases := map[string]func() error{
+		"submit arity":    func() error { return cmdSubmit(cl, []string{"only-name"}) },
+		"feed no colon":   func() error { return cmdFeed(cl, []string{"j", "1", "2", "3", "4"}) },
+		"feed bad float":  func() error { return cmdFeed(cl, []string{"j", "x", ":", "1"}) },
+		"refine bad id":   func() error { return cmdRefine(cl, []string{"j", "abc", "on"}) },
+		"refine bad bool": func() error { return cmdRefine(cl, []string{"j", "1", "maybe"}) },
+		"rounds bad n":    func() error { return cmdRounds(cl, []string{"x"}) },
+		"infer arity":     func() error { return cmdInfer(cl, []string{"j"}) },
+		"status arity":    func() error { return cmdStatus(cl, nil) },
+		"feedimg arity":   func() error { return cmdFeedImg(cl, []string{"j"}) },
+		"feedimg missing": func() error { return cmdFeedImg(cl, []string{"j", "/nonexistent.png", "1"}) },
+	}
+	for name, f := range cases {
+		if err := f(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats([]string{"1", "-2.5", "3e2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != -2.5 || got[2] != 300 {
+		t.Errorf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats([]string{"nope"}); err == nil {
+		t.Error("garbage accepted")
+	}
+}

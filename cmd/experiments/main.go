@@ -1,0 +1,171 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§5) and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-fig all|8|9|10|11|12|13|14|15] [-runs-small 50]
+//	            [-runs-large 10] [-test-users 10] [-seed 1]
+//
+// With the defaults the full suite takes a few minutes; -runs-large 50
+// matches the paper's 50-repetition protocol exactly at ~5× the cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (8..15, ablations, or all)")
+	runsSmall := flag.Int("runs-small", 50, "repetitions on DEEPLEARNING")
+	runsLarge := flag.Int("runs-large", 10, "repetitions on the 100+-model datasets")
+	testUsers := flag.Int("test-users", 10, "test-set size")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	cfg := experiments.FigureConfig{
+		RunsSmall: *runsSmall,
+		RunsLarge: *runsLarge,
+		TestUsers: *testUsers,
+		Seed:      *seed,
+	}
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[figure %s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("8", func() error {
+		fmt.Println("=== Figure 8: dataset statistics ===")
+		experiments.RenderStats(os.Stdout, experiments.Figure8())
+		return nil
+	})
+	run("9", func() error {
+		fmt.Println("=== Figure 9: end-to-end, DEEPLEARNING, cost-aware, 10% budget ===")
+		res, err := experiments.Figure9(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderResult(os.Stdout, "Figure 9", res)
+		printSpeedups(res)
+		return nil
+	})
+	run("10", func() error {
+		fmt.Println("=== Figure 10: cost-oblivious multi-tenant, all datasets ===")
+		res, err := experiments.Figure10(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderResultMap(os.Stdout, "Figure 10", res)
+		return nil
+	})
+	run("11", func() error {
+		fmt.Println("=== Figure 11: cost-aware multi-tenant, all datasets ===")
+		res, err := experiments.Figure11(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderResultMap(os.Stdout, "Figure 11", res)
+		return nil
+	})
+	run("12", func() error {
+		fmt.Println("=== Figure 12: model correlation and noise (SYN grid) ===")
+		res, err := experiments.Figure12(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderResultMap(os.Stdout, "Figure 12", res)
+		return nil
+	})
+	run("13", func() error {
+		fmt.Println("=== Figure 13: cost-awareness lesion, DEEPLEARNING ===")
+		res, err := experiments.Figure13(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderResult(os.Stdout, "Figure 13", res)
+		return nil
+	})
+	run("14", func() error {
+		fmt.Println("=== Figure 14: kernel training-set size, DEEPLEARNING ===")
+		res, err := experiments.Figure14(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderResultMap(os.Stdout, "Figure 14", res)
+		return nil
+	})
+	run("ablations", func() error {
+		fmt.Println("=== Ablations beyond the paper's figures (DESIGN.md §5) ===")
+		d := dataset.DeepLearning()
+
+		dev, err := experiments.RunDeviceAblation(experiments.DeviceAblationConfig{
+			Dataset: d, TestUsers: cfg.TestUsers, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("single- vs multi-device (§5.3.2): regret %.1f vs %.1f, first model at %.2f vs %.2f (%d jobs)\n",
+			dev.SingleDeviceRegret, dev.MultiDeviceRegret, dev.SingleFirstModel, dev.MultiFirstModel, dev.Jobs)
+
+		acq, err := experiments.AcquisitionAblation(d, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("acquisition functions (§4.5), losses at 20% of budget:", experiments.SummaryAt(acq, 20))
+
+		informed, uninformed, err := experiments.KernelAblation(d, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("kernel ablation at 20%% of budget: informed %s | uninformed %s\n",
+			experiments.SummaryAt(informed, 20), experiments.SummaryAt(uninformed, 20))
+
+		plain, warm, err := experiments.RunWarmStartAblation(d, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("warm-start priors (§6): plain %s | warm %s\n",
+			experiments.Summary(plain), experiments.Summary(warm))
+		return nil
+	})
+	run("15", func() error {
+		fmt.Println("=== Figure 15: hybrid lesion, 179CLASSIFIER ===")
+		res, err := experiments.Figure15(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderResult(os.Stdout, "Figure 15", res)
+		if x, ok := experiments.Crossover(res.Series[0], res.Series[1]); ok {
+			fmt.Printf("ROUNDROBIN durably overtakes GREEDY at %.0f%% of runs\n", x)
+		} else {
+			fmt.Println("no durable GREEDY/ROUNDROBIN crossover at this configuration")
+		}
+		return nil
+	})
+}
+
+// printSpeedups reports the §5.2 time-to-quality ratios at a few loss
+// targets (the paper quotes the best of these as "up to 9.8×").
+func printSpeedups(res experiments.Result) {
+	last := len(res.Series[0].Avg) - 1
+	targets := []float64{0.20, 0.15, 0.10, res.Series[0].Avg[last] * 1.05}
+	for _, target := range targets {
+		if s, ok := experiments.Figure9Speedup(res, target); ok {
+			fmt.Printf("speedup over best heuristic at avg loss %.3f: %.1f×\n", target, s)
+		} else {
+			fmt.Printf("speedup at avg loss %.3f: heuristics never reach it within budget\n", target)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package easeml is the public API of this ease.ml reproduction — the
+// declarative machine-learning service platform with multi-tenant,
+// cost-aware model selection of Li et al. (VLDB 2018, arXiv:1708.07308).
+//
+// Three entry points cover the system's three usage modes:
+//
+//   - ParseJob turns a declarative program (the Figure 2 DSL) into the
+//     matched template, the candidate-model list and the generated code —
+//     the front half of the platform, usable standalone.
+//
+//   - NewService starts an in-process ease.ml service: submitted jobs are
+//     trained on a simulated GPU pool under the HYBRID multi-tenant
+//     scheduler, with feed/refine/infer and an http.Handler for remote use.
+//
+//   - NewSelection runs the paper's core contribution as a library: given a
+//     (quality, cost) environment and per-model kernel features, it drives
+//     multi-tenant, cost-aware GP-UCB model selection under any of the
+//     paper's scheduling policies.
+package easeml
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+
+	"repro/internal/cluster"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/gp"
+	"repro/internal/server"
+	"repro/internal/templates"
+)
+
+// Job is a parsed declarative job: the validated program, its matched
+// template and the generated candidate models and code.
+type Job struct {
+	Name       string
+	Program    string   // normalized concrete syntax
+	Template   string   // matched Figure 4 template name
+	Workload   string   // human-readable workload class
+	Candidates []string // candidate model names (incl. normalization variants)
+	Julia      string   // system data types in Julia format (Figure 3)
+	Python     string   // importable Python stub (Figure 3)
+}
+
+// ParseJob validates a declarative program and produces the candidate
+// models and generated code without starting a service.
+func ParseJob(name, program string) (*Job, error) {
+	prog, err := dsl.Parse(program)
+	if err != nil {
+		return nil, err
+	}
+	cands, tpl, err := templates.Generate(prog, nil)
+	if err != nil {
+		return nil, err
+	}
+	job := &Job{
+		Name:     name,
+		Program:  prog.String(),
+		Template: tpl.Name,
+		Workload: tpl.Workload,
+		Julia:    codegen.JuliaTypes(prog),
+		Python:   codegen.PythonLibrary(name, "http://localhost:9000", prog),
+	}
+	for _, c := range cands {
+		job.Candidates = append(job.Candidates, c.Name())
+	}
+	return job, nil
+}
+
+// Service is an in-process ease.ml service instance.
+type Service struct {
+	sched *server.Scheduler
+	pool  *cluster.Pool
+}
+
+// ServiceConfig parameterizes NewService. Zero values select the defaults
+// noted per field.
+type ServiceConfig struct {
+	// GPUs is the simulated pool size (default 24, the paper's deployment).
+	GPUs int
+	// Seed fixes the simulated training surfaces (default 1).
+	Seed int64
+	// Addr is the advertised server address baked into generated code
+	// (default "http://localhost:9000").
+	Addr string
+}
+
+// NewService creates a service with a simulated GPU pool and the HYBRID
+// multi-tenant scheduler.
+func NewService(cfg ServiceConfig) *Service {
+	if cfg.GPUs == 0 {
+		cfg.GPUs = 24
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	pool := cluster.NewPool(cfg.GPUs, 0.9)
+	sched := server.NewScheduler(server.NewSimTrainer(pool, cfg.Seed), nil, cfg.Addr)
+	return &Service{sched: sched, pool: pool}
+}
+
+// Submit registers a declarative job and returns its parsed form with the
+// service-assigned id in Name… the returned Job's Name is the job id.
+func (s *Service) Submit(name, program string) (*Job, error) {
+	j, err := s.sched.Submit(name, program)
+	if err != nil {
+		return nil, err
+	}
+	out := &Job{
+		Name:     j.ID,
+		Program:  j.Program.String(),
+		Template: j.Template,
+		Julia:    j.Julia,
+		Python:   j.Python,
+	}
+	for _, c := range j.Candidates {
+		out.Candidates = append(out.Candidates, c.Name())
+	}
+	return out, nil
+}
+
+// Feed registers a supervision example and returns its id.
+func (s *Service) Feed(jobID string, input, output []float64) (int, error) {
+	return s.sched.Feed(jobID, input, output)
+}
+
+// Refine toggles a supervision example.
+func (s *Service) Refine(jobID string, exampleID int, enabled bool) error {
+	return s.sched.Refine(jobID, exampleID, enabled)
+}
+
+// Infer applies the best model so far.
+func (s *Service) Infer(jobID string, input []float64) (output []float64, model string, err error) {
+	return s.sched.Infer(jobID, input)
+}
+
+// Status reports a job's trained models and current best.
+func (s *Service) Status(jobID string) (server.Status, error) { return s.sched.Status(jobID) }
+
+// RunRounds executes up to n multi-tenant scheduling rounds and reports how
+// many ran (fewer when all jobs are exhausted).
+func (s *Service) RunRounds(n int) (int, error) { return s.sched.RunRounds(n) }
+
+// GPUTime returns the virtual GPU-pool clock: total serialized training
+// time consumed so far.
+func (s *Service) GPUTime() float64 { return s.pool.Now() }
+
+// Handler exposes the service over HTTP (see internal/server for the
+// endpoint list); internal/client provides the matching Go client.
+func (s *Service) Handler() http.Handler { return server.NewAPI(s.sched).Handler() }
+
+// Policy selects a multi-tenant user-scheduling policy.
+type Policy string
+
+// The scheduling policies of the paper.
+const (
+	PolicyHybrid     Policy = "hybrid"      // §4.4, the ease.ml default
+	PolicyGreedy     Policy = "greedy"      // §4.3, Algorithm 2
+	PolicyRoundRobin Policy = "round-robin" // §4.2
+	PolicyRandom     Policy = "random"      // §5.3 baseline
+	PolicyFCFS       Policy = "fcfs"        // §4.1 strawman
+)
+
+// SelectionConfig parameterizes a multi-tenant model-selection run over a
+// recorded or simulated environment.
+type SelectionConfig struct {
+	// Quality[user][model] are the observed accuracies; required.
+	Quality [][]float64
+	// Cost[user][model] are the execution costs; nil means unit costs.
+	Cost [][]float64
+	// Features[model] are kernel feature vectors (e.g. quality vectors on
+	// historical users); nil derives 1-D index features, which disables
+	// cross-model generalization but keeps the system functional.
+	Features [][]float64
+	// Policy is the user-scheduling policy (default PolicyHybrid).
+	Policy Policy
+	// CostAware enables the §3.2 cost-aware bandit rule.
+	CostAware bool
+	// Seed drives the random policy (default 1).
+	Seed int64
+	// Weights optionally switches the user-picking phase to the weighted
+	// aggregation extension (§4.5): tenant i's greedy score is scaled by
+	// Weights[i]. Only valid with PolicyGreedy or the default PolicyHybrid
+	// (which degrades to plain weighted greedy, without freeze detection).
+	Weights []float64
+	// GuaranteeWindow, when positive, wraps the chosen policy in a hard
+	// service rule: no active tenant waits more than this many rounds
+	// between serves (§4.5's per-user hard rules).
+	GuaranteeWindow int
+}
+
+// Selection is a running multi-tenant model-selection instance.
+type Selection struct {
+	sim *core.Simulation
+	env *core.MatrixEnv
+}
+
+// NewSelection builds a Selection.
+func NewSelection(cfg SelectionConfig) (*Selection, error) {
+	if len(cfg.Quality) == 0 {
+		return nil, fmt.Errorf("easeml: Quality matrix is required")
+	}
+	cost := cfg.Cost
+	if cost == nil {
+		cost = make([][]float64, len(cfg.Quality))
+		for i := range cost {
+			cost[i] = make([]float64, len(cfg.Quality[i]))
+			for j := range cost[i] {
+				cost[i][j] = 1
+			}
+		}
+	}
+	env := &core.MatrixEnv{Quality: cfg.Quality, Costs: cost}
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	maxK := 0
+	for i := 0; i < env.NumUsers(); i++ {
+		if k := env.NumModels(i); k > maxK {
+			maxK = k
+		}
+	}
+	features := cfg.Features
+	if features == nil {
+		features = make([][]float64, maxK)
+		for j := range features {
+			features[j] = []float64{float64(j) / float64(maxK)}
+		}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var picker core.UserPicker
+	switch cfg.Policy {
+	case PolicyHybrid, "":
+		picker = core.NewHybridPicker()
+	case PolicyGreedy:
+		picker = &core.GreedyPicker{}
+	case PolicyRoundRobin:
+		picker = &core.RoundRobinPicker{}
+	case PolicyRandom:
+		picker = &core.RandomPicker{Rng: rand.New(rand.NewSource(seed))}
+	case PolicyFCFS:
+		picker = core.FCFSPicker{}
+	default:
+		return nil, fmt.Errorf("easeml: unknown policy %q", cfg.Policy)
+	}
+	if len(cfg.Weights) > 0 {
+		switch cfg.Policy {
+		case PolicyHybrid, PolicyGreedy, "":
+			picker = &core.WeightedGreedyPicker{Weights: cfg.Weights}
+		default:
+			return nil, fmt.Errorf("easeml: Weights require the greedy or hybrid policy, not %q", cfg.Policy)
+		}
+	}
+	if cfg.GuaranteeWindow > 0 {
+		picker = &core.GuaranteedServicePicker{Inner: picker, Window: cfg.GuaranteeWindow}
+	}
+	var mean float64
+	var n float64
+	for _, row := range cfg.Quality {
+		for _, q := range row {
+			mean += q
+			n++
+		}
+	}
+	sim, err := core.NewSimulation(core.SimConfig{
+		Env:         env,
+		UserPicker:  picker,
+		ModelPicker: core.UCBModelPicker{},
+		Kernel:      gp.RBF{Variance: 0.05, LengthScale: 0.5},
+		Features:    features,
+		CostAware:   cfg.CostAware,
+		PriorMean:   mean / n,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Selection{sim: sim, env: env}, nil
+}
+
+// Step runs one scheduling round; it returns false when every user has
+// trained every model.
+func (s *Selection) Step() (bool, error) { return s.sim.Step() }
+
+// RunSteps runs up to n rounds (all remaining when n ≤ 0).
+func (s *Selection) RunSteps(n int) (int, error) { return s.sim.RunSteps(n) }
+
+// RunBudget runs rounds until the cumulative cost reaches budget.
+func (s *Selection) RunBudget(budget float64) (int, error) { return s.sim.RunBudget(budget) }
+
+// Best returns the best model found so far for a user and its accuracy;
+// ok is false before the user's first serve.
+func (s *Selection) Best(user int) (model int, accuracy float64, ok bool) {
+	return s.sim.Tenants[user].Bandit.Best()
+}
+
+// AvgLoss returns the mean accuracy loss across users (Appendix A).
+func (s *Selection) AvgLoss() float64 { return s.sim.AvgLoss() }
+
+// CumulativeCost returns the total execution cost paid.
+func (s *Selection) CumulativeCost() float64 { return s.sim.CumulativeCost() }
+
+// CumulativeRegret returns the §4.1 multi-tenant cost-aware regret.
+func (s *Selection) CumulativeRegret() float64 { return s.sim.CumulativeRegret() }
+
+// Trace returns the per-round trace (served user, trained model, reward,
+// cost, loss).
+func (s *Selection) Trace() []core.TracePoint { return s.sim.Trace() }
+
+// TotalCost returns the cost of training everything for everyone.
+func (s *Selection) TotalCost() float64 { return s.env.TotalCost() }

@@ -1,0 +1,167 @@
+package easeml
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+const imgProgram = "{input: {[Tensor[32, 32, 3]], []}, output: {[Tensor[10]], []}}"
+
+func TestParseJob(t *testing.T) {
+	job, err := ParseJob("cifar", imgProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Template != "image-classification" || job.Workload == "" {
+		t.Errorf("job %+v", job)
+	}
+	if len(job.Candidates) != 35 {
+		t.Errorf("%d candidates", len(job.Candidates))
+	}
+	if job.Julia == "" || job.Python == "" {
+		t.Error("missing generated code")
+	}
+	if _, err := ParseJob("bad", "nope"); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestServiceLifecycle(t *testing.T) {
+	svc := NewService(ServiceConfig{GPUs: 4, Seed: 9})
+	job, err := svc.Submit("quick", imgProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, 32*32*3)
+	id, err := svc.Feed(job.Name, in, make([]float64, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Refine(job.Name, id, false); err != nil {
+		t.Fatal(err)
+	}
+	ran, err := svc.RunRounds(5)
+	if err != nil || ran != 5 {
+		t.Fatalf("ran %d rounds, err %v", ran, err)
+	}
+	st, err := svc.Status(job.Name)
+	if err != nil || st.Trained != 5 || st.Best == nil {
+		t.Fatalf("status %+v err %v", st, err)
+	}
+	out, model, err := svc.Infer(job.Name, in)
+	if err != nil || len(out) != 10 || model == "" {
+		t.Fatalf("infer out=%d model=%q err=%v", len(out), model, err)
+	}
+	if svc.GPUTime() <= 0 {
+		t.Error("no GPU time consumed")
+	}
+	if svc.Handler() == nil {
+		t.Error("nil handler")
+	}
+}
+
+func TestSelectionPolicies(t *testing.T) {
+	d := dataset.DeepLearning()
+	rng := rand.New(rand.NewSource(4))
+	train, test := d.Split(6, rng)
+	sub := d.Subset(test)
+	for _, policy := range []Policy{PolicyHybrid, PolicyGreedy, PolicyRoundRobin, PolicyRandom, PolicyFCFS, ""} {
+		sel, err := NewSelection(SelectionConfig{
+			Quality:   sub.Quality,
+			Cost:      sub.Cost,
+			Features:  d.QualityVectors(train),
+			Policy:    policy,
+			CostAware: true,
+			Seed:      7,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if _, err := sel.RunSteps(0); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if sel.AvgLoss() > 1e-12 {
+			t.Errorf("%s: final loss %g", policy, sel.AvgLoss())
+		}
+		if sel.CumulativeCost() <= 0 || sel.CumulativeRegret() < 0 {
+			t.Errorf("%s: accounting broken", policy)
+		}
+		if len(sel.Trace()) != 6*8 {
+			t.Errorf("%s: %d trace points", policy, len(sel.Trace()))
+		}
+		if _, acc, ok := sel.Best(0); !ok || acc <= 0 {
+			t.Errorf("%s: Best(0) = %g, %v", policy, acc, ok)
+		}
+	}
+}
+
+func TestSelectionDefaults(t *testing.T) {
+	// nil cost and nil features still work.
+	sel, err := NewSelection(SelectionConfig{
+		Quality: [][]float64{{0.5, 0.9}, {0.7, 0.3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.TotalCost() != 4 {
+		t.Errorf("unit costs expected, total %g", sel.TotalCost())
+	}
+	if _, err := sel.RunBudget(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectionValidation(t *testing.T) {
+	if _, err := NewSelection(SelectionConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewSelection(SelectionConfig{Quality: [][]float64{{0.5}}, Policy: "bogus"}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if _, err := NewSelection(SelectionConfig{
+		Quality: [][]float64{{0.5}},
+		Cost:    [][]float64{{-1}},
+	}); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestSelectionExtensions(t *testing.T) {
+	quality := [][]float64{
+		{0.3, 0.4, 0.5, 0.6},
+		{0.3, 0.4, 0.5, 0.6},
+		{0.3, 0.4, 0.5, 0.6},
+	}
+	// Weighted greedy.
+	sel, err := NewSelection(SelectionConfig{Quality: quality, Weights: []float64{1, 4, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.RunSteps(0); err != nil {
+		t.Fatal(err)
+	}
+	if sel.AvgLoss() > 1e-12 {
+		t.Errorf("weighted selection final loss %g", sel.AvgLoss())
+	}
+	// Weights are incompatible with non-greedy policies.
+	if _, err := NewSelection(SelectionConfig{Quality: quality, Weights: []float64{1}, Policy: PolicyRandom}); err == nil {
+		t.Error("weights with random policy accepted")
+	}
+	// Guarantee window wraps any policy and still completes.
+	sel, err = NewSelection(SelectionConfig{Quality: quality, Policy: PolicyFCFS, GuaranteeWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.RunSteps(0); err != nil {
+		t.Fatal(err)
+	}
+	serves := map[int]int{}
+	for _, tp := range sel.Trace() {
+		serves[tp.User]++
+	}
+	if len(serves) != 3 {
+		t.Errorf("guaranteed FCFS starved tenants: %v", serves)
+	}
+}

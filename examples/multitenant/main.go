@@ -1,0 +1,83 @@
+// Multi-tenant resource sharing: 20 synthetic tenants with very different
+// headroom compete for one training pipeline. The example contrasts every
+// scheduling policy of the paper (FCFS, ROUNDROBIN, RANDOM, GREEDY, HYBRID)
+// on the same Appendix-B synthetic workload and prints how each allocates
+// serves and what global satisfaction (total regret) results — the §4.1
+// problem in miniature.
+//
+// Run with: go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/easeml"
+	"repro/internal/synth"
+)
+
+func main() {
+	// Appendix-B generator: two baseline groups (easy tasks near 0.75, hard
+	// ones near 0.25), correlated models, modest noise.
+	rng := rand.New(rand.NewSource(99))
+	q, err := synth.Dataset(synth.Config{
+		NumUsers:  20,
+		NumModels: 30,
+		SigmaM:    0.5,
+		Alpha:     0.5,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	costs := synth.UniformCosts(q.NumUsers, q.NumModels, rng)
+
+	// Kernel features: each model's hidden-similarity score — in a real
+	// deployment these are quality vectors over historical users.
+	features := make([][]float64, q.NumModels)
+	for j := range features {
+		features[j] = []float64{q.ModelF[j]}
+	}
+
+	budgetSteps := q.NumUsers * q.NumModels / 4 // 25% of all runs
+	fmt.Printf("%d tenants × %d models, budget %d runs (25%%)\n\n", q.NumUsers, q.NumModels, budgetSteps)
+	fmt.Printf("%-12s %14s %14s %10s %10s\n", "policy", "avg loss", "total regret", "min serves", "max serves")
+
+	for _, policy := range []easeml.Policy{
+		easeml.PolicyFCFS, easeml.PolicyRandom, easeml.PolicyRoundRobin,
+		easeml.PolicyGreedy, easeml.PolicyHybrid,
+	} {
+		sel, err := easeml.NewSelection(easeml.SelectionConfig{
+			Quality:   q.X,
+			Cost:      costs,
+			Features:  features,
+			Policy:    policy,
+			CostAware: true,
+			Seed:      5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sel.RunSteps(budgetSteps); err != nil {
+			log.Fatal(err)
+		}
+		serves := make([]int, q.NumUsers)
+		for _, tp := range sel.Trace() {
+			serves[tp.User]++
+		}
+		minS, maxS := serves[0], serves[0]
+		for _, s := range serves[1:] {
+			if s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
+		fmt.Printf("%-12s %14.4f %14.1f %10d %10d\n",
+			policy, sel.AvgLoss(), sel.CumulativeRegret(), minS, maxS)
+	}
+
+	fmt.Println("\nFCFS starves every tenant behind the first (min serves 0);")
+	fmt.Println("HYBRID matches GREEDY early and ROUNDROBIN late — the paper's §4.4 design.")
+}

@@ -1,0 +1,71 @@
+package bandit
+
+import "repro/internal/gp"
+
+// SelectBatch picks up to batchSize distinct untried arms for parallel
+// execution on multiple devices — the §6 future-work direction ("parallel
+// Gaussian Process in which multiple processes are being evaluated …
+// extend ease.ml's resource model from a single device to multiple
+// devices").
+//
+// It follows the GP-BUCB hallucination scheme (Desautels et al., cited by
+// the paper): after choosing an arm, the posterior is conditioned on a fake
+// observation equal to the current posterior mean. The mean is unchanged
+// but the variance collapses, so subsequent picks diversify instead of
+// piling onto near-duplicates of the first choice. The bandit's real state
+// is untouched; callers Observe the true rewards when the parallel runs
+// finish.
+func (b *GPUCB) SelectBatch(batchSize int) []int {
+	if batchSize <= 0 {
+		return nil
+	}
+	remaining := b.NumArms() - b.NumTried()
+	if remaining == 0 {
+		return nil
+	}
+	if batchSize > remaining {
+		batchSize = remaining
+	}
+	if batchSize == 1 {
+		arm, _ := b.SelectArm()
+		return []int{arm}
+	}
+
+	shadow := b.shadowClone()
+	var batch []int
+	for len(batch) < batchSize {
+		arm, _ := shadow.SelectArm()
+		if arm < 0 {
+			break
+		}
+		batch = append(batch, arm)
+		// Hallucinate: observing the posterior mean keeps the mean surface
+		// intact while collapsing the arm's variance.
+		shadow.Observe(arm, shadow.Mean(arm))
+	}
+	return batch
+}
+
+// shadowClone duplicates the bandit's decision-relevant state (posterior,
+// tried set, local clock) without sharing storage, for hallucinated
+// lookahead.
+func (b *GPUCB) shadowClone() *GPUCB {
+	cfg := b.cfg
+	cfg.Costs = append([]float64(nil), b.cfg.Costs...)
+	if len(b.cfg.ArmMeans) > 0 {
+		cfg.ArmMeans = append([]float64(nil), b.cfg.ArmMeans...)
+	}
+	clone := New(cloneProcess(b.gp), cfg)
+	clone.t = b.t
+	clone.nTried = b.nTried
+	if b.tried != nil {
+		clone.tried = append([]bool(nil), b.tried...)
+	}
+	clone.bestArm = b.bestArm
+	clone.bestY = b.bestY
+	clone.haveObs = b.haveObs
+	return clone
+}
+
+// cloneProcess is a small indirection so the clone logic reads clearly.
+func cloneProcess(g *gp.GP) *gp.GP { return g.Clone() }

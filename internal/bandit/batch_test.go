@@ -1,0 +1,138 @@
+package bandit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gp"
+)
+
+func newBatchBandit(k int, costAware bool) *GPUCB {
+	process := gp.NewFromFeatures(gp.RBF{Variance: 0.2, LengthScale: 0.25}, lineFeatures(k), 0.01)
+	costs := make([]float64, k)
+	for i := range costs {
+		costs[i] = 1 + float64(i%3)
+	}
+	return New(process, Config{Costs: costs, CostAware: costAware, Mean0: 0.5})
+}
+
+func TestSelectBatchDistinctUntried(t *testing.T) {
+	b := newBatchBandit(10, true)
+	b.Observe(3, 0.7)
+	batch := b.SelectBatch(4)
+	if len(batch) != 4 {
+		t.Fatalf("batch size %d, want 4", len(batch))
+	}
+	seen := map[int]bool{}
+	for _, arm := range batch {
+		if arm == 3 {
+			t.Error("batch contains an already-tried arm")
+		}
+		if seen[arm] {
+			t.Errorf("duplicate arm %d in batch", arm)
+		}
+		seen[arm] = true
+	}
+	// The bandit's real state is untouched.
+	if b.NumTried() != 1 || b.Step() != 1 {
+		t.Errorf("SelectBatch mutated bandit state: tried=%d step=%d", b.NumTried(), b.Step())
+	}
+}
+
+func TestSelectBatchEdgeCases(t *testing.T) {
+	b := newBatchBandit(3, false)
+	if got := b.SelectBatch(0); got != nil {
+		t.Errorf("batch size 0 returned %v", got)
+	}
+	// Clamped to remaining arms.
+	if got := b.SelectBatch(10); len(got) != 3 {
+		t.Errorf("oversized batch returned %d arms", len(got))
+	}
+	// Batch of one equals SelectArm.
+	arm, _ := b.SelectArm()
+	if got := b.SelectBatch(1); len(got) != 1 || got[0] != arm {
+		t.Errorf("batch of 1 = %v, SelectArm = %d", got, arm)
+	}
+	// Exhausted.
+	for k := 0; k < 3; k++ {
+		b.Observe(k, 0.5)
+	}
+	if got := b.SelectBatch(2); got != nil {
+		t.Errorf("exhausted bandit returned batch %v", got)
+	}
+}
+
+// Hallucination must diversify: a batch spreads across the feature space
+// rather than clustering around the single best UCB point.
+func TestSelectBatchDiversifies(t *testing.T) {
+	const k = 20
+	b := newBatchBandit(k, false)
+	// Anchor the posterior: observe the middle arm high.
+	b.Observe(k/2, 0.9)
+	batch := b.SelectBatch(5)
+	// All five arms adjacent to each other would indicate no hallucination
+	// effect; require a spread of at least a third of the line.
+	minArm, maxArm := batch[0], batch[0]
+	for _, a := range batch[1:] {
+		if a < minArm {
+			minArm = a
+		}
+		if a > maxArm {
+			maxArm = a
+		}
+	}
+	if maxArm-minArm < k/3 {
+		t.Errorf("batch %v clustered (spread %d < %d)", batch, maxArm-minArm, k/3)
+	}
+}
+
+// A full parallel sweep using batches still plays every arm exactly once
+// and finds the optimum.
+func TestQuickBatchSweep(t *testing.T) {
+	f := func(seed int64, kRaw, bRaw uint8) bool {
+		k := int(kRaw%8) + 2
+		batchSize := int(bRaw%3) + 1
+		rng := rand.New(rand.NewSource(seed))
+		truth := make([]float64, k)
+		bestTruth := -1.0
+		for i := range truth {
+			truth[i] = rng.Float64()
+			if truth[i] > bestTruth {
+				bestTruth = truth[i]
+			}
+		}
+		b := newBatchBandit(k, seed%2 == 0)
+		for !b.Exhausted() {
+			batch := b.SelectBatch(batchSize)
+			if len(batch) == 0 {
+				return false
+			}
+			for _, arm := range batch {
+				if b.Tried(arm) {
+					return false
+				}
+				b.Observe(arm, truth[arm])
+			}
+		}
+		_, y, ok := b.Best()
+		return ok && y == bestTruth && b.NumTried() == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSelectBatch(b *testing.B) {
+	bd := newBatchBandit(50, true)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		arm, _ := bd.SelectArm()
+		bd.Observe(arm, rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd.SelectBatch(8)
+	}
+}

@@ -1,0 +1,313 @@
+package bandit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gp"
+	"repro/internal/linalg"
+)
+
+func unitCosts(k int) []float64 {
+	c := make([]float64, k)
+	for i := range c {
+		c[i] = 1
+	}
+	return c
+}
+
+func lineFeatures(k int) [][]float64 {
+	f := make([][]float64, k)
+	for i := range f {
+		f[i] = []float64{float64(i) / float64(k)}
+	}
+	return f
+}
+
+func TestBetaSchedule(t *testing.T) {
+	// βt = 2·c*·log(π²·K·t²/(6δ)) — check a hand value.
+	got := BetaSchedule(1, 10, 2, 0.1)
+	want := 2 * math.Log(math.Pi*math.Pi*10*4/(6*0.1))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("BetaSchedule = %g, want %g", got, want)
+	}
+	// Monotone in t and scaled by c*.
+	if BetaSchedule(1, 10, 3, 0.1) <= got {
+		t.Error("β not increasing in t")
+	}
+	if math.Abs(BetaSchedule(2.5, 10, 2, 0.1)-2.5*want) > 1e-9 {
+		t.Error("β not linear in c*")
+	}
+	// t < 1 clamps to 1.
+	if BetaSchedule(1, 10, 0, 0.1) != BetaSchedule(1, 10, 1, 0.1) {
+		t.Error("t<1 not clamped")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	process := gp.New(linalg.Identity(3), 0.01)
+	cases := map[string]Config{
+		"wrong cost count": {Costs: []float64{1, 1}},
+		"zero cost":        {Costs: []float64{1, 0, 1}},
+		"bad delta":        {Costs: unitCosts(3), Delta: 1.5},
+	}
+	for name, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			New(gp.New(linalg.Identity(3), 0.01), cfg)
+		}()
+	}
+	_ = process
+}
+
+func TestSelectObserveLifecycle(t *testing.T) {
+	process := gp.NewFromFeatures(gp.RBF{Variance: 0.25, LengthScale: 0.3}, lineFeatures(4), 0.01)
+	b := New(process, Config{Costs: unitCosts(4)})
+
+	if b.Exhausted() {
+		t.Fatal("fresh bandit reports exhausted")
+	}
+	if _, _, ok := b.Best(); ok {
+		t.Fatal("fresh bandit has a best arm")
+	}
+
+	rewards := []float64{0.3, 0.9, 0.5, 0.7}
+	for step := 0; step < 4; step++ {
+		arm, ucb := b.SelectArm()
+		if arm < 0 || b.Tried(arm) {
+			t.Fatalf("step %d: invalid arm %d", step, arm)
+		}
+		if math.IsInf(ucb, -1) {
+			t.Fatalf("step %d: -Inf UCB for playable arm", step)
+		}
+		b.Observe(arm, rewards[arm])
+	}
+	if !b.Exhausted() || b.NumTried() != 4 || b.Step() != 4 {
+		t.Fatalf("exhausted=%v tried=%d step=%d", b.Exhausted(), b.NumTried(), b.Step())
+	}
+	arm, y, ok := b.Best()
+	if !ok || arm != 1 || y != 0.9 {
+		t.Fatalf("Best = (%d,%g,%v), want (1,0.9,true)", arm, y, ok)
+	}
+	if got := b.CumulativeCost(); got != 4 {
+		t.Errorf("CumulativeCost = %g, want 4", got)
+	}
+	if a, u := b.SelectArm(); a != -1 || !math.IsInf(u, -1) {
+		t.Errorf("exhausted SelectArm = (%d,%g)", a, u)
+	}
+}
+
+func TestObserveTwicePanics(t *testing.T) {
+	b := New(gp.New(linalg.Identity(2), 0.01), Config{Costs: unitCosts(2)})
+	b.Observe(0, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double play")
+		}
+	}()
+	b.Observe(0, 0.6)
+}
+
+// Cost-aware selection must prefer the cheap arm when two arms are
+// statistically identical (§3.2: "everything being equal, the slower models
+// have lower priority").
+func TestCostAwarePrefersCheapArm(t *testing.T) {
+	// Identity prior: both arms have identical mean 0 and variance 1.
+	process := gp.New(linalg.Identity(2), 0.01)
+	b := New(process, Config{Costs: []float64{10, 0.1}, CostAware: true})
+	arm, _ := b.SelectArm()
+	if arm != 1 {
+		t.Errorf("cost-aware bandit picked expensive arm %d", arm)
+	}
+	// Cost-oblivious tie-breaks to the first arm.
+	b2 := New(gp.New(linalg.Identity(2), 0.01), Config{Costs: []float64{10, 0.1}})
+	if arm2, _ := b2.SelectArm(); arm2 != 0 {
+		t.Errorf("cost-oblivious bandit picked %d, want first arm on tie", arm2)
+	}
+}
+
+// An expensive arm with a large enough potential reward should still win
+// (§3.2: "even an expensive arm is worth a bet").
+func TestCostAwareExpensiveHighVarianceWins(t *testing.T) {
+	prior := linalg.NewMatrixFromRows([][]float64{
+		{4.0, 0.0}, // expensive, huge uncertainty
+		{0.0, 0.0001},
+	})
+	prior.AddDiag(1e-9)
+	b := New(gp.New(prior, 0.01), Config{Costs: []float64{3, 1}, CostAware: true})
+	if arm, _ := b.SelectArm(); arm != 0 {
+		t.Errorf("picked %d, want high-variance arm 0", arm)
+	}
+}
+
+// GP-UCB with a correlated prior should find the best arm much faster than
+// exhaustive search: after a few plays the best arm must be identified in a
+// smooth landscape.
+func TestGPUCBFindsOptimumQuickly(t *testing.T) {
+	const k = 30
+	features := lineFeatures(k)
+	truth := make([]float64, k)
+	bestArm := 0
+	for i := range truth {
+		x := features[i][0]
+		truth[i] = 0.5 + 0.4*math.Sin(3*x+0.5)
+		if truth[i] > truth[bestArm] {
+			bestArm = i
+		}
+	}
+	process := gp.NewFromFeatures(gp.RBF{Variance: 0.1, LengthScale: 0.15}, features, 1e-4)
+	b := New(process, Config{Costs: unitCosts(k)})
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 12; step++ {
+		arm, _ := b.SelectArm()
+		b.Observe(arm, truth[arm]+1e-3*rng.NormFloat64())
+	}
+	got, y, _ := b.Best()
+	if math.Abs(y-truth[bestArm]) > 0.05 {
+		t.Errorf("after 12/30 plays best=%d (%.3f), want near arm %d (%.3f)", got, y, bestArm, truth[bestArm])
+	}
+}
+
+func TestUCBMatchesSelectArm(t *testing.T) {
+	process := gp.NewFromFeatures(gp.RBF{Variance: 0.2, LengthScale: 0.4}, lineFeatures(5), 0.01)
+	b := New(process, Config{Costs: []float64{1, 2, 3, 4, 5}, CostAware: true})
+	b.Observe(2, 0.6)
+	arm, ucb := b.SelectArm()
+	if math.Abs(b.UCB(arm)-ucb) > 1e-9 {
+		t.Errorf("UCB(%d)=%g but SelectArm returned %g", arm, b.UCB(arm), ucb)
+	}
+	if math.Abs(b.MaxUCB()-ucb) > 1e-9 {
+		t.Errorf("MaxUCB=%g, want %g", b.MaxUCB(), ucb)
+	}
+	// UCB must exceed the posterior mean for untried arms.
+	for k := 0; k < 5; k++ {
+		if b.Tried(k) {
+			continue
+		}
+		if b.UCB(k) < b.Mean(k) {
+			t.Errorf("UCB(%d)=%g below mean %g", k, b.UCB(k), b.Mean(k))
+		}
+	}
+}
+
+func TestRegretTracker(t *testing.T) {
+	r := NewRegretTracker([]float64{0.9, 0.95, 1.0}, []float64{2, 1, 4})
+	if r.MuStar() != 1.0 {
+		t.Fatalf("µ* = %g", r.MuStar())
+	}
+	if r.InstantaneousLoss() != 1.0 {
+		t.Errorf("initial loss = %g, want µ*", r.InstantaneousLoss())
+	}
+	r.Record(0) // inst regret 0.1, cost-aware 0.2
+	r.Record(1) // inst regret 0.05, cost-aware 0.05
+	if math.Abs(r.Cumulative()-0.15) > 1e-12 {
+		t.Errorf("Rt = %g, want 0.15", r.Cumulative())
+	}
+	if math.Abs(r.CostAware()-0.25) > 1e-12 {
+		t.Errorf("R̃t = %g, want 0.25", r.CostAware())
+	}
+	// ease.ml regret: after play0 best=0.9 → 0.1; after play1 best=0.95 → 0.05.
+	if math.Abs(r.EaseML()-0.15) > 1e-12 {
+		t.Errorf("R′t = %g, want 0.15", r.EaseML())
+	}
+	if math.Abs(r.InstantaneousLoss()-0.05) > 1e-12 {
+		t.Errorf("loss = %g, want 0.05", r.InstantaneousLoss())
+	}
+	r.Record(2)
+	if r.InstantaneousLoss() != 0 {
+		t.Errorf("loss after optimum = %g, want 0", r.InstantaneousLoss())
+	}
+	if r.Steps() != 3 {
+		t.Errorf("Steps = %d", r.Steps())
+	}
+	if got := r.AverageRegret(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("Rt/t = %g, want 0.05", got)
+	}
+}
+
+func TestRegretTrackerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRegretTracker([]float64{1}, []float64{})
+}
+
+// Property: ease.ml regret never exceeds classic cumulative regret
+// (§3: R′T ≤ RT for every play sequence).
+func TestQuickEaseMLRegretBounded(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%10) + 2
+		rng := rand.New(rand.NewSource(seed))
+		means := make([]float64, k)
+		costs := make([]float64, k)
+		for i := range means {
+			means[i] = rng.Float64()
+			costs[i] = 0.1 + rng.Float64()
+		}
+		r := NewRegretTracker(means, costs)
+		for _, arm := range rng.Perm(k) {
+			r.Record(arm)
+			if r.EaseML() > r.Cumulative()+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: over a full sweep the bandit plays every arm exactly once and the
+// regret is regret-free at the end (loss 0).
+func TestQuickFullSweepZeroFinalLoss(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%8) + 2
+		rng := rand.New(rand.NewSource(seed))
+		truth := make([]float64, k)
+		costs := make([]float64, k)
+		for i := range truth {
+			truth[i] = rng.Float64()
+			costs[i] = 0.1 + rng.Float64()
+		}
+		process := gp.NewFromFeatures(gp.RBF{Variance: 0.1, LengthScale: 0.3}, lineFeatures(k), 0.01)
+		b := New(process, Config{Costs: costs, CostAware: seed%2 == 0})
+		r := NewRegretTracker(truth, costs)
+		for !b.Exhausted() {
+			arm, _ := b.SelectArm()
+			b.Observe(arm, truth[arm])
+			r.Record(arm)
+		}
+		return r.InstantaneousLoss() == 0 && b.NumTried() == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSelectArm100(b *testing.B) {
+	process := gp.NewFromFeatures(gp.RBF{Variance: 0.25, LengthScale: 0.2}, lineFeatures(100), 0.01)
+	costs := make([]float64, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range costs {
+		costs[i] = 0.1 + rng.Float64()
+	}
+	gb := New(process, Config{Costs: costs, CostAware: true})
+	for i := 0; i < 30; i++ {
+		arm, _ := gb.SelectArm()
+		gb.Observe(arm, rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gb.SelectArm()
+	}
+}

@@ -1,0 +1,123 @@
+// Package client is the Go client for the ease.ml HTTP service — the
+// programmable counterpart of the generated feed/refine/infer binaries
+// (§2, Figure 3).
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client talks to one ease.ml server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New creates a client for the server at baseURL (e.g.
+// "http://localhost:9000").
+func New(baseURL string) *Client {
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Submit registers a declarative job and returns the server's reply
+// (job id, matched template, generated candidates and code).
+func (c *Client) Submit(name, program string) (server.SubmitResponse, error) {
+	var resp server.SubmitResponse
+	err := c.post("/jobs", server.SubmitRequest{Name: name, Program: program}, &resp)
+	return resp, err
+}
+
+// Jobs lists all job ids on the server.
+func (c *Client) Jobs() ([]string, error) {
+	var resp struct {
+		Jobs []string `json:"jobs"`
+	}
+	err := c.get("/jobs", &resp)
+	return resp.Jobs, err
+}
+
+// Feed registers example pairs and returns their ids.
+func (c *Client) Feed(jobID string, inputs, outputs [][]float64) ([]int, error) {
+	var resp server.FeedResponse
+	err := c.post("/jobs/"+jobID+"/feed", server.FeedRequest{Inputs: inputs, Outputs: outputs}, &resp)
+	return resp.IDs, err
+}
+
+// Refine enables or disables an example.
+func (c *Client) Refine(jobID string, exampleID int, enabled bool) error {
+	var resp map[string]bool
+	return c.post("/jobs/"+jobID+"/refine", server.RefineRequest{Example: exampleID, Enabled: enabled}, &resp)
+}
+
+// Infer applies the best model so far to one input object.
+func (c *Client) Infer(jobID string, input []float64) (server.InferResponse, error) {
+	var resp server.InferResponse
+	err := c.post("/jobs/"+jobID+"/infer", server.InferRequest{Input: input}, &resp)
+	return resp, err
+}
+
+// Status reports the job's trained models and current best.
+func (c *Client) Status(jobID string) (server.Status, error) {
+	var resp server.Status
+	err := c.get("/jobs/"+jobID+"/status", &resp)
+	return resp, err
+}
+
+// RunRounds asks the server to execute n scheduling rounds synchronously.
+func (c *Client) RunRounds(n int) (server.RoundsResponse, error) {
+	var resp server.RoundsResponse
+	err := c.post("/admin/rounds", server.RoundsRequest{Count: n}, &resp)
+	return resp, err
+}
+
+func (c *Client) post(path string, body, dst any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encode %s: %w", path, err)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: POST %s: %w", path, err)
+	}
+	return decode(path, resp, dst)
+}
+
+func (c *Client) get(path string, dst any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("client: GET %s: %w", path, err)
+	}
+	return decode(path, resp, dst)
+}
+
+func decode(path string, resp *http.Response, dst any) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: read %s: %w", path, err)
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("client: %s: %s (HTTP %d)", path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("client: decode %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeServer returns canned JSON for each endpoint so the client's encode/
+// decode and error paths are tested independently of the real server (the
+// full loop is covered by internal/server's integration tests).
+func fakeServer(t *testing.T, status int, body string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(body))
+	}))
+}
+
+func TestSubmitDecodes(t *testing.T) {
+	srv := fakeServer(t, http.StatusCreated,
+		`{"id":"job-0001","template":"image-classification","candidates":["AlexNet"],"julia":"","python":""}`)
+	defer srv.Close()
+	resp, err := New(srv.URL).Submit("x", "{...}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != "job-0001" || resp.Template != "image-classification" || len(resp.Candidates) != 1 {
+		t.Errorf("resp %+v", resp)
+	}
+}
+
+func TestErrorEnvelopeSurfaces(t *testing.T) {
+	srv := fakeServer(t, http.StatusBadRequest, `{"error":"dsl: boom"}`)
+	defer srv.Close()
+	cl := New(srv.URL)
+	_, err := cl.Submit("x", "bad")
+	if err == nil || !strings.Contains(err.Error(), "dsl: boom") {
+		t.Errorf("error %v does not surface the server message", err)
+	}
+	if !strings.Contains(err.Error(), "400") {
+		t.Errorf("error %v does not mention the status code", err)
+	}
+}
+
+func TestNonJSONErrorStillErrors(t *testing.T) {
+	srv := fakeServer(t, http.StatusInternalServerError, "tilt")
+	defer srv.Close()
+	if _, err := New(srv.URL).Jobs(); err == nil {
+		t.Error("HTTP 500 with non-JSON body did not error")
+	}
+}
+
+func TestGarbageSuccessBodyErrors(t *testing.T) {
+	srv := fakeServer(t, http.StatusOK, "not json")
+	defer srv.Close()
+	if _, err := New(srv.URL).Status("j"); err == nil {
+		t.Error("garbage body decoded")
+	}
+}
+
+func TestConnectionRefused(t *testing.T) {
+	cl := New("http://127.0.0.1:1") // nothing listens on port 1
+	if _, err := cl.Jobs(); err == nil {
+		t.Error("dead server did not error")
+	}
+	if err := cl.Refine("j", 1, true); err == nil {
+		t.Error("dead server Refine did not error")
+	}
+	if _, err := cl.Feed("j", nil, nil); err == nil {
+		t.Error("dead server Feed did not error")
+	}
+	if _, err := cl.Infer("j", nil); err == nil {
+		t.Error("dead server Infer did not error")
+	}
+	if _, err := cl.RunRounds(1); err == nil {
+		t.Error("dead server RunRounds did not error")
+	}
+}
+
+func TestBaseURLTrimmed(t *testing.T) {
+	srv := fakeServer(t, http.StatusOK, `{"jobs":["a"]}`)
+	defer srv.Close()
+	jobs, err := New(srv.URL + "///").Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0] != "a" {
+		t.Errorf("jobs %v", jobs)
+	}
+}

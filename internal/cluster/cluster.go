@@ -1,0 +1,151 @@
+// Package cluster simulates ease.ml's shared GPU pool (§2 Figure 1, §4.5,
+// §5.3.2's single- vs multi-device discussion): 24 TITAN X GPUs connected by
+// InfiniBand, with near-linear scaling under low-precision communication.
+//
+// The pool keeps a virtual clock. In single-device mode (the paper's
+// deployed configuration) every job takes the whole pool and runs
+// work/speedup(numGPUs) time units; in multi-device mode each job takes one
+// GPU and jobs overlap. Both modes account completion times so callers can
+// compare accumulated regret between the two strategies.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Job is one completed training job with its virtual-time interval.
+type Job struct {
+	ID    int
+	Label string
+	Work  float64 // GPU-time units on a single GPU
+	GPUs  int     // GPUs the job ran on
+	Start float64 // virtual start time
+	End   float64 // virtual completion time
+}
+
+// Pool is a simulated GPU pool with a virtual clock.
+type Pool struct {
+	mu sync.Mutex
+
+	numGPUs int
+	// alpha is the scaling exponent: g GPUs yield g^alpha speedup. The
+	// paper's setup (InfiniBand + low-precision ZipML transfers + the Goyal
+	// et al. learning-rate schedule) achieves "significant speed up"; 0.9
+	// models near-linear scaling with a mild synchronization tax.
+	alpha float64
+
+	clock     float64   // single-device frontier
+	gpuFree   []float64 // per-GPU next-free time (multi-device mode)
+	nextJobID int
+	completed []Job
+}
+
+// NewPool creates a pool of numGPUs devices with scaling exponent alpha
+// (defaults: alpha 0.9). It panics if numGPUs < 1 or alpha ∉ (0, 1].
+func NewPool(numGPUs int, alpha float64) *Pool {
+	if numGPUs < 1 {
+		panic(fmt.Sprintf("cluster: need at least one GPU, got %d", numGPUs))
+	}
+	if alpha == 0 {
+		alpha = 0.9
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("cluster: scaling exponent %g outside (0,1]", alpha))
+	}
+	return &Pool{numGPUs: numGPUs, alpha: alpha, gpuFree: make([]float64, numGPUs), nextJobID: 1}
+}
+
+// NumGPUs returns the pool size.
+func (p *Pool) NumGPUs() int { return p.numGPUs }
+
+// Speedup returns the simulated speedup of running one job on g GPUs:
+// g^alpha.
+func (p *Pool) Speedup(g int) float64 {
+	if g < 1 {
+		return 0
+	}
+	return math.Pow(float64(g), p.alpha)
+}
+
+// RunSingleDevice executes a job on the whole pool (the deployed ease.ml
+// strategy: "use all its GPUs to train a single model"). Jobs serialize on
+// the virtual clock. It returns the completed job record.
+func (p *Pool) RunSingleDevice(label string, work float64) Job {
+	if work <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive work %g", work))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dur := work / p.Speedup(p.numGPUs)
+	j := Job{ID: p.nextJobID, Label: label, Work: work, GPUs: p.numGPUs, Start: p.clock, End: p.clock + dur}
+	p.nextJobID++
+	p.clock = j.End
+	// Single-device runs also occupy every GPU.
+	for i := range p.gpuFree {
+		if p.gpuFree[i] < j.End {
+			p.gpuFree[i] = j.End
+		}
+	}
+	p.completed = append(p.completed, j)
+	return j
+}
+
+// RunOneGPU executes a job on the earliest-available single GPU (the
+// multi-device alternative of §5.3.2). Jobs overlap across GPUs.
+func (p *Pool) RunOneGPU(label string, work float64) Job {
+	if work <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive work %g", work))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g := 0
+	for i, free := range p.gpuFree {
+		if free < p.gpuFree[g] {
+			g = i
+		}
+	}
+	start := p.gpuFree[g]
+	if p.clock > start {
+		start = p.clock
+	}
+	j := Job{ID: p.nextJobID, Label: label, Work: work, GPUs: 1, Start: start, End: start + work}
+	p.nextJobID++
+	p.gpuFree[g] = j.End
+	p.completed = append(p.completed, j)
+	return j
+}
+
+// Now returns the single-device virtual clock.
+func (p *Pool) Now() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clock
+}
+
+// Completed returns a copy of all finished jobs in submission order.
+func (p *Pool) Completed() []Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Job(nil), p.completed...)
+}
+
+// Utilization returns GPU-time used divided by GPU-time available up to the
+// latest completion; 0 for an idle pool.
+func (p *Pool) Utilization() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var used, horizon float64
+	for _, j := range p.completed {
+		// A g-GPU job at speedup s occupies g GPUs for work/s time.
+		used += float64(j.GPUs) * (j.End - j.Start)
+		if j.End > horizon {
+			horizon = j.End
+		}
+	}
+	if horizon == 0 {
+		return 0
+	}
+	return used / (horizon * float64(p.numGPUs))
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPoolValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero gpus": func() { NewPool(0, 0.9) },
+		"bad alpha": func() { NewPool(4, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	if p := NewPool(4, 0); p.Speedup(2) != math.Pow(2, 0.9) {
+		t.Error("default alpha not applied")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	p := NewPool(24, 0.9)
+	if got := p.Speedup(1); got != 1 {
+		t.Errorf("Speedup(1) = %g", got)
+	}
+	if got := p.Speedup(24); math.Abs(got-math.Pow(24, 0.9)) > 1e-12 {
+		t.Errorf("Speedup(24) = %g", got)
+	}
+	if p.Speedup(0) != 0 {
+		t.Error("Speedup(0) should be 0")
+	}
+	// Sublinear: doubling GPUs less than doubles speedup.
+	if p.Speedup(16) >= 2*p.Speedup(8) {
+		t.Error("scaling should be sublinear")
+	}
+}
+
+func TestSingleDeviceSerializes(t *testing.T) {
+	p := NewPool(8, 0.9)
+	j1 := p.RunSingleDevice("a", 80)
+	j2 := p.RunSingleDevice("b", 40)
+	if j1.Start != 0 {
+		t.Errorf("first job starts at %g", j1.Start)
+	}
+	if j2.Start != j1.End {
+		t.Errorf("jobs overlap: j2 start %g, j1 end %g", j2.Start, j1.End)
+	}
+	wantDur := 80 / math.Pow(8, 0.9)
+	if math.Abs((j1.End-j1.Start)-wantDur) > 1e-12 {
+		t.Errorf("duration %g, want %g", j1.End-j1.Start, wantDur)
+	}
+	if p.Now() != j2.End {
+		t.Errorf("clock %g, want %g", p.Now(), j2.End)
+	}
+	if j1.GPUs != 8 {
+		t.Errorf("single-device job used %d GPUs", j1.GPUs)
+	}
+}
+
+func TestOneGPUOverlaps(t *testing.T) {
+	p := NewPool(2, 0.9)
+	j1 := p.RunOneGPU("a", 10)
+	j2 := p.RunOneGPU("b", 10)
+	j3 := p.RunOneGPU("c", 5)
+	if j1.Start != 0 || j2.Start != 0 {
+		t.Errorf("first two jobs should start immediately: %g, %g", j1.Start, j2.Start)
+	}
+	if j3.Start != 10 {
+		t.Errorf("third job starts at %g, want 10 (after the earlier finisher)", j3.Start)
+	}
+	if j1.GPUs != 1 {
+		t.Errorf("one-GPU job used %d GPUs", j1.GPUs)
+	}
+}
+
+// The §5.3.2 claim: single-device returns the first model sooner (lower time
+// to first completion) even though total GPU-time is comparable.
+func TestSingleDeviceReturnsFirstModelFaster(t *testing.T) {
+	single := NewPool(8, 0.9)
+	multi := NewPool(8, 0.9)
+	work := []float64{100, 100, 100, 100}
+	var firstSingle, firstMulti float64
+	for i, w := range work {
+		j := single.RunSingleDevice("job", w)
+		if i == 0 {
+			firstSingle = j.End
+		}
+	}
+	for i, w := range work {
+		j := multi.RunOneGPU("job", w)
+		if i == 0 {
+			firstMulti = j.End
+		}
+	}
+	if firstSingle >= firstMulti {
+		t.Errorf("single-device first completion %g not before multi-device %g", firstSingle, firstMulti)
+	}
+}
+
+func TestNonPositiveWorkPanics(t *testing.T) {
+	p := NewPool(2, 0.9)
+	for name, f := range map[string]func(){
+		"single": func() { p.RunSingleDevice("x", 0) },
+		"one":    func() { p.RunOneGPU("x", -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCompletedAndUtilization(t *testing.T) {
+	p := NewPool(4, 1) // linear scaling for exact accounting
+	if p.Utilization() != 0 {
+		t.Error("idle pool should report 0 utilization")
+	}
+	p.RunSingleDevice("a", 40) // occupies 4 GPUs for 10 time units
+	jobs := p.Completed()
+	if len(jobs) != 1 || jobs[0].Label != "a" {
+		t.Fatalf("Completed = %+v", jobs)
+	}
+	if got := p.Utilization(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("utilization %g, want 1 for a fully packed pool", got)
+	}
+	// IDs are sequential.
+	j2 := p.RunSingleDevice("b", 4)
+	if j2.ID != 2 {
+		t.Errorf("job id %d, want 2", j2.ID)
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	p := NewPool(4, 0.9)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p.RunSingleDevice("j", 1)
+				p.RunOneGPU("k", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(p.Completed()); got != 320 {
+		t.Errorf("%d jobs completed, want 320", got)
+	}
+}
+
+// Property: jobs never overlap in single-device mode and the clock equals
+// the sum of durations.
+func TestQuickSingleDeviceClock(t *testing.T) {
+	f := func(works []uint8) bool {
+		p := NewPool(8, 0.9)
+		var sum float64
+		prevEnd := 0.0
+		for _, w := range works {
+			work := 1 + float64(w)
+			j := p.RunSingleDevice("x", work)
+			if j.Start != prevEnd {
+				return false
+			}
+			prevEnd = j.End
+			sum += work / p.Speedup(8)
+		}
+		return math.Abs(p.Now()-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

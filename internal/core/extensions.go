@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bandit"
+)
+
+// This file implements the extensions §4.5 lists as open problems /
+// future work for ease.ml:
+//
+//   - alternative acquisition functions (GP-EI, GP-PI) in the
+//     model-picking phase, via AcquisitionModelPicker;
+//   - other aggregation functions for "global satisfaction": per-user
+//     weights in the user-picking phase, via WeightedGreedyPicker;
+//   - hard rules such as per-user service guarantees, via
+//     GuaranteedServicePicker.
+
+// AcquisitionModelPicker runs the model-picking phase with an arbitrary
+// acquisition function (GP-EI, GP-PI, or the default UCB) instead of the
+// fixed UCB rule of Algorithm 2 lines 9–12.
+type AcquisitionModelPicker struct {
+	Acq bandit.Acquisition
+}
+
+// Name implements ModelPicker.
+func (p AcquisitionModelPicker) Name() string { return p.Acq.Name() }
+
+// Pick implements ModelPicker. The returned score feeds the σ̃ recurrence;
+// for EI/PI it is the acquisition value shifted to reward scale (best + EI),
+// keeping the empirical-bound semantics of Algorithm 2 meaningful.
+func (p AcquisitionModelPicker) Pick(t *Tenant) (int, float64) {
+	arm, score := t.Bandit.SelectArmBy(p.Acq)
+	if arm < 0 {
+		return -1, math.Inf(-1)
+	}
+	switch p.Acq.(type) {
+	case bandit.UCBAcquisition:
+		return arm, score
+	default:
+		// EI/PI scores are improvements/probabilities, not reward bounds;
+		// the tenant's UCB at the chosen arm is the bound Algorithm 2
+		// line 6 expects.
+		return arm, t.Bandit.UCB(arm)
+	}
+}
+
+// WeightedGreedyPicker generalizes GREEDY's aggregation from the plain sum
+// of regrets to a weighted sum (§4.5: "it is not clear how to … design
+// algorithms for other aggregation functions"): tenant i's gap is scaled by
+// Weights[i], so paying tenants or deadline-critical projects can be favored
+// without starving anyone (the candidate-set filter is unchanged).
+type WeightedGreedyPicker struct {
+	// Weights[i] scales tenant i's max-gap score; tenants without an entry
+	// (short slice) weigh 1.
+	Weights []float64
+
+	greedy GreedyPicker
+}
+
+// Name implements UserPicker.
+func (*WeightedGreedyPicker) Name() string { return "weighted-greedy" }
+
+// Pick implements UserPicker.
+func (p *WeightedGreedyPicker) Pick(tenants []*Tenant) int {
+	active := Active(tenants)
+	if len(active) == 0 {
+		return -1
+	}
+	candidates := p.greedy.candidateSet(tenants, active)
+	best := -1
+	bestScore := math.Inf(-1)
+	for _, i := range candidates {
+		w := 1.0
+		if i < len(p.Weights) {
+			w = p.Weights[i]
+		}
+		if score := w * tenants[i].Gap(); score > bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	return best
+}
+
+// GuaranteedServicePicker wraps another picker with a hard service rule
+// (§4.5's "hard rules such as the each user's deadline"): any active tenant
+// not served within its window (in picks) becomes overdue and is served
+// before the inner policy resumes; the most-overdue tenant goes first.
+type GuaranteedServicePicker struct {
+	// Inner is the policy used when nobody is overdue; required.
+	Inner UserPicker
+	// Window is the default maximum number of picks between serves of any
+	// active tenant (≤ 0 means no default guarantee).
+	Window int
+	// Windows optionally overrides the window per tenant id.
+	Windows map[int]int
+
+	round      int
+	lastServed map[int]int
+}
+
+// Name implements UserPicker.
+func (p *GuaranteedServicePicker) Name() string {
+	return fmt.Sprintf("guaranteed(%s)", p.Inner.Name())
+}
+
+// Pick implements UserPicker.
+func (p *GuaranteedServicePicker) Pick(tenants []*Tenant) int {
+	if p.lastServed == nil {
+		p.lastServed = make(map[int]int)
+	}
+	active := Active(tenants)
+	if len(active) == 0 {
+		return -1
+	}
+	p.round++
+	// Find the most-overdue active tenant.
+	choice := -1
+	worstOverdue := 0
+	for _, i := range active {
+		window := p.Window
+		if w, ok := p.Windows[i]; ok {
+			window = w
+		}
+		if window <= 0 {
+			continue
+		}
+		last, served := p.lastServed[i]
+		if !served {
+			last = 0 // never served: the clock starts at round 0
+		}
+		overdue := p.round - last - window
+		if overdue > worstOverdue || (overdue == worstOverdue && overdue > 0 && (choice < 0 || i < choice)) {
+			worstOverdue = overdue
+			choice = i
+		}
+	}
+	if choice < 0 {
+		choice = p.Inner.Pick(tenants)
+	}
+	if choice >= 0 {
+		p.lastServed[choice] = p.round
+	}
+	return choice
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bandit"
+)
+
+func TestAcquisitionModelPickerLifecycle(t *testing.T) {
+	quality := [][]float64{{0.3, 0.8, 0.5, 0.6}, {0.7, 0.2, 0.9, 0.4}}
+	for _, acq := range []bandit.Acquisition{
+		bandit.UCBAcquisition{CostAware: true},
+		bandit.EIAcquisition{},
+		bandit.PIAcquisition{CostAware: true},
+	} {
+		s := newSim(t, simpleEnv(quality, unitCostMatrix(2, 4)), &RoundRobinPicker{},
+			AcquisitionModelPicker{Acq: acq}, false)
+		if _, err := s.RunSteps(0); err != nil {
+			t.Fatalf("%s: %v", acq.Name(), err)
+		}
+		if s.Steps() != 8 || s.AvgLoss() > 1e-12 {
+			t.Errorf("%s: steps=%d loss=%g", acq.Name(), s.Steps(), s.AvgLoss())
+		}
+	}
+}
+
+func TestAcquisitionModelPickerName(t *testing.T) {
+	p := AcquisitionModelPicker{Acq: bandit.EIAcquisition{}}
+	if p.Name() != "gp-ei" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestWeightedGreedyFavorsHeavyTenant(t *testing.T) {
+	// Two statistically identical tenants; weight 10 on tenant 1 must tilt
+	// serves its way.
+	quality := [][]float64{
+		{0.3, 0.4, 0.5, 0.6, 0.7},
+		{0.3, 0.4, 0.5, 0.6, 0.7},
+	}
+	picker := &WeightedGreedyPicker{Weights: []float64{1, 10}}
+	s := newSim(t, simpleEnv(quality, unitCostMatrix(2, 5)), picker, UCBModelPicker{}, false)
+	if _, err := s.RunSteps(6); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, tp := range s.Trace() {
+		counts[tp.User]++
+	}
+	if counts[1] <= counts[0] {
+		t.Errorf("weighted greedy served light tenant %d times vs heavy %d", counts[0], counts[1])
+	}
+}
+
+func TestWeightedGreedyDefaultsToOne(t *testing.T) {
+	// Short weight slice: missing entries weigh 1 and the picker still
+	// completes the workload.
+	quality := [][]float64{{0.5, 0.6}, {0.4, 0.7}, {0.3, 0.8}}
+	picker := &WeightedGreedyPicker{Weights: []float64{2}}
+	s := newSim(t, simpleEnv(quality, unitCostMatrix(3, 2)), picker, UCBModelPicker{}, false)
+	if _, err := s.RunSteps(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Error("workload not completed")
+	}
+}
+
+func TestGuaranteedServiceEnforcesWindow(t *testing.T) {
+	// FCFS would starve tenants 1 and 2; a window of 3 forces them in.
+	quality := [][]float64{
+		make([]float64, 20), // huge tenant that FCFS would monopolize
+		{0.5, 0.6},
+		{0.4, 0.7},
+	}
+	for j := range quality[0] {
+		quality[0][j] = 0.5
+	}
+	cost := [][]float64{unitCostMatrix(1, 20)[0], {1, 1}, {1, 1}}
+	picker := &GuaranteedServicePicker{Inner: FCFSPicker{}, Window: 3}
+	s := newSim(t, simpleEnv(quality, cost), picker, UCBModelPicker{}, false)
+	if _, err := s.RunSteps(12); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	lastGap := map[int]int{}
+	prev := map[int]int{}
+	for _, tp := range s.Trace() {
+		counts[tp.User]++
+		if p, ok := prev[tp.User]; ok {
+			if g := tp.Step - p; g > lastGap[tp.User] {
+				lastGap[tp.User] = g
+			}
+		}
+		prev[tp.User] = tp.Step
+	}
+	if counts[1] == 0 || counts[2] == 0 {
+		t.Fatalf("guaranteed picker starved a tenant: %v", counts)
+	}
+	// No active tenant should wait much longer than the window between
+	// serves (the +2 slack covers rounds where several tenants are overdue
+	// simultaneously).
+	for u, g := range lastGap {
+		if g > 3+2 {
+			t.Errorf("tenant %d waited %d rounds, window 3", u, g)
+		}
+	}
+}
+
+func TestGuaranteedServicePerTenantWindows(t *testing.T) {
+	quality := [][]float64{
+		{0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+		{0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+	}
+	picker := &GuaranteedServicePicker{
+		Inner:   FCFSPicker{},
+		Windows: map[int]int{1: 2}, // only tenant 1 has a guarantee
+	}
+	s := newSim(t, simpleEnv(quality, unitCostMatrix(2, 6)), picker, UCBModelPicker{}, false)
+	if _, err := s.RunSteps(8); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, tp := range s.Trace() {
+		counts[tp.User]++
+	}
+	if counts[1] < 2 {
+		t.Errorf("tenant with window served only %d times: %v", counts[1], counts)
+	}
+	if got := picker.Name(); got != "guaranteed(fcfs)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestGuaranteedServiceNoWindowDelegates(t *testing.T) {
+	quality := [][]float64{{0.5, 0.6}, {0.4, 0.7}}
+	picker := &GuaranteedServicePicker{Inner: &RoundRobinPicker{}}
+	s := newSim(t, simpleEnv(quality, unitCostMatrix(2, 2)), picker, UCBModelPicker{}, false)
+	if _, err := s.RunSteps(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Error("delegated workload not completed")
+	}
+}
+
+// EI and PI in the multi-tenant loop still finish workloads under every
+// user picker.
+func TestAcquisitionWithAllUserPickers(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	quality := make([][]float64, 3)
+	for i := range quality {
+		quality[i] = make([]float64, 4)
+		for j := range quality[i] {
+			quality[i][j] = rng.Float64()
+		}
+	}
+	pickers := []UserPicker{FCFSPicker{}, &RoundRobinPicker{}, &GreedyPicker{}, NewHybridPicker()}
+	for _, up := range pickers {
+		s := newSim(t, simpleEnv(quality, unitCostMatrix(3, 4)), up,
+			AcquisitionModelPicker{Acq: bandit.EIAcquisition{CostAware: true}}, true)
+		if _, err := s.RunSteps(0); err != nil {
+			t.Fatalf("%s: %v", up.Name(), err)
+		}
+		if s.AvgLoss() > 1e-12 {
+			t.Errorf("%s: final loss %g", up.Name(), s.AvgLoss())
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// UserPicker decides which tenant to serve next (the "user-picking phase" of
+// Algorithm 2). Pick receives the current tenant set and returns the index
+// of an active (non-exhausted) tenant; it must not return an exhausted one.
+// Operating on the tenant slice (rather than a Simulation) lets the same
+// pickers drive both the experiment replay loop and the live service in
+// internal/server.
+type UserPicker interface {
+	Name() string
+	Pick(tenants []*Tenant) int
+}
+
+// Active returns the indices of tenants that still have untried models.
+func Active(tenants []*Tenant) []int {
+	var active []int
+	for i, t := range tenants {
+		if !t.Bandit.Exhausted() {
+			active = append(active, i)
+		}
+	}
+	return active
+}
+
+// ModelPicker decides which model to run for the chosen tenant (the
+// "model-picking phase"). It returns the arm and the upper-confidence-bound
+// value the arm was selected at (used by the σ̃ recurrence).
+type ModelPicker interface {
+	Name() string
+	Pick(t *Tenant) (arm int, ucb float64)
+}
+
+// ---------------------------------------------------------------------------
+// Model pickers.
+
+// UCBModelPicker runs one step of the tenant's own (cost-aware) GP-UCB —
+// lines 9–12 of Algorithm 2.
+type UCBModelPicker struct{}
+
+// Name implements ModelPicker.
+func (UCBModelPicker) Name() string { return "gp-ucb" }
+
+// Pick implements ModelPicker.
+func (UCBModelPicker) Pick(t *Tenant) (int, float64) { return t.Bandit.SelectArm() }
+
+// FixedOrderModelPicker plays arms in a fixed preference order, skipping
+// already-tried arms. It models the heuristics ease.ml's users followed
+// before the system existed (§5.2): most-cited-first and most-recent-first.
+type FixedOrderModelPicker struct {
+	Label string
+	Order []int // arm indices in decreasing preference
+}
+
+// Name implements ModelPicker.
+func (p *FixedOrderModelPicker) Name() string { return p.Label }
+
+// Pick implements ModelPicker.
+func (p *FixedOrderModelPicker) Pick(t *Tenant) (int, float64) {
+	for _, arm := range p.Order {
+		if !t.Bandit.Tried(arm) {
+			// Report the bandit's UCB for the arm so the σ̃ recurrence stays
+			// well defined even under heuristic model picking.
+			return arm, t.Bandit.UCB(arm)
+		}
+	}
+	return -1, math.Inf(-1)
+}
+
+// MostCitedPicker orders models by citation count, descending — "most cited
+// network first" (§5.2). Ties break by index for determinism.
+func MostCitedPicker(models []dataset.ModelInfo) *FixedOrderModelPicker {
+	order := argsortDesc(len(models), func(a, b int) bool {
+		if models[a].Citations != models[b].Citations {
+			return models[a].Citations > models[b].Citations
+		}
+		return a < b
+	})
+	return &FixedOrderModelPicker{Label: "most-cited", Order: order}
+}
+
+// MostRecentPicker orders models by publication year, descending — "most
+// recently published network first" (§5.2).
+func MostRecentPicker(models []dataset.ModelInfo) *FixedOrderModelPicker {
+	order := argsortDesc(len(models), func(a, b int) bool {
+		if models[a].Year != models[b].Year {
+			return models[a].Year > models[b].Year
+		}
+		return a < b
+	})
+	return &FixedOrderModelPicker{Label: "most-recent", Order: order}
+}
+
+func argsortDesc(n int, less func(a, b int) bool) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	return idx
+}
+
+// ---------------------------------------------------------------------------
+// User pickers.
+
+// FCFSPicker serves the lowest-indexed active tenant until it is exhausted —
+// the "first come first served" strawman of §4.1 whose cumulative regret
+// grows linearly in T.
+type FCFSPicker struct{}
+
+// Name implements UserPicker.
+func (FCFSPicker) Name() string { return "fcfs" }
+
+// Pick implements UserPicker.
+func (FCFSPicker) Pick(tenants []*Tenant) int {
+	for i, t := range tenants {
+		if !t.Bandit.Exhausted() {
+			return i
+		}
+	}
+	return -1
+}
+
+// RoundRobinPicker serves active tenants cyclically — §4.2's ROUNDROBIN with
+// the Theorem 2 regret bound.
+type RoundRobinPicker struct {
+	next int
+}
+
+// Name implements UserPicker.
+func (*RoundRobinPicker) Name() string { return "round-robin" }
+
+// Pick implements UserPicker.
+func (p *RoundRobinPicker) Pick(tenants []*Tenant) int {
+	n := len(tenants)
+	for off := 0; off < n; off++ {
+		i := (p.next + off) % n
+		if !tenants[i].Bandit.Exhausted() {
+			p.next = (i + 1) % n
+			return i
+		}
+	}
+	return -1
+}
+
+// RandomPicker serves a uniformly random active tenant — the §5.3 RANDOM
+// baseline ("uniform sampling with replacement" versus round-robin's
+// without).
+type RandomPicker struct {
+	Rng *rand.Rand
+}
+
+// Name implements UserPicker.
+func (*RandomPicker) Name() string { return "random" }
+
+// Pick implements UserPicker.
+func (p *RandomPicker) Pick(tenants []*Tenant) int {
+	active := Active(tenants)
+	if len(active) == 0 {
+		return -1
+	}
+	return active[p.Rng.Intn(len(active))]
+}
+
+// GreedyPicker implements the user-picking phase of Algorithm 2 (lines 6–8):
+// compute the empirical variances σ̃, form the candidate set
+// Vt = {i : σ̃_i ≥ mean(σ̃)}, and select from Vt with ease.ml's max-gap rule
+// (largest UCB minus best accuracy so far).
+type GreedyPicker struct {
+	// lastCandidates records the candidate set of the most recent pick for
+	// freeze detection by HybridPicker; it is a sorted list of tenant ids.
+	lastCandidates []int
+}
+
+// Name implements UserPicker.
+func (*GreedyPicker) Name() string { return "greedy" }
+
+// Pick implements UserPicker.
+func (p *GreedyPicker) Pick(tenants []*Tenant) int {
+	active := Active(tenants)
+	if len(active) == 0 {
+		return -1
+	}
+	candidates := p.candidateSet(tenants, active)
+	// Max-gap rule over the candidate set.
+	best := -1
+	bestGap := math.Inf(-1)
+	for _, i := range candidates {
+		if gap := tenants[i].Gap(); gap > bestGap {
+			bestGap = gap
+			best = i
+		}
+	}
+	return best
+}
+
+// candidateSet computes Vt over the active tenants. Unserved tenants have
+// σ̃ = +Inf and dominate: they are served first, reproducing Algorithm 2's
+// initialization sweep. When any σ̃ is infinite the mean is +Inf, so only
+// the unserved tenants qualify — exactly the initialization behaviour.
+func (p *GreedyPicker) candidateSet(tenants []*Tenant, active []int) []int {
+	var sum float64
+	unserved := active[:0:0]
+	for _, i := range active {
+		st := tenants[i].SigmaTilde()
+		if math.IsInf(st, 1) {
+			unserved = append(unserved, i)
+			continue
+		}
+		sum += st
+	}
+	var candidates []int
+	if len(unserved) > 0 {
+		candidates = unserved
+	} else {
+		avg := sum / float64(len(active))
+		for _, i := range active {
+			if tenants[i].SigmaTilde() >= avg {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 { // numerical corner: all equal to avg-ε
+			candidates = active
+		}
+	}
+	p.lastCandidates = append(p.lastCandidates[:0], candidates...)
+	sort.Ints(p.lastCandidates)
+	return candidates
+}
+
+// HybridPicker is ease.ml's default scheduler (§4.4): GREEDY with freeze
+// detection. When the candidate set stays identical and the total best
+// quality across tenants does not improve for S consecutive picks, the
+// picker concludes GREEDY has entered its freezing stage and switches to
+// round-robin for the remainder of the run.
+type HybridPicker struct {
+	// S is the freeze-detection window; the paper uses s = 10.
+	S int
+
+	greedy GreedyPicker
+	rr     RoundRobinPicker
+
+	frozen      bool
+	stableCount int
+	prevSig     string
+	prevTotal   float64
+	havePrev    bool
+}
+
+// NewHybridPicker returns a HybridPicker with the paper's s = 10 window.
+func NewHybridPicker() *HybridPicker { return &HybridPicker{S: 10} }
+
+// Name implements UserPicker.
+func (*HybridPicker) Name() string { return "hybrid" }
+
+// Frozen reports whether the picker has switched to round-robin.
+func (p *HybridPicker) Frozen() bool { return p.frozen }
+
+// Pick implements UserPicker.
+func (p *HybridPicker) Pick(tenants []*Tenant) int {
+	if p.frozen {
+		return p.rr.Pick(tenants)
+	}
+	choice := p.greedy.Pick(tenants)
+	if choice < 0 {
+		return choice
+	}
+	sig := fmt.Sprint(p.greedy.lastCandidates)
+	total := 0.0
+	for _, t := range tenants {
+		total += t.BestObserved()
+	}
+	if p.havePrev && sig == p.prevSig && total <= p.prevTotal+1e-12 {
+		p.stableCount++
+	} else {
+		p.stableCount = 0
+	}
+	p.prevSig = sig
+	p.prevTotal = total
+	p.havePrev = true
+	sWindow := p.S
+	if sWindow <= 0 {
+		sWindow = 10
+	}
+	if p.stableCount >= sWindow {
+		p.frozen = true
+		return p.rr.Pick(tenants)
+	}
+	return choice
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/bandit"
+)
+
+// Tenant is the per-user scheduling state: the user's GP-UCB bandit plus the
+// empirical-confidence-bound recurrence that drives GREEDY's user-picking
+// phase (Algorithm 2 line 6).
+type Tenant struct {
+	ID     int
+	Name   string
+	Bandit *bandit.GPUCB
+
+	// empBound is the running empirical confidence bound
+	// min{B_t(a_t), min_{t'<t}(y_{t'} + σ̃_{t'})}. Because y+σ̃ equals the
+	// bound at the time it was formed, the historical minimum collapses to
+	// the previous bound value, giving the recurrence
+	// empBound ← min(B_current, empBound).
+	empBound float64
+	// sigmaTilde is σ̃, the latest empirical variance: empBound − y_latest.
+	sigmaTilde float64
+	served     bool
+
+	lastReward float64 // X_it: reward at the last round this tenant was served
+}
+
+// NewTenant wraps a bandit as a tenant.
+func NewTenant(id int, name string, b *bandit.GPUCB) *Tenant {
+	return &Tenant{ID: id, Name: name, Bandit: b, empBound: math.Inf(1)}
+}
+
+// Served reports whether the tenant has been scheduled at least once.
+func (t *Tenant) Served() bool { return t.served }
+
+// SigmaTilde returns the empirical variance σ̃ of Algorithm 2 line 6.
+// Tenants that have never been served return +Inf, which keeps them in every
+// candidate set (they are exactly the users Algorithm 2's initialization
+// loop serves first).
+func (t *Tenant) SigmaTilde() float64 {
+	if !t.served {
+		return math.Inf(1)
+	}
+	return t.sigmaTilde
+}
+
+// BestObserved returns the best accuracy found so far (0 before any
+// observation, matching the "no model yet" user experience).
+func (t *Tenant) BestObserved() float64 {
+	_, y, ok := t.Bandit.Best()
+	if !ok {
+		return 0
+	}
+	return y
+}
+
+// LastReward returns X_it — the reward observed the last time this tenant
+// was served, 0 if never served. Multi-tenant regret charges unserved
+// rounds against this value.
+func (t *Tenant) LastReward() float64 { return t.lastReward }
+
+// Gap returns the user-picking score of ease.ml's GREEDY rule (§4.3,
+// "picks the user with the maximum gap between the largest upper confidence
+// bound and the best accuracy so far"). Exhausted tenants return −Inf.
+func (t *Tenant) Gap() float64 {
+	if t.Bandit.Exhausted() {
+		return math.Inf(-1)
+	}
+	return t.Bandit.MaxUCB() - t.BestObserved()
+}
+
+// RecordObservation folds one served round into the tenant state: the arm
+// that was played, the UCB value B it was selected with, and the observed
+// reward y. It must be called exactly once per serve, after
+// Bandit.Observe.
+func (t *Tenant) RecordObservation(ucbAtPick, y float64) {
+	bound := ucbAtPick
+	if t.empBound < bound {
+		bound = t.empBound
+	}
+	t.empBound = bound
+	t.sigmaTilde = bound - y
+	t.lastReward = y
+	t.served = true
+}

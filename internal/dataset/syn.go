@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/synth"
+)
+
+// synSeed fixes the four SYN datasets of Figure 8 so that every experiment
+// run sees the same underlying matrices, exactly as in the paper where each
+// SYN(σM, α) is one generated dataset reused across the 50 repetitions.
+const synSeed = 5150 // §5.1: 200 users, 100 models
+
+// Syn builds the SYN(σM, α) dataset of §5.1: 200 users × 100 models with
+// synthetic quality (two baseline groups at 0.75/0.25, model correlation σM,
+// correlation weight α) and synthetic U(0,1) costs.
+func Syn(sigmaM, alpha float64) *Dataset {
+	return SynSized(sigmaM, alpha, 200, 100)
+}
+
+// SynSized is Syn with configurable dimensions, used by tests and benchmarks
+// that need smaller instances.
+func SynSized(sigmaM, alpha float64, numUsers, numModels int) *Dataset {
+	rng := rand.New(rand.NewSource(synSeed))
+	q, err := synth.Dataset(synth.Config{
+		NumUsers:  numUsers,
+		NumModels: numModels,
+		SigmaM:    sigmaM,
+		Alpha:     alpha,
+	}, rng)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: SYN generation failed: %v", err)) // impossible for valid sizes
+	}
+	d := &Dataset{
+		Name:    fmt.Sprintf("SYN(%g,%g)", sigmaM, alpha),
+		Quality: q.X,
+		Cost:    synth.UniformCosts(numUsers, numModels, rng),
+	}
+	for i := 0; i < numUsers; i++ {
+		d.Users = append(d.Users, fmt.Sprintf("syn-user-%03d", i))
+	}
+	for j := 0; j < numModels; j++ {
+		d.Models = append(d.Models, ModelInfo{
+			Name:      fmt.Sprintf("syn-model-%03d", j),
+			Citations: rng.Intn(10000),
+			Year:      2000 + rng.Intn(18),
+		})
+	}
+	return d
+}
+
+// Figure8 returns the six benchmark datasets of the paper's Figure 8, in the
+// paper's order.
+func Figure8() []*Dataset {
+	return []*Dataset{
+		DeepLearning(),
+		Classifier179(),
+		Syn(0.01, 0.1),
+		Syn(0.01, 1.0),
+		Syn(0.5, 0.1),
+		Syn(0.5, 1.0),
+	}
+}
+
+// Figure8Provenance returns the quality/cost provenance labels of Figure 8
+// for the dataset with the given name.
+func Figure8Provenance(name string) (quality, cost string) {
+	switch name {
+	case "DEEPLEARNING":
+		return "Real", "Real"
+	case "179CLASSIFIER":
+		return "Real", "Synthetic"
+	default:
+		return "Synthetic", "Synthetic"
+	}
+}

@@ -1,0 +1,176 @@
+// Package dsl implements ease.ml's declarative input language (§2,
+// Figure 2):
+//
+//	prog         ::= {input: data_type, output: data_type}
+//	data_type    ::= {nonrec_field list, rec_field list}
+//	nonrec_field ::= Tensor[int list] | field_name :: Tensor[int list]
+//	rec_field    ::= field_name
+//	field_name   ::= [a-z0-9_]*
+//
+// The concrete syntax follows Figure 3's examples, e.g. the image
+// classification job
+//
+//	{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[1000]], []}}
+//
+// and the time-series prediction job
+//
+//	{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}
+//
+// The package provides the AST, a lexer, a recursive-descent parser,
+// validation (shape constraints, the no-reuse/DAG rule) and printing that
+// round-trips with the parser.
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TensorField is one nonrecursive field: an optionally named constant-size
+// tensor.
+type TensorField struct {
+	Name string // optional; "" for anonymous Tensor[...] fields
+	Dims []int  // tensor shape, all > 0
+}
+
+// Rank returns the number of tensor dimensions.
+func (f TensorField) Rank() int { return len(f.Dims) }
+
+// Elements returns the number of scalar elements in the tensor.
+func (f TensorField) Elements() int {
+	n := 1
+	for _, d := range f.Dims {
+		n *= d
+	}
+	return n
+}
+
+// String renders the field in concrete syntax.
+func (f TensorField) String() string {
+	var sb strings.Builder
+	if f.Name != "" {
+		sb.WriteString(f.Name)
+		sb.WriteString(" :: ")
+	}
+	sb.WriteString("Tensor[")
+	for i, d := range f.Dims {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(strconv.Itoa(d))
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+// DataType is one object type: a list of nonrecursive tensor fields plus a
+// list of recursive fields (named pointers to an object of the same type),
+// which together model images, time series (chains) and trees (§2).
+type DataType struct {
+	NonRec []TensorField
+	Rec    []string
+}
+
+// String renders the data type in concrete syntax.
+func (d DataType) String() string {
+	var sb strings.Builder
+	sb.WriteString("{[")
+	for i, f := range d.NonRec {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.String())
+	}
+	sb.WriteString("], [")
+	for i, r := range d.Rec {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(r)
+	}
+	sb.WriteString("]}")
+	return sb.String()
+}
+
+// TotalElements returns the number of scalar elements across the
+// nonrecursive fields.
+func (d DataType) TotalElements() int {
+	n := 0
+	for _, f := range d.NonRec {
+		n += f.Elements()
+	}
+	return n
+}
+
+// Program is a complete ease.ml user program: the input and output object
+// types of the function the user wants approximated.
+type Program struct {
+	Input  DataType
+	Output DataType
+}
+
+// String renders the program in concrete syntax; Parse(p.String()) yields an
+// equal program.
+func (p Program) String() string {
+	return fmt.Sprintf("{input: %s, output: %s}", p.Input, p.Output)
+}
+
+// Validate checks the structural rules of §2:
+//   - every tensor has at least one dimension and all dimensions are positive,
+//   - field names match [a-z0-9_]* and are unique within their object
+//     (the no-reuse rule: generated types must form a DAG, so a recursive
+//     field name may not collide with another field),
+//   - at least one nonrecursive field exists on each side (an object with no
+//     payload cannot carry supervision examples).
+func (p Program) Validate() error {
+	if err := p.Input.validate("input"); err != nil {
+		return err
+	}
+	return p.Output.validate("output")
+}
+
+func (d DataType) validate(side string) error {
+	if len(d.NonRec) == 0 {
+		return fmt.Errorf("dsl: %s has no tensor fields", side)
+	}
+	names := map[string]bool{}
+	for i, f := range d.NonRec {
+		if f.Name != "" {
+			if !validFieldName(f.Name) {
+				return fmt.Errorf("dsl: %s field %q: invalid field name", side, f.Name)
+			}
+			if names[f.Name] {
+				return fmt.Errorf("dsl: %s field %q: duplicate field name", side, f.Name)
+			}
+			names[f.Name] = true
+		}
+		if len(f.Dims) == 0 {
+			return fmt.Errorf("dsl: %s tensor field %d has no dimensions", side, i)
+		}
+		for _, dim := range f.Dims {
+			if dim <= 0 {
+				return fmt.Errorf("dsl: %s tensor field %d has non-positive dimension %d", side, i, dim)
+			}
+		}
+	}
+	for _, r := range d.Rec {
+		if !validFieldName(r) || r == "" {
+			return fmt.Errorf("dsl: %s recursive field %q: invalid field name", side, r)
+		}
+		if names[r] {
+			return fmt.Errorf("dsl: %s recursive field %q: duplicate field name", side, r)
+		}
+		names[r] = true
+	}
+	return nil
+}
+
+func validFieldName(s string) bool {
+	for _, c := range s {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The two Figure 3 programs.
+const (
+	imgProgram = "{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[1000]], []}}"
+	tsProgram  = "{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}"
+)
+
+func TestParseImageClassification(t *testing.T) {
+	p, err := Parse(imgProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Input.NonRec) != 1 || len(p.Input.Rec) != 0 {
+		t.Fatalf("input %+v", p.Input)
+	}
+	f := p.Input.NonRec[0]
+	if f.Rank() != 3 || f.Dims[0] != 256 || f.Dims[1] != 256 || f.Dims[2] != 3 {
+		t.Errorf("input tensor %+v", f)
+	}
+	if f.Elements() != 256*256*3 {
+		t.Errorf("Elements = %d", f.Elements())
+	}
+	out := p.Output.NonRec[0]
+	if out.Rank() != 1 || out.Dims[0] != 1000 {
+		t.Errorf("output tensor %+v", out)
+	}
+	if p.Input.TotalElements() != 256*256*3 {
+		t.Errorf("TotalElements = %d", p.Input.TotalElements())
+	}
+}
+
+func TestParseTimeSeries(t *testing.T) {
+	p, err := Parse(tsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Input.Rec) != 1 || p.Input.Rec[0] != "next" {
+		t.Errorf("input rec fields %v", p.Input.Rec)
+	}
+	if len(p.Output.Rec) != 1 || p.Output.Rec[0] != "next" {
+		t.Errorf("output rec fields %v", p.Output.Rec)
+	}
+}
+
+func TestParseNamedFields(t *testing.T) {
+	p, err := Parse("{input: {[field1 :: Tensor[10], field2 :: Tensor[5, 5]], []}, output: {[Tensor[2]], []}}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Input.NonRec[0].Name != "field1" || p.Input.NonRec[1].Name != "field2" {
+		t.Errorf("field names %+v", p.Input.NonRec)
+	}
+	if p.Input.NonRec[1].Rank() != 2 {
+		t.Errorf("field2 rank %d", p.Input.NonRec[1].Rank())
+	}
+}
+
+func TestParseOutputFirst(t *testing.T) {
+	p, err := Parse("{output: {[Tensor[2]], []}, input: {[Tensor[4]], []}}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Input.NonRec[0].Dims[0] != 4 || p.Output.NonRec[0].Dims[0] != 2 {
+		t.Errorf("keys swapped: %+v", p)
+	}
+}
+
+func TestParseTreeType(t *testing.T) {
+	p, err := Parse("{input: {[Tensor[16]], [a, c]}, output: {[Tensor[3]], []}}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Input.Rec) != 2 {
+		t.Errorf("rec fields %v", p.Input.Rec)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":               "",
+		"not a program":       "Tensor[3]",
+		"missing output":      "{input: {[Tensor[3]], []}}",
+		"duplicate input":     "{input: {[Tensor[3]], []}, input: {[Tensor[3]], []}}",
+		"bad key":             "{inputs: {[Tensor[3]], []}, output: {[Tensor[3]], []}}",
+		"unclosed brace":      "{input: {[Tensor[3]], []}, output: {[Tensor[3]], []}",
+		"trailing garbage":    imgProgram + "x",
+		"zero dimension":      "{input: {[Tensor[0]], []}, output: {[Tensor[3]], []}}",
+		"no dims":             "{input: {[Tensor[]], []}, output: {[Tensor[3]], []}}",
+		"no tensor fields":    "{input: {[], []}, output: {[Tensor[3]], []}}",
+		"bad char":            "{input: {[Tensor[3]], []}, output: {[Tensor[3]], []}} !",
+		"missing doublecolon": "{input: {[f1 : Tensor[3]], []}, output: {[Tensor[3]], []}}",
+		"duplicate fields":    "{input: {[f1 :: Tensor[3], f1 :: Tensor[4]], []}, output: {[Tensor[3]], []}}",
+		"rec collides":        "{input: {[f1 :: Tensor[3]], [f1]}, output: {[Tensor[3]], []}}",
+		"uppercase field":     "{input: {[Camel :: Tensor[3]], []}, output: {[Tensor[3]], []}}",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse(%q) succeeded, want error", name, src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		imgProgram,
+		tsProgram,
+		"{input: {[field1 :: Tensor[10], Tensor[5, 5]], [next, prev]}, output: {[Tensor[2]], []}}",
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", p1.String(), err)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("round trip changed: %q vs %q", p1.String(), p2.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("not a program")
+}
+
+func TestValidateDirect(t *testing.T) {
+	bad := Program{
+		Input:  DataType{NonRec: []TensorField{{Dims: []int{-1}}}},
+		Output: DataType{NonRec: []TensorField{{Dims: []int{2}}}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative dimension accepted")
+	}
+	badRec := Program{
+		Input:  DataType{NonRec: []TensorField{{Dims: []int{2}}}, Rec: []string{"BAD"}},
+		Output: DataType{NonRec: []TensorField{{Dims: []int{2}}}},
+	}
+	if err := badRec.Validate(); err == nil {
+		t.Error("invalid rec field name accepted")
+	}
+}
+
+// Property: printing a randomly generated valid program and parsing it back
+// yields the same rendering.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	names := []string{"", "field1", "data", "x0", "a_b"}
+	recNames := []string{"next", "left", "right", "child0"}
+	gen := func(seed int64) Program {
+		r := seed
+		rnd := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int((r >> 33) % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		mkType := func() DataType {
+			var dt DataType
+			nFields := rnd(3) + 1
+			used := map[string]bool{}
+			for i := 0; i < nFields; i++ {
+				name := names[rnd(len(names))]
+				if used[name] {
+					name = ""
+				}
+				if name != "" {
+					used[name] = true
+				}
+				dims := make([]int, rnd(3)+1)
+				for d := range dims {
+					dims[d] = rnd(64) + 1
+				}
+				dt.NonRec = append(dt.NonRec, TensorField{Name: name, Dims: dims})
+			}
+			nRec := rnd(3)
+			for i := 0; i < nRec && i < len(recNames); i++ {
+				if !used[recNames[i]] {
+					dt.Rec = append(dt.Rec, recNames[i])
+					used[recNames[i]] = true
+				}
+			}
+			return dt
+		}
+		return Program{Input: mkType(), Output: mkType()}
+	}
+	f := func(seed int64) bool {
+		p := gen(seed)
+		if p.Validate() != nil {
+			return true // skip invalid generations
+		}
+		parsed, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == p.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := lex("{input}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].pos != 0 || toks[1].pos != 1 || toks[2].pos != 6 {
+		t.Errorf("positions %d,%d,%d", toks[0].pos, toks[1].pos, toks[2].pos)
+	}
+	if !strings.Contains(tokIdent.String(), "identifier") {
+		t.Errorf("tokenKind.String = %q", tokIdent.String())
+	}
+}
+
+func TestLexerNumberThenIdent(t *testing.T) {
+	// "0abc" must lex as a single identifier-ish token, not number+ident,
+	// since field names may be [a-z0-9_]*.
+	toks, err := lex("0abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokIdent || toks[0].text != "0abc" {
+		t.Errorf("token %+v", toks[0])
+	}
+}

@@ -1,0 +1,38 @@
+package dsl
+
+import "testing"
+
+// FuzzParse is a native fuzz target (runs its seed corpus under plain
+// `go test`; explore with `go test -fuzz=FuzzParse ./internal/dsl`).
+// Invariants: no panic ever; successful parses validate and round-trip
+// stably through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		imgProgram,
+		tsProgram,
+		"{input: {[field1 :: Tensor[10], Tensor[5, 5]], [next, prev]}, output: {[Tensor[2]], []}}",
+		"{input: {[Tensor[16]], [a, c]}, output: {[Tensor[3]], []}}",
+		"{output: {[Tensor[2]], []}, input: {[Tensor[4]], []}}",
+		"", "{", "{input:}", "Tensor[1]", "{input: {[Tensor[0]], []}, output: {[Tensor[1]], []}}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("Parse accepted invalid program %q: %v", src, err)
+		}
+		rendered := prog.String()
+		re, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round-trip parse of %q failed: %v", rendered, err)
+		}
+		if re.String() != rendered {
+			t.Fatalf("unstable rendering: %q vs %q", re.String(), rendered)
+		}
+	})
+}

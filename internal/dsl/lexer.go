@@ -1,0 +1,131 @@
+package dsl
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokenKind enumerates the lexical classes of the DSL.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokColon
+	tokDoubleColon
+	tokIdent  // field names, "input", "output", "Tensor"
+	tokNumber // non-negative integer literal
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokDoubleColon:
+		return "'::'"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes src. It returns an error on any character outside the DSL's
+// alphabet.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == ':':
+			if i+1 < len(src) && src[i+1] == ':' {
+				toks = append(toks, token{tokDoubleColon, "::", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokColon, ":", i})
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			// A digit run followed by identifier characters is part of an
+			// identifier (field names may contain digits but not start the
+			// token as a pure number followed by letters).
+			if j < len(src) && isIdentChar(rune(src[j])) {
+				k := j
+				for k < len(src) && isIdentChar(rune(src[k])) {
+					k++
+				}
+				toks = append(toks, token{tokIdent, src[i:k], i})
+				i = k
+			} else {
+				toks = append(toks, token{tokNumber, src[i:j], i})
+				i = j
+			}
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentChar(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("dsl: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}

@@ -1,0 +1,198 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a complete user program in the Figure 2 grammar and validates
+// it. The input/output keys may appear in either order but both must be
+// present exactly once.
+func Parse(src string) (Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Program{}, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return Program{}, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return Program{}, err
+	}
+	if err := prog.Validate(); err != nil {
+		return Program{}, err
+	}
+	return prog, nil
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind) error {
+	t := p.next()
+	if t.kind != kind {
+		return fmt.Errorf("dsl: expected %v at offset %d, found %v %q", kind, t.pos, t.kind, t.text)
+	}
+	return nil
+}
+
+// parseProgram ::= '{' 'input' ':' data_type ',' 'output' ':' data_type '}'
+// (keys in either order).
+func (p *parser) parseProgram() (Program, error) {
+	var prog Program
+	if err := p.expect(tokLBrace); err != nil {
+		return prog, err
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		key := p.next()
+		if key.kind != tokIdent || (key.text != "input" && key.text != "output") {
+			return prog, fmt.Errorf("dsl: expected 'input' or 'output' at offset %d, found %q", key.pos, key.text)
+		}
+		if seen[key.text] {
+			return prog, fmt.Errorf("dsl: duplicate key %q at offset %d", key.text, key.pos)
+		}
+		seen[key.text] = true
+		if err := p.expect(tokColon); err != nil {
+			return prog, err
+		}
+		dt, err := p.parseDataType()
+		if err != nil {
+			return prog, err
+		}
+		if key.text == "input" {
+			prog.Input = dt
+		} else {
+			prog.Output = dt
+		}
+		if i == 0 {
+			if err := p.expect(tokComma); err != nil {
+				return prog, err
+			}
+		}
+	}
+	if err := p.expect(tokRBrace); err != nil {
+		return prog, err
+	}
+	return prog, nil
+}
+
+// parseDataType ::= '{' '[' nonrec_field* ']' ',' '[' rec_field* ']' '}'
+func (p *parser) parseDataType() (DataType, error) {
+	var dt DataType
+	if err := p.expect(tokLBrace); err != nil {
+		return dt, err
+	}
+	if err := p.expect(tokLBracket); err != nil {
+		return dt, err
+	}
+	for p.peek().kind != tokRBracket {
+		f, err := p.parseNonRecField()
+		if err != nil {
+			return dt, err
+		}
+		dt.NonRec = append(dt.NonRec, f)
+		if p.peek().kind == tokComma {
+			p.next()
+		} else {
+			break
+		}
+	}
+	if err := p.expect(tokRBracket); err != nil {
+		return dt, err
+	}
+	if err := p.expect(tokComma); err != nil {
+		return dt, err
+	}
+	if err := p.expect(tokLBracket); err != nil {
+		return dt, err
+	}
+	for p.peek().kind != tokRBracket {
+		t := p.next()
+		if t.kind != tokIdent && t.kind != tokNumber {
+			return dt, fmt.Errorf("dsl: expected recursive field name at offset %d, found %v", t.pos, t.kind)
+		}
+		dt.Rec = append(dt.Rec, t.text)
+		if p.peek().kind == tokComma {
+			p.next()
+		} else {
+			break
+		}
+	}
+	if err := p.expect(tokRBracket); err != nil {
+		return dt, err
+	}
+	if err := p.expect(tokRBrace); err != nil {
+		return dt, err
+	}
+	return dt, nil
+}
+
+// parseNonRecField ::= 'Tensor' '[' int_list ']'
+//
+//	| field_name '::' 'Tensor' '[' int_list ']'
+func (p *parser) parseNonRecField() (TensorField, error) {
+	var f TensorField
+	t := p.next()
+	if t.kind != tokIdent {
+		return f, fmt.Errorf("dsl: expected field or Tensor at offset %d, found %v", t.pos, t.kind)
+	}
+	if t.text != "Tensor" {
+		f.Name = t.text
+		if err := p.expect(tokDoubleColon); err != nil {
+			return f, err
+		}
+		t = p.next()
+		if t.kind != tokIdent || t.text != "Tensor" {
+			return f, fmt.Errorf("dsl: expected 'Tensor' at offset %d, found %q", t.pos, t.text)
+		}
+	}
+	if err := p.expect(tokLBracket); err != nil {
+		return f, err
+	}
+	for {
+		num := p.next()
+		if num.kind != tokNumber {
+			return f, fmt.Errorf("dsl: expected dimension at offset %d, found %v %q", num.pos, num.kind, num.text)
+		}
+		d, err := strconv.Atoi(num.text)
+		if err != nil {
+			return f, fmt.Errorf("dsl: dimension %q at offset %d: %v", num.text, num.pos, err)
+		}
+		f.Dims = append(f.Dims, d)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokRBracket); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples with
+// compile-time-known programs.
+func MustParse(src string) Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

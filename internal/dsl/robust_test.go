@@ -1,0 +1,76 @@
+package dsl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Robustness: the parser must never panic, whatever bytes arrive. It either
+// returns a Program that re-renders stably or an error.
+func TestParseNeverPanics(t *testing.T) {
+	tokens := []string{
+		"{", "}", "[", "]", ",", ":", "::", "input", "output", "Tensor",
+		"field1", "next", "256", "0", "a_b", " ", "\n", "\t", "§", "🙂", "-1",
+	}
+	rng := rand.New(rand.NewSource(20180824))
+	for i := 0; i < 2000; i++ {
+		var sb strings.Builder
+		n := rng.Intn(40)
+		for j := 0; j < n; j++ {
+			sb.WriteString(tokens[rng.Intn(len(tokens))])
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			if prog, err := Parse(src); err == nil {
+				// Valid parses must round-trip.
+				re, err2 := Parse(prog.String())
+				if err2 != nil {
+					t.Fatalf("re-parse of %q failed: %v", prog.String(), err2)
+				}
+				if re.String() != prog.String() {
+					t.Fatalf("unstable rendering: %q vs %q", re.String(), prog.String())
+				}
+			}
+		}()
+	}
+}
+
+// Mutation robustness: corrupting single bytes of valid programs must not
+// panic the parser.
+func TestParseMutatedPrograms(t *testing.T) {
+	base := []string{
+		imgProgram,
+		tsProgram,
+		"{input: {[field1 :: Tensor[10], Tensor[5, 5]], [next]}, output: {[Tensor[2]], []}}",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, src := range base {
+		for i := 0; i < 300; i++ {
+			b := []byte(src)
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b[pos] = byte(rng.Intn(128))
+			case 1:
+				b = append(b[:pos], b[pos+1:]...)
+			case 2:
+				b = append(b[:pos], append([]byte{byte(rng.Intn(128))}, b[pos:]...)...)
+			}
+			mutated := string(b)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Parse(%q) panicked: %v", mutated, r)
+					}
+				}()
+				_, _ = Parse(mutated)
+			}()
+		}
+	}
+}

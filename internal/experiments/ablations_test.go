@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestAcquisitionAblation(t *testing.T) {
+	res, err := AcquisitionAblation(dataset.DeepLearning(), smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+	labels := map[string]bool{}
+	last := len(res.Series[0].Avg) - 1
+	for _, s := range res.Series {
+		labels[s.Label] = true
+		// Every acquisition must make real progress within half the budget.
+		if s.Avg[last] >= s.Avg[0]*0.5 {
+			t.Errorf("%s: final loss %.4f vs initial %.4f — no progress", s.Label, s.Avg[last], s.Avg[0])
+		}
+	}
+	for _, want := range []string{"ease.ml", "gp-ei", "gp-pi"} {
+		if !labels[want] {
+			t.Errorf("missing series %q", want)
+		}
+	}
+}
+
+func TestKernelAblationInformedWins(t *testing.T) {
+	informed, uninformed, err := KernelAblation(dataset.DeepLearning(), smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared-log kernel is the heart of the system: the informed prior
+	// must dominate index features on the area under the loss curve.
+	var aInf, aUn float64
+	for g := range informed.Series[0].Avg {
+		aInf += informed.Series[0].Avg[g]
+		aUn += uninformed.Series[0].Avg[g]
+	}
+	if aInf >= aUn {
+		t.Errorf("informed kernel AUC %.4f not below uninformed %.4f", aInf, aUn)
+	}
+}
+
+func BenchmarkAcquisitionAblation(b *testing.B) {
+	d := dataset.DeepLearning()
+	cfg := FigureConfig{RunsSmall: 10, RunsLarge: 2, TestUsers: 10, Seed: 1}
+	var res Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = AcquisitionAblation(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(res.Series[0].Avg) - 1
+	b.ReportMetric(res.Series[0].Avg[last], "gpucb-loss")
+	b.ReportMetric(res.Series[1].Avg[last], "gpei-loss")
+	b.ReportMetric(res.Series[2].Avg[last], "gppi-loss")
+}
+
+func BenchmarkKernelAblation(b *testing.B) {
+	d := dataset.DeepLearning()
+	cfg := FigureConfig{RunsSmall: 10, RunsLarge: 2, TestUsers: 10, Seed: 1}
+	var informed, uninformed Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		informed, uninformed, err = KernelAblation(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(informed.Series[0].Avg) - 1
+	b.ReportMetric(informed.Series[0].Avg[last], "informed-loss")
+	b.ReportMetric(uninformed.Series[0].Avg[last], "uninformed-loss")
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bandit"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/gp"
+)
+
+// Batch-dispatch experiment for the §6 parallel-GP direction: a single
+// tenant with G devices can either run GP-UCB strictly sequentially on the
+// whole pool (one model at a time, speedup G^α, full feedback between
+// picks) or dispatch a hallucinated batch of G models at once (one device
+// each, no intra-batch feedback). Sequential selection is better informed;
+// batch dispatch has higher aggregate throughput under sublinear scaling.
+// The experiment measures the wall-clock time to reach a target accuracy
+// loss under both regimes.
+
+// BatchDispatchConfig parameterizes the comparison.
+type BatchDispatchConfig struct {
+	Dataset    *dataset.Dataset
+	User       int     // the tenant's row in the dataset
+	GPUs       int     // default 8
+	Alpha      float64 // scaling exponent (default 0.9)
+	TargetLoss float64 // default 0.02
+	Seed       int64
+}
+
+// BatchDispatchResult reports the wall-clock each regime needed.
+type BatchDispatchResult struct {
+	SequentialTime float64 // time at which the target loss was reached (-1 if never)
+	BatchTime      float64
+	SequentialRuns int
+	BatchRuns      int
+}
+
+// RunBatchDispatch runs both regimes for one tenant.
+func RunBatchDispatch(cfg BatchDispatchConfig) (BatchDispatchResult, error) {
+	if cfg.Dataset == nil {
+		return BatchDispatchResult{}, fmt.Errorf("experiments: batch dispatch needs a dataset")
+	}
+	if cfg.User < 0 || cfg.User >= cfg.Dataset.NumUsers() {
+		return BatchDispatchResult{}, fmt.Errorf("experiments: user %d out of range", cfg.User)
+	}
+	if cfg.GPUs == 0 {
+		cfg.GPUs = 8
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.9
+	}
+	if cfg.TargetLoss == 0 {
+		cfg.TargetLoss = 0.02
+	}
+	d := cfg.Dataset
+	rng := rand.New(rand.NewSource(cfg.Seed + 1618))
+	// Kernel features from every other user (leave-one-out).
+	var train []int
+	for i := 0; i < d.NumUsers(); i++ {
+		if i != cfg.User {
+			train = append(train, i)
+		}
+	}
+	rng.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+	features := d.QualityVectors(train)
+	kernel := gp.RBF{Variance: 0.05, LengthScale: 0.5}
+	best := d.BestQuality(cfg.User)
+
+	newBandit := func() *bandit.GPUCB {
+		return bandit.New(gp.NewFromFeatures(kernel, features, 1e-4), bandit.Config{
+			Costs:     append([]float64(nil), d.Cost[cfg.User]...),
+			CostAware: true,
+			Mean0:     meanQuality(d, train),
+		})
+	}
+
+	res := BatchDispatchResult{SequentialTime: -1, BatchTime: -1}
+
+	// Sequential: whole pool per model, feedback after each run.
+	{
+		pool := cluster.NewPool(cfg.GPUs, cfg.Alpha)
+		b := newBandit()
+		for !b.Exhausted() {
+			arm, _ := b.SelectArm()
+			job := pool.RunSingleDevice(fmt.Sprintf("m%d", arm), d.Cost[cfg.User][arm])
+			b.Observe(arm, d.Quality[cfg.User][arm])
+			res.SequentialRuns++
+			if _, y, ok := b.Best(); ok && best-y <= cfg.TargetLoss {
+				res.SequentialTime = job.End
+				break
+			}
+		}
+	}
+
+	// Batch: G hallucinated picks per wave, one device each, feedback at
+	// the end of each wave.
+	{
+		pool := cluster.NewPool(cfg.GPUs, cfg.Alpha)
+		b := newBandit()
+		for !b.Exhausted() && res.BatchTime < 0 {
+			batch := b.SelectBatch(cfg.GPUs)
+			if len(batch) == 0 {
+				break
+			}
+			waveEnd := 0.0
+			for _, arm := range batch {
+				job := pool.RunOneGPU(fmt.Sprintf("m%d", arm), d.Cost[cfg.User][arm])
+				if job.End > waveEnd {
+					waveEnd = job.End
+				}
+			}
+			for _, arm := range batch {
+				b.Observe(arm, d.Quality[cfg.User][arm])
+				res.BatchRuns++
+			}
+			if _, y, ok := b.Best(); ok && best-y <= cfg.TargetLoss {
+				res.BatchTime = waveEnd
+			}
+		}
+	}
+	return res, nil
+}

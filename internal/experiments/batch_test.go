@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestBatchDispatchRuns(t *testing.T) {
+	d := dataset.DeepLearning()
+	res, err := RunBatchDispatch(BatchDispatchConfig{Dataset: d, User: 2, Seed: 3, TargetLoss: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SequentialRuns == 0 || res.BatchRuns == 0 {
+		t.Fatalf("no runs executed: %+v", res)
+	}
+	if res.SequentialTime < 0 || res.BatchTime < 0 {
+		t.Fatalf("target loss never reached: %+v", res)
+	}
+	// Batch waves may train more models than strictly necessary (they
+	// commit G picks per wave), never fewer than sequential needs.
+	if res.BatchRuns < res.SequentialRuns {
+		t.Errorf("batch ran fewer models (%d) than sequential (%d)", res.BatchRuns, res.SequentialRuns)
+	}
+}
+
+func TestBatchDispatchValidation(t *testing.T) {
+	if _, err := RunBatchDispatch(BatchDispatchConfig{}); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	if _, err := RunBatchDispatch(BatchDispatchConfig{Dataset: dataset.DeepLearning(), User: 99}); err == nil {
+		t.Error("out-of-range user accepted")
+	}
+}
+
+func TestBatchDispatchAcrossUsers(t *testing.T) {
+	// Smoke every user of the small dataset: both regimes must terminate
+	// and report consistent accounting.
+	d := dataset.DeepLearning()
+	for user := 0; user < 5; user++ {
+		res, err := RunBatchDispatch(BatchDispatchConfig{Dataset: d, User: user, Seed: int64(user), TargetLoss: 0.10})
+		if err != nil {
+			t.Fatalf("user %d: %v", user, err)
+		}
+		if res.SequentialRuns > d.NumModels() || res.BatchRuns > d.NumModels() {
+			t.Errorf("user %d: ran more models than exist: %+v", user, res)
+		}
+	}
+}

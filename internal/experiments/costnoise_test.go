@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestCostNoiseDegradesGracefully(t *testing.T) {
+	res, err := RunCostNoise(dataset.DeepLearning(), smallCfg, []float64{0, 0.3, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AUC) != 3 {
+		t.Fatalf("%d AUC entries", len(res.AUC))
+	}
+	for i, a := range res.AUC {
+		if a <= 0 {
+			t.Errorf("σ=%g: non-positive AUC %g", res.NoiseSD[i], a)
+		}
+	}
+	// Moderate estimate noise must not be catastrophic: σ=0.3 (±35% cost
+	// error) stays within 2× of the exact-cost AUC.
+	if res.AUC[1] > res.AUC[0]*2 {
+		t.Errorf("σ=0.3 AUC %.4f more than doubles exact-cost AUC %.4f", res.AUC[1], res.AUC[0])
+	}
+	// Extreme noise should not somehow beat exact costs by a wide margin
+	// (that would indicate the cost-aware rule is not using the estimates).
+	if res.AUC[2] < res.AUC[0]*0.5 {
+		t.Errorf("σ=2.0 AUC %.4f implausibly better than exact %.4f", res.AUC[2], res.AUC[0])
+	}
+}
+
+func TestCostNoiseValidation(t *testing.T) {
+	if _, err := RunCostNoise(nil, smallCfg, nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+func BenchmarkCostNoise(b *testing.B) {
+	d := dataset.DeepLearning()
+	cfg := FigureConfig{RunsSmall: 10, RunsLarge: 2, TestUsers: 10, Seed: 1}
+	var res CostNoiseResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = RunCostNoise(d, cfg, []float64{0, 0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.AUC[0], "exact-cost-auc")
+	b.ReportMetric(res.AUC[1], "noisy-cost-auc")
+}

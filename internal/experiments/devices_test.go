@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestDeviceAblationDeepLearning(t *testing.T) {
+	res, err := RunDeviceAblation(DeviceAblationConfig{
+		Dataset:   dataset.DeepLearning(),
+		TestUsers: 8,
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs == 0 {
+		t.Fatal("no jobs scheduled")
+	}
+	if res.SingleDeviceRegret <= 0 || res.MultiDeviceRegret <= 0 {
+		t.Fatalf("non-positive regret integrals: %+v", res)
+	}
+	// The deployed strategy returns the first model much sooner: the whole
+	// pool accelerates it by ~24^0.9.
+	if res.SingleFirstModel >= res.MultiFirstModel {
+		t.Errorf("single-device first model at %g not before multi-device %g",
+			res.SingleFirstModel, res.MultiFirstModel)
+	}
+	if res.SingleMakespan <= 0 || res.MultiMakespan <= 0 {
+		t.Errorf("non-positive makespans: %+v", res)
+	}
+	// §5.3.2's observation: the single-device option achieves lower
+	// accumulated regret on the DEEPLEARNING service.
+	if res.SingleDeviceRegret >= res.MultiDeviceRegret {
+		t.Errorf("single-device regret %g not below multi-device %g",
+			res.SingleDeviceRegret, res.MultiDeviceRegret)
+	}
+}
+
+func TestDeviceAblationValidation(t *testing.T) {
+	if _, err := RunDeviceAblation(DeviceAblationConfig{}); err == nil {
+		t.Error("missing dataset accepted")
+	}
+}
+
+func TestReplayRegretIntegral(t *testing.T) {
+	// Two users with optima 1.0 and 0.5; completions at t=1 (u0 → 1.0) and
+	// t=3 (u1 → 0.5). Loss starts at 1.5:
+	// [0,1): 1.5 ; [1,3): 0.5 ; [3,4): 0 ⇒ integral to 4 = 1.5 + 1.0 = 2.5.
+	out := replayOutcome{
+		best: []float64{1.0, 0.5},
+		events: []completionEvent{
+			{at: 1, user: 0, reward: 1.0},
+			{at: 3, user: 1, reward: 0.5},
+		},
+		makespan: 3,
+	}
+	if got := out.regretTo(4); got != 2.5 {
+		t.Errorf("integral = %g, want 2.5", got)
+	}
+	// Truncated horizon ignores later events.
+	if got := out.regretTo(2); got != 1.5+0.5 {
+		t.Errorf("truncated integral = %g, want 2.0", got)
+	}
+}
+
+func BenchmarkDeviceAblation(b *testing.B) {
+	d := dataset.DeepLearning()
+	var res DeviceAblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = RunDeviceAblation(DeviceAblationConfig{Dataset: d, TestUsers: 8, Seed: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SingleDeviceRegret, "single-regret")
+	b.ReportMetric(res.MultiDeviceRegret, "multi-regret")
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// FigureConfig scales the experiment suite: the paper's full protocol
+// (50 repetitions everywhere) is expensive on the 100–179-model datasets, so
+// callers can trade repetitions for wall-clock time. Zero values select the
+// defaults noted per field.
+type FigureConfig struct {
+	// RunsSmall is the repetition count for DEEPLEARNING (22×8; default
+	// 50, the paper's protocol).
+	RunsSmall int
+	// RunsLarge is the repetition count for 179CLASSIFIER and the SYN
+	// datasets (default 10; set 50 for the full paper protocol).
+	RunsLarge int
+	// TestUsers is the test-set size (default 10, the paper's protocol).
+	TestUsers int
+	// Seed drives all randomness (default 1).
+	Seed int64
+}
+
+func (c FigureConfig) withDefaults() FigureConfig {
+	if c.RunsSmall == 0 {
+		c.RunsSmall = 50
+	}
+	if c.RunsLarge == 0 {
+		c.RunsLarge = 10
+	}
+	if c.TestUsers == 0 {
+		c.TestUsers = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c FigureConfig) runsFor(d *dataset.Dataset) int {
+	if d.NumModels() <= 10 {
+		return c.RunsSmall
+	}
+	return c.RunsLarge
+}
+
+// Figure8 reproduces the dataset-statistics table.
+func Figure8() []dataset.Stats {
+	var out []dataset.Stats
+	for _, d := range dataset.Figure8() {
+		q, c := dataset.Figure8Provenance(d.Name)
+		out = append(out, d.ComputeStats(q, c))
+	}
+	return out
+}
+
+// Figure9 reproduces the end-to-end experiment: ease.ml vs the MOSTCITED
+// and MOSTRECENT heuristics on DEEPLEARNING, cost-aware, 10% of total cost.
+func Figure9(cfg FigureConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	return Run(Protocol{
+		Dataset:    dataset.DeepLearning(),
+		TestUsers:  cfg.TestUsers,
+		Runs:       cfg.RunsSmall,
+		BudgetFrac: 0.1,
+		CostAware:  true,
+		Seed:       cfg.Seed,
+	}, []Strategy{EaseML(), MostCited(), MostRecent()})
+}
+
+// Figure9Speedup computes the §5.2 headline metric from a Figure 9 result:
+// how much longer the better heuristic needs to reach the same average loss
+// ease.ml reaches (target 0.02 in the paper).
+func Figure9Speedup(r Result, target float64) (float64, bool) {
+	if len(r.Series) < 3 {
+		return 0, false
+	}
+	best := 0.0
+	found := false
+	for _, baseline := range r.Series[1:] {
+		if s, ok := SpeedupAt(r.Series[0], baseline, target); ok && s > best {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Figure10 reproduces the cost-oblivious multi-tenant comparison (ease.ml
+// vs ROUNDROBIN vs RANDOM, 50% of runs) on every Figure 8 dataset.
+func Figure10(cfg FigureConfig) (map[string]Result, error) {
+	return multiDataset(cfg, false, 0.5)
+}
+
+// Figure11 reproduces the cost-aware comparison (same strategies, budget as
+// 50% of total cost) on every Figure 8 dataset.
+func Figure11(cfg FigureConfig) (map[string]Result, error) {
+	return multiDataset(cfg, true, 0.5)
+}
+
+func multiDataset(cfg FigureConfig, costAware bool, budget float64) (map[string]Result, error) {
+	cfg = cfg.withDefaults()
+	out := make(map[string]Result)
+	for _, d := range dataset.Figure8() {
+		res, err := Run(Protocol{
+			Dataset:    d,
+			TestUsers:  cfg.TestUsers,
+			Runs:       cfg.runsFor(d),
+			BudgetFrac: budget,
+			CostAware:  costAware,
+			Seed:       cfg.Seed,
+		}, []Strategy{EaseML(), RoundRobin(), Random()})
+		if err != nil {
+			return nil, fmt.Errorf("figure on %s: %w", d.Name, err)
+		}
+		out[d.Name] = res
+	}
+	return out, nil
+}
+
+// Figure12 reproduces the correlation/noise grid: the worst-case loss of the
+// three schedulers on the four SYN datasets (cost-oblivious), arranged over
+// σM ∈ {0.01, 0.5} × α ∈ {0.1, 1.0}.
+func Figure12(cfg FigureConfig) (map[string]Result, error) {
+	cfg = cfg.withDefaults()
+	out := make(map[string]Result)
+	for _, params := range [][2]float64{{0.01, 0.1}, {0.01, 1.0}, {0.5, 0.1}, {0.5, 1.0}} {
+		d := dataset.Syn(params[0], params[1])
+		res, err := Run(Protocol{
+			Dataset:    d,
+			TestUsers:  cfg.TestUsers,
+			Runs:       cfg.RunsLarge,
+			BudgetFrac: 0.5,
+			CostAware:  false,
+			Seed:       cfg.Seed,
+		}, []Strategy{EaseML(), RoundRobin(), Random()})
+		if err != nil {
+			return nil, fmt.Errorf("figure 12 on %s: %w", d.Name, err)
+		}
+		out[d.Name] = res
+	}
+	return out, nil
+}
+
+// Figure13 reproduces the cost-awareness lesion on DEEPLEARNING: ease.ml vs
+// ease.ml with c_{i,k} ≡ 1 inside GP-UCB, cost-aware budget.
+func Figure13(cfg FigureConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	return Run(Protocol{
+		Dataset:    dataset.DeepLearning(),
+		TestUsers:  cfg.TestUsers,
+		Runs:       cfg.RunsSmall,
+		BudgetFrac: 0.1,
+		CostAware:  true,
+		Seed:       cfg.Seed,
+	}, []Strategy{EaseML(), EaseMLNoCost()})
+}
+
+// Figure14 reproduces the training-set-size experiment on DEEPLEARNING:
+// the GP kernel built from 10%, 50% and 100% of the training users.
+func Figure14(cfg FigureConfig) (map[string]Result, error) {
+	cfg = cfg.withDefaults()
+	out := make(map[string]Result)
+	for _, frac := range []float64{0.1, 0.5, 1.0} {
+		res, err := Run(Protocol{
+			Dataset:    dataset.DeepLearning(),
+			TestUsers:  cfg.TestUsers,
+			Runs:       cfg.RunsSmall,
+			BudgetFrac: 0.1,
+			CostAware:  true,
+			TrainFrac:  frac,
+			Seed:       cfg.Seed,
+		}, []Strategy{EaseML()})
+		if err != nil {
+			return nil, fmt.Errorf("figure 14 at %g: %w", frac, err)
+		}
+		out[fmt.Sprintf("%d%%", int(frac*100))] = res
+	}
+	return out, nil
+}
+
+// Figure15 reproduces the hybrid lesion on 179CLASSIFIER (cost-oblivious):
+// GREEDY vs ROUNDROBIN vs ease.ml's HYBRID over the full run budget, where
+// the paper's crossover between GREEDY and ROUNDROBIN appears.
+func Figure15(cfg FigureConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	return Run(Protocol{
+		Dataset:    dataset.Classifier179(),
+		TestUsers:  cfg.TestUsers,
+		Runs:       cfg.RunsLarge,
+		BudgetFrac: 1.0,
+		CostAware:  false,
+		Seed:       cfg.Seed,
+	}, []Strategy{Greedy(), RoundRobin(), EaseML()})
+}
+
+// Crossover finds the sustained overtaking point of Figure 15: the first
+// grid point from which series b stays at or below series a (on the Avg
+// curve) for the rest of the budget, given that a was strictly better than b
+// somewhere earlier. It returns ok=false when b never durably overtakes a or
+// was never behind.
+func Crossover(a, b Series) (x float64, ok bool) {
+	lastBehind := -1 // last grid point where b is strictly worse than a
+	for g := range a.Avg {
+		if b.Avg[g] > a.Avg[g] {
+			lastBehind = g
+		}
+	}
+	if lastBehind < 0 || lastBehind+1 >= len(a.X) {
+		return 0, false // never behind, or still behind at the end
+	}
+	// b must actually be strictly better somewhere after lastBehind.
+	for g := lastBehind + 1; g < len(a.Avg); g++ {
+		if b.Avg[g] < a.Avg[g] {
+			return a.X[lastBehind+1], true
+		}
+	}
+	return 0, false
+}

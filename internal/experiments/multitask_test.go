@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+func TestMultiTaskComparisonTransfersHelp(t *testing.T) {
+	// Average over a few seeds: the coregionalized model must beat
+	// independent GPs on a workload with shared latent model quality.
+	var indep, multi float64
+	seeds := []int64{1, 2, 3}
+	for _, seed := range seeds {
+		res, err := RunMultiTaskComparison(MultiTaskConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds == 0 {
+			t.Fatal("no rounds run")
+		}
+		indep += res.IndependentAUC
+		multi += res.MultiTaskAUC
+	}
+	if multi >= indep {
+		t.Errorf("multi-task AUC %.4f not below independent %.4f on correlated workload",
+			multi/float64(len(seeds)), indep/float64(len(seeds)))
+	}
+}
+
+func TestMultiTaskComparisonDefaults(t *testing.T) {
+	res, err := RunMultiTaskComparison(MultiTaskConfig{Seed: 7, NumUsers: 4, NumModels: 10, Rounds: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 24 {
+		t.Errorf("rounds %d", res.Rounds)
+	}
+	if res.IndependentEnd < 0 || res.MultiTaskEnd < 0 {
+		t.Errorf("negative losses: %+v", res)
+	}
+}
+
+func BenchmarkMultiTaskComparison(b *testing.B) {
+	var res MultiTaskResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = RunMultiTaskComparison(MultiTaskConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.IndependentAUC, "independent-auc")
+	b.ReportMetric(res.MultiTaskAUC, "multitask-auc")
+}

@@ -1,0 +1,398 @@
+// Package experiments implements the evaluation protocol of the paper's §5
+// and Appendix A and regenerates every figure of the evaluation section:
+//
+//   - a Protocol fixes the dataset, the train/test split sizes, the number
+//     of repetitions, the budget (fraction of total runs or total cost) and
+//     the randomness;
+//   - a Strategy names one scheduler configuration (user picker × model
+//     picker × cost-awareness);
+//   - Run replays the protocol for every strategy and aggregates the
+//     per-repetition accuracy-loss curves into average and worst-case
+//     series on a fixed percentage grid.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gp"
+)
+
+// Protocol is the §5.2 experiment protocol.
+type Protocol struct {
+	Dataset *dataset.Dataset
+	// TestUsers is the size of the sampled test set (paper: 10).
+	TestUsers int
+	// Runs is the number of repetitions with fresh splits (paper: 50).
+	Runs int
+	// BudgetFrac is the budget as a fraction of the test users' total cost
+	// (cost-aware) or total run count (cost-oblivious). The end-to-end
+	// experiment uses 0.1; the §5.3 experiments use 0.5.
+	BudgetFrac float64
+	// CostAware selects the cost-aware setting: bandits use the §3.2 rule
+	// and the x-axis is % of cost budget instead of % of run budget.
+	CostAware bool
+	// TrainFrac restricts the kernel's training users to this fraction of
+	// the training split (Figure 14; default 1.0).
+	TrainFrac float64
+	// GridPoints is the resolution of the output curves (default 100).
+	GridPoints int
+	// Seed drives all randomness; repetition r uses Seed+r.
+	Seed int64
+	// NoiseVar is the GP observation noise variance (default 1e-4).
+	NoiseVar float64
+}
+
+func (p *Protocol) withDefaults() (Protocol, error) {
+	q := *p
+	if q.Dataset == nil {
+		return q, fmt.Errorf("experiments: protocol needs a dataset")
+	}
+	if q.TestUsers == 0 {
+		q.TestUsers = 10
+	}
+	if q.TestUsers <= 0 || q.TestUsers >= q.Dataset.NumUsers() {
+		return q, fmt.Errorf("experiments: %d test users out of range for %q", q.TestUsers, q.Dataset.Name)
+	}
+	if q.Runs == 0 {
+		q.Runs = 50
+	}
+	if q.BudgetFrac == 0 {
+		q.BudgetFrac = 0.5
+	}
+	if q.BudgetFrac <= 0 || q.BudgetFrac > 1 {
+		return q, fmt.Errorf("experiments: budget fraction %g outside (0,1]", q.BudgetFrac)
+	}
+	if q.TrainFrac == 0 {
+		q.TrainFrac = 1
+	}
+	if q.TrainFrac <= 0 || q.TrainFrac > 1 {
+		return q, fmt.Errorf("experiments: train fraction %g outside (0,1]", q.TrainFrac)
+	}
+	if q.GridPoints == 0 {
+		q.GridPoints = 100
+	}
+	if q.NoiseVar == 0 {
+		q.NoiseVar = 1e-4
+	}
+	return q, nil
+}
+
+// Strategy is one scheduler configuration under test.
+type Strategy struct {
+	// Label names the series ("ease.ml", "round robin", …).
+	Label string
+	// NewUserPicker builds a fresh user picker per repetition (pickers are
+	// stateful).
+	NewUserPicker func(rng *rand.Rand) core.UserPicker
+	// NewModelPicker builds the model picker; nil means per-tenant GP-UCB.
+	NewModelPicker func(models []dataset.ModelInfo) core.ModelPicker
+	// ForceCostOblivious disables the cost-aware bandit rule for this
+	// strategy even under a cost-aware protocol (the Figure 13 lesion).
+	ForceCostOblivious bool
+}
+
+// Canonical strategies.
+
+// EaseML is the full ease.ml scheduler: HYBRID user picking over per-tenant
+// GP-UCB.
+func EaseML() Strategy {
+	return Strategy{
+		Label:         "ease.ml",
+		NewUserPicker: func(*rand.Rand) core.UserPicker { return core.NewHybridPicker() },
+	}
+}
+
+// Greedy is Algorithm 2 without the hybrid freeze escape.
+func Greedy() Strategy {
+	return Strategy{
+		Label:         "greedy",
+		NewUserPicker: func(*rand.Rand) core.UserPicker { return &core.GreedyPicker{} },
+	}
+}
+
+// RoundRobin serves users cyclically with GP-UCB model picking.
+func RoundRobin() Strategy {
+	return Strategy{
+		Label:         "round robin",
+		NewUserPicker: func(*rand.Rand) core.UserPicker { return &core.RoundRobinPicker{} },
+	}
+}
+
+// Random serves a uniformly random active user with GP-UCB model picking.
+func Random() Strategy {
+	return Strategy{
+		Label:         "random",
+		NewUserPicker: func(rng *rand.Rand) core.UserPicker { return &core.RandomPicker{Rng: rng} },
+	}
+}
+
+// MostCited is the §5.2 heuristic: round-robin users, most-cited-first
+// models.
+func MostCited() Strategy {
+	return Strategy{
+		Label:         "most cited",
+		NewUserPicker: func(*rand.Rand) core.UserPicker { return &core.RoundRobinPicker{} },
+		NewModelPicker: func(models []dataset.ModelInfo) core.ModelPicker {
+			return core.MostCitedPicker(models)
+		},
+	}
+}
+
+// MostRecent is the §5.2 heuristic: round-robin users, most-recent-first
+// models.
+func MostRecent() Strategy {
+	return Strategy{
+		Label:         "most recent",
+		NewUserPicker: func(*rand.Rand) core.UserPicker { return &core.RoundRobinPicker{} },
+		NewModelPicker: func(models []dataset.ModelInfo) core.ModelPicker {
+			return core.MostRecentPicker(models)
+		},
+	}
+}
+
+// EaseMLNoCost is ease.ml with the cost-aware bandit rule disabled
+// (c_{i,k} ≡ 1 inside GP-UCB), the Figure 13 lesion.
+func EaseMLNoCost() Strategy {
+	s := EaseML()
+	s.Label = "ease.ml w/o cost"
+	s.ForceCostOblivious = true
+	return s
+}
+
+// Series is one strategy's aggregated accuracy-loss curve.
+type Series struct {
+	Label string
+	// X is the percentage grid: 0..100% of the budget (of cost when
+	// cost-aware, of runs otherwise).
+	X []float64
+	// Avg is the across-repetition mean of the per-repetition average
+	// accuracy loss at each grid point (Appendix A eq. 3).
+	Avg []float64
+	// Worst is the across-repetition maximum — the "worst-case accuracy
+	// loss" panel of every figure.
+	Worst []float64
+}
+
+// Result bundles the series of one experiment together with its protocol.
+type Result struct {
+	Protocol Protocol
+	Series   []Series
+}
+
+// tunedKernel fits the RBF hyperparameters by log-marginal-likelihood grid
+// search over (a subsample of) the training users, per Appendix A. Tuning
+// uses a deterministic split derived from the protocol seed; the fitted
+// kernel is then reused across repetitions, which keeps the experiment cost
+// manageable without changing the comparison (all strategies share it).
+func tunedKernel(p Protocol) gp.Kernel {
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x5eed))
+	train, _ := p.Dataset.Split(p.TestUsers, rng)
+	features := p.Dataset.QualityVectors(train)
+	// Subsample tuning functions: each training user is one function over
+	// the arms. Eight suffice to pin two hyperparameters.
+	nSamples := len(train)
+	if nSamples > 8 {
+		nSamples = 8
+	}
+	samples := make([][]float64, nSamples)
+	for s := 0; s < nSamples; s++ {
+		u := train[s]
+		row := make([]float64, p.Dataset.NumModels())
+		copy(row, p.Dataset.Quality[u])
+		samples[s] = row
+	}
+	res := gp.TuneRBF(features, samples, p.NoiseVar,
+		[]float64{0.01, 0.05, 0.1}, []float64{0.2, 0.5, 1, 2})
+	return res.Kernel
+}
+
+// Run executes the protocol for every strategy and returns the aggregated
+// series (in the strategies' order).
+func Run(p Protocol, strategies []Strategy) (Result, error) {
+	proto, err := p.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	if len(strategies) == 0 {
+		return Result{}, fmt.Errorf("experiments: no strategies")
+	}
+	kernel := tunedKernel(proto)
+
+	grid := proto.GridPoints
+	series := make([]Series, len(strategies))
+	for i, st := range strategies {
+		series[i] = Series{
+			Label: st.Label,
+			X:     make([]float64, grid+1),
+			Avg:   make([]float64, grid+1),
+			Worst: make([]float64, grid+1),
+		}
+		for g := 0; g <= grid; g++ {
+			series[i].X[g] = 100 * float64(g) / float64(grid)
+			series[i].Worst[g] = math.Inf(-1)
+		}
+	}
+
+	for run := 0; run < proto.Runs; run++ {
+		splitRng := rand.New(rand.NewSource(proto.Seed + int64(run)*7919))
+		train, test := proto.Dataset.Split(proto.TestUsers, splitRng)
+
+		// Figure 14: restrict the kernel's training users.
+		kTrain := train
+		if proto.TrainFrac < 1 {
+			n := int(math.Ceil(proto.TrainFrac * float64(len(train))))
+			if n < 1 {
+				n = 1
+			}
+			kTrain = train[:n]
+		}
+		features := proto.Dataset.QualityVectors(kTrain)
+		priorMean := meanQuality(proto.Dataset, kTrain)
+		env := core.NewMatrixEnv(proto.Dataset, test)
+
+		for si, st := range strategies {
+			simRng := rand.New(rand.NewSource(proto.Seed ^ int64(run*1000003+si)))
+			curve, err := runOne(proto, st, env, features, kernel, priorMean, simRng)
+			if err != nil {
+				return Result{}, fmt.Errorf("experiments: %s run %d: %w", st.Label, run, err)
+			}
+			for g := 0; g <= grid; g++ {
+				v := curve.at(float64(g) / float64(grid))
+				series[si].Avg[g] += v
+				if v > series[si].Worst[g] {
+					series[si].Worst[g] = v
+				}
+			}
+		}
+	}
+	for si := range series {
+		for g := range series[si].Avg {
+			series[si].Avg[g] /= float64(proto.Runs)
+		}
+	}
+	return Result{Protocol: proto, Series: series}, nil
+}
+
+func meanQuality(d *dataset.Dataset, users []int) float64 {
+	var sum float64
+	var n float64
+	for _, u := range users {
+		for _, q := range d.Quality[u] {
+			sum += q
+			n++
+		}
+	}
+	if n == 0 {
+		return 0.5
+	}
+	return sum / n
+}
+
+// lossCurve is a step function: the average accuracy loss as a function of
+// the fraction of budget consumed.
+type lossCurve struct {
+	fracs  []float64 // increasing in [0,1]
+	losses []float64 // loss after consuming fracs[i] of the budget
+	start  float64   // loss before anything runs
+}
+
+// at evaluates the step function at budget fraction f.
+func (c *lossCurve) at(f float64) float64 {
+	v := c.start
+	for i, fr := range c.fracs {
+		if fr > f {
+			break
+		}
+		v = c.losses[i]
+	}
+	return v
+}
+
+// runOne executes one (repetition, strategy) simulation and extracts its
+// loss curve over the budget axis.
+func runOne(p Protocol, st Strategy, env *core.MatrixEnv, features [][]float64,
+	kernel gp.Kernel, priorMean float64, rng *rand.Rand) (*lossCurve, error) {
+
+	var modelPicker core.ModelPicker = core.UCBModelPicker{}
+	if st.NewModelPicker != nil {
+		modelPicker = st.NewModelPicker(p.Dataset.Models)
+	}
+	sim, err := core.NewSimulation(core.SimConfig{
+		Env:         env,
+		UserPicker:  st.NewUserPicker(rng),
+		ModelPicker: modelPicker,
+		Kernel:      kernel,
+		Features:    features,
+		NoiseVar:    p.NoiseVar,
+		CostAware:   p.CostAware && !st.ForceCostOblivious,
+		PriorMean:   priorMean,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	curve := &lossCurve{start: sim.AvgLoss()}
+	if p.CostAware {
+		budget := p.BudgetFrac * env.TotalCost()
+		if _, err := sim.RunBudget(budget); err != nil {
+			return nil, err
+		}
+		for _, tp := range sim.Trace() {
+			f := tp.CumCost / budget
+			if f > 1 {
+				f = 1
+			}
+			curve.fracs = append(curve.fracs, f)
+			curve.losses = append(curve.losses, tp.AvgLoss)
+		}
+		return curve, nil
+	}
+	budgetRuns := int(p.BudgetFrac * float64(env.TotalRuns()))
+	if budgetRuns < 1 {
+		budgetRuns = 1
+	}
+	if _, err := sim.RunSteps(budgetRuns); err != nil {
+		return nil, err
+	}
+	for _, tp := range sim.Trace() {
+		curve.fracs = append(curve.fracs, float64(tp.Step)/float64(budgetRuns))
+		curve.losses = append(curve.losses, tp.AvgLoss)
+	}
+	return curve, nil
+}
+
+// SpeedupAt returns how much later (as a multiple) the baseline series
+// reaches the target average loss compared to the reference — the "up to
+// 9.8× faster" metric of §5.2. It returns ok=false when either series never
+// reaches the target within the budget.
+func SpeedupAt(reference, baseline Series, target float64) (speedup float64, ok bool) {
+	xr, okr := firstReach(reference, target)
+	xb, okb := firstReach(baseline, target)
+	if !okr || !okb || xr == 0 {
+		return 0, false
+	}
+	return xb / xr, true
+}
+
+func firstReach(s Series, target float64) (float64, bool) {
+	for g, v := range s.Avg {
+		if v <= target {
+			x := s.X[g]
+			if x == 0 {
+				// Reaching the target at x=0 means it was trivially met;
+				// treat as the smallest positive grid step to keep ratios
+				// finite.
+				if len(s.X) > 1 {
+					return s.X[1], true
+				}
+				return 0, true
+			}
+			return x, true
+		}
+	}
+	return 0, false
+}

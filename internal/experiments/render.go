@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// RenderStats prints the Figure 8 dataset-statistics table.
+func RenderStats(w io.Writer, stats []dataset.Stats) {
+	fmt.Fprintf(w, "%-16s %8s %8s %10s %10s %12s %12s\n",
+		"Dataset", "#Users", "#Models", "Quality", "Cost", "MeanQuality", "MeanCost")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-16s %8d %8d %10s %10s %12.3f %12.3f\n",
+			s.Name, s.NumUsers, s.NumModels, s.QualityKind, s.CostKind, s.MeanQuality, s.MeanCost)
+	}
+}
+
+// RenderResult prints one experiment's average and worst-case loss curves
+// sampled at every 10% of the budget, in the paper's two-panel layout.
+func RenderResult(w io.Writer, title string, r Result) {
+	axis := "% of runs"
+	if r.Protocol.CostAware {
+		axis = "% of total cost"
+	}
+	fmt.Fprintf(w, "%s  [dataset=%s, runs=%d, test users=%d, budget=%.0f%%, axis=%s]\n",
+		title, r.Protocol.Dataset.Name, r.Protocol.Runs, r.Protocol.TestUsers,
+		100*r.Protocol.BudgetFrac, axis)
+	renderPanel(w, "average accuracy loss", r, func(s Series) []float64 { return s.Avg })
+	renderPanel(w, "worst-case accuracy loss", r, func(s Series) []float64 { return s.Worst })
+}
+
+func renderPanel(w io.Writer, panel string, r Result, pick func(Series) []float64) {
+	fmt.Fprintf(w, "  (%s)\n", panel)
+	fmt.Fprintf(w, "  %-8s", "x")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, " %16s", s.Label)
+	}
+	fmt.Fprintln(w)
+	grid := len(r.Series[0].X) - 1
+	for g := 0; g <= grid; g += grid / 10 {
+		fmt.Fprintf(w, "  %-8.0f", r.Series[0].X[g])
+		for _, s := range r.Series {
+			fmt.Fprintf(w, " %16.4f", pick(s)[g])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderResultMap prints a set of per-dataset results in a stable order.
+func RenderResultMap(w io.Writer, title string, results map[string]Result) {
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		RenderResult(w, fmt.Sprintf("%s — %s", title, k), results[k])
+		fmt.Fprintln(w)
+	}
+}
+
+// SummaryAt condenses a result into one line per strategy at a given budget
+// percentage (clamped to the grid): useful when every strategy converges by
+// the end and the differences live mid-budget.
+func SummaryAt(r Result, pct float64) string {
+	var sb strings.Builder
+	grid := len(r.Series[0].X) - 1
+	g := int(pct / 100 * float64(grid))
+	if g < 0 {
+		g = 0
+	}
+	if g > grid {
+		g = grid
+	}
+	for i, s := range r.Series {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		fmt.Fprintf(&sb, "%s: avg %.4f / worst %.4f @%g%%", s.Label, s.Avg[g], s.Worst[g], r.Series[0].X[g])
+	}
+	return sb.String()
+}
+
+// Summary condenses a result into one line per strategy: final average and
+// worst-case loss, for EXPERIMENTS.md tables.
+func Summary(r Result) string {
+	var sb strings.Builder
+	last := len(r.Series[0].X) - 1
+	for i, s := range r.Series {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		fmt.Fprintf(&sb, "%s: avg %.4f / worst %.4f", s.Label, s.Avg[last], s.Worst[last])
+	}
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// WarmStartAblation evaluates the §6 future-work direction of seeding each
+// model's prior mean from the shared log: instead of one global prior mean,
+// each arm's prior is its average quality across the training users,
+// centered around the global mean. Strong model correlation makes the
+// warm-started prior concentrate exploration on historically strong
+// architectures from the very first round.
+
+// ArmPriorMeans computes the warm-start offsets: per-model mean quality over
+// the training users, expressed as deviations from the global mean (so that
+// the scalar PriorMean still carries the absolute level).
+func ArmPriorMeans(d *dataset.Dataset, trainUsers []int) (offsets []float64, globalMean float64) {
+	k := d.NumModels()
+	offsets = make([]float64, k)
+	var global float64
+	for _, u := range trainUsers {
+		for j := 0; j < k; j++ {
+			offsets[j] += d.Quality[u][j]
+			global += d.Quality[u][j]
+		}
+	}
+	nu := float64(len(trainUsers))
+	global /= nu * float64(k)
+	for j := range offsets {
+		offsets[j] = offsets[j]/nu - global
+	}
+	return offsets, global
+}
+
+// RunWarmStartAblation compares plain ease.ml against the warm-started
+// variant under the standard cost-aware protocol. Both series share splits
+// and kernel.
+func RunWarmStartAblation(d *dataset.Dataset, cfg FigureConfig) (plain, warm Result, err error) {
+	cfg = cfg.withDefaults()
+	proto, err := (&Protocol{
+		Dataset:    d,
+		TestUsers:  cfg.TestUsers,
+		Runs:       cfg.runsFor(d),
+		BudgetFrac: 0.25,
+		CostAware:  true,
+		Seed:       cfg.Seed,
+	}).withDefaults()
+	if err != nil {
+		return plain, warm, err
+	}
+	kernel := tunedKernel(proto)
+	grid := proto.GridPoints
+
+	mkSeries := func(label string) Series {
+		s := Series{Label: label, X: make([]float64, grid+1), Avg: make([]float64, grid+1), Worst: make([]float64, grid+1)}
+		for g := 0; g <= grid; g++ {
+			s.X[g] = 100 * float64(g) / float64(grid)
+		}
+		return s
+	}
+	plainSeries := mkSeries("ease.ml")
+	warmSeries := mkSeries("ease.ml + warm start")
+
+	for run := 0; run < proto.Runs; run++ {
+		splitRng := rand.New(rand.NewSource(proto.Seed + int64(run)*7919))
+		train, test := d.Split(proto.TestUsers, splitRng)
+		features := d.QualityVectors(train)
+		offsets, globalMean := ArmPriorMeans(d, train)
+		env := core.NewMatrixEnv(d, test)
+
+		for variant, series := range map[int]*Series{0: &plainSeries, 1: &warmSeries} {
+			var armMeans []float64
+			if variant == 1 {
+				armMeans = offsets
+			}
+			sim, err := core.NewSimulation(core.SimConfig{
+				Env:           env,
+				UserPicker:    core.NewHybridPicker(),
+				ModelPicker:   core.UCBModelPicker{},
+				Kernel:        kernel,
+				Features:      features,
+				NoiseVar:      proto.NoiseVar,
+				CostAware:     true,
+				PriorMean:     globalMean,
+				ArmPriorMeans: armMeans,
+			})
+			if err != nil {
+				return plain, warm, err
+			}
+			budget := proto.BudgetFrac * env.TotalCost()
+			if _, err := sim.RunBudget(budget); err != nil {
+				return plain, warm, err
+			}
+			// Pre-run loss: the mean best quality (no models served yet).
+			var start float64
+			for i := 0; i < env.NumUsers(); i++ {
+				start += env.BestQuality(i)
+			}
+			curve := &lossCurve{start: start / float64(env.NumUsers())}
+			for _, tp := range sim.Trace() {
+				f := tp.CumCost / budget
+				if f > 1 {
+					f = 1
+				}
+				curve.fracs = append(curve.fracs, f)
+				curve.losses = append(curve.losses, tp.AvgLoss)
+			}
+			for g := 0; g <= grid; g++ {
+				v := curve.at(float64(g) / float64(grid))
+				series.Avg[g] += v
+				if v > series.Worst[g] {
+					series.Worst[g] = v
+				}
+			}
+		}
+	}
+	for g := 0; g <= grid; g++ {
+		plainSeries.Avg[g] /= float64(proto.Runs)
+		warmSeries.Avg[g] /= float64(proto.Runs)
+	}
+	plain = Result{Protocol: proto, Series: []Series{plainSeries}}
+	warm = Result{Protocol: proto, Series: []Series{warmSeries}}
+	return plain, warm, nil
+}

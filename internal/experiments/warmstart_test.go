@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestArmPriorMeans(t *testing.T) {
+	d := &dataset.Dataset{
+		Users:  []string{"a", "b", "c"},
+		Models: []dataset.ModelInfo{{Name: "m0"}, {Name: "m1"}},
+		Quality: [][]float64{
+			{0.2, 0.8},
+			{0.4, 0.6},
+			{0.0, 0.0}, // excluded from training
+		},
+		Cost: [][]float64{{1, 1}, {1, 1}, {1, 1}},
+	}
+	offsets, global := ArmPriorMeans(d, []int{0, 1})
+	if math.Abs(global-0.5) > 1e-12 {
+		t.Errorf("global mean %g, want 0.5", global)
+	}
+	// Model means 0.3 and 0.7 ⇒ offsets −0.2 and +0.2.
+	if math.Abs(offsets[0]+0.2) > 1e-12 || math.Abs(offsets[1]-0.2) > 1e-12 {
+		t.Errorf("offsets %v", offsets)
+	}
+	// Offsets are centered: they sum to ~0.
+	if math.Abs(offsets[0]+offsets[1]) > 1e-12 {
+		t.Errorf("offsets not centered: %v", offsets)
+	}
+}
+
+func TestWarmStartAblationRuns(t *testing.T) {
+	plain, warm, err := RunWarmStartAblation(dataset.DeepLearning(), smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLast := plain.Series[0].Avg[len(plain.Series[0].Avg)-1]
+	wLast := warm.Series[0].Avg[len(warm.Series[0].Avg)-1]
+	if math.IsNaN(pLast) || math.IsNaN(wLast) {
+		t.Fatal("NaN losses")
+	}
+	// Both variants must make substantial progress from the cold-start
+	// loss; the warm start must not be substantially worse overall (it
+	// front-loads historically strong models).
+	var aPlain, aWarm float64
+	for g := range plain.Series[0].Avg {
+		aPlain += plain.Series[0].Avg[g]
+		aWarm += warm.Series[0].Avg[g]
+	}
+	if aWarm > aPlain*1.25 {
+		t.Errorf("warm-start AUC %.4f much worse than plain %.4f", aWarm, aPlain)
+	}
+	if pLast >= plain.Series[0].Avg[0] || wLast >= warm.Series[0].Avg[0] {
+		t.Error("no progress within budget")
+	}
+}

@@ -1,0 +1,206 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// GP is a Gaussian Process posterior over a finite set of K arms (candidate
+// models), following Algorithm 1 of the paper. The prior has zero mean
+// (Appendix A: "for GP's not conditioned on data, we assume that µ = 0") and
+// covariance Σ; observations carry i.i.d. Gaussian noise of variance σ².
+//
+// A GP is not safe for concurrent use; each tenant owns its own instance.
+type GP struct {
+	prior    *linalg.Matrix // K×K prior covariance Σ
+	noiseVar float64        // σ²
+
+	arms []int     // a[1:t] — observed arm indices
+	ys   []float64 // y[1:t] — observed rewards
+
+	chol   *linalg.Cholesky // factorization of (Σt + σ²I); nil when t == 0
+	alpha  []float64        // (Σt+σ²I)⁻¹ y; nil when t == 0
+	jitter float64          // diagonal jitter added to keep (Σt+σ²I) PD
+}
+
+// New creates a GP over K arms with the given prior covariance and
+// observation noise variance σ² (noiseVar). It panics if the prior is not
+// square or noiseVar is negative.
+func New(prior *linalg.Matrix, noiseVar float64) *GP {
+	if prior.Rows() != prior.Cols() {
+		panic(fmt.Sprintf("gp: prior covariance must be square, got %d×%d", prior.Rows(), prior.Cols()))
+	}
+	if noiseVar < 0 {
+		panic(fmt.Sprintf("gp: negative noise variance %g", noiseVar))
+	}
+	return &GP{prior: prior.Clone(), noiseVar: noiseVar}
+}
+
+// NewFromFeatures creates a GP whose prior covariance is built from per-arm
+// feature vectors under the given kernel (Appendix A's quality-vector
+// construction).
+func NewFromFeatures(k Kernel, features [][]float64, noiseVar float64) *GP {
+	return New(CovarianceMatrix(k, features), noiseVar)
+}
+
+// NumArms returns K, the number of arms.
+func (g *GP) NumArms() int { return g.prior.Rows() }
+
+// NumObservations returns t, the number of observations so far.
+func (g *GP) NumObservations() int { return len(g.arms) }
+
+// NoiseVar returns the observation noise variance σ².
+func (g *GP) NoiseVar() float64 { return g.noiseVar }
+
+// PriorVar returns the prior variance Σ(k,k) of arm k.
+func (g *GP) PriorVar(k int) float64 { return g.prior.At(k, k) }
+
+// Observations returns copies of the observed arm indices and rewards.
+func (g *GP) Observations() (arms []int, ys []float64) {
+	arms = make([]int, len(g.arms))
+	copy(arms, g.arms)
+	ys = make([]float64, len(g.ys))
+	copy(ys, g.ys)
+	return arms, ys
+}
+
+// Observe conditions the process on reward y for arm k (Algorithm 1 line 5)
+// and updates the posterior (lines 6–7). It panics if k is out of range.
+//
+// The factorization of (Σt + σ²I) is extended incrementally in O(t²); a full
+// refactorization with escalating jitter is the fallback when the extended
+// matrix is numerically semi-definite.
+func (g *GP) Observe(k int, y float64) {
+	if k < 0 || k >= g.NumArms() {
+		panic(fmt.Sprintf("gp: arm %d out of range [0,%d)", k, g.NumArms()))
+	}
+	g.arms = append(g.arms, k)
+	g.ys = append(g.ys, y)
+	t := len(g.arms)
+	if g.chol != nil && t > 1 {
+		row := make([]float64, t)
+		for i, a := range g.arms[:t-1] {
+			row[i] = g.prior.At(a, k)
+		}
+		row[t-1] = g.prior.At(k, k) + g.noiseVar + g.jitter
+		if err := g.chol.Extend(row); err == nil {
+			g.alpha = g.chol.SolveVec(g.ys)
+			return
+		}
+	}
+	g.refactor()
+}
+
+// refactor rebuilds the Cholesky factorization of (Σt + σ²I) and the solve
+// vector alpha. t is at most a few hundred in every workload this system
+// handles, so a full O(t³) refactorization per observation is cheap.
+func (g *GP) refactor() {
+	t := len(g.arms)
+	kt := g.prior.Submatrix(g.arms, g.arms).AddDiag(g.noiseVar)
+	ch, jit, err := linalg.NewCholeskyJittered(kt, 1e-10, 12)
+	if err != nil {
+		panic(fmt.Sprintf("gp: covariance of %d observations is not PSD: %v", t, err))
+	}
+	g.chol = ch
+	g.jitter = jit
+	g.alpha = ch.SolveVec(g.ys)
+}
+
+// kvec returns Σt(k) = [Σ(a₁,k), …, Σ(a_t,k)].
+func (g *GP) kvec(k int) []float64 {
+	v := make([]float64, len(g.arms))
+	for i, a := range g.arms {
+		v[i] = g.prior.At(a, k)
+	}
+	return v
+}
+
+// Mean returns the posterior mean µt(k) of arm k.
+func (g *GP) Mean(k int) float64 {
+	if len(g.arms) == 0 {
+		return 0 // zero-mean prior
+	}
+	return linalg.Dot(g.kvec(k), g.alpha)
+}
+
+// Var returns the posterior variance σt²(k) of arm k, clamped at zero to
+// absorb floating-point round-off.
+func (g *GP) Var(k int) float64 {
+	prior := g.prior.At(k, k)
+	if len(g.arms) == 0 {
+		return prior
+	}
+	v := prior - g.chol.QuadForm(g.kvec(k))
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Std returns the posterior standard deviation σt(k) of arm k.
+func (g *GP) Std(k int) float64 { return math.Sqrt(g.Var(k)) }
+
+// Posterior returns the posterior mean and standard deviation for every arm
+// in one pass. It is equivalent to calling Mean and Std per arm but shares
+// the factorization work.
+func (g *GP) Posterior() (mu, sigma []float64) {
+	k := g.NumArms()
+	mu = make([]float64, k)
+	sigma = make([]float64, k)
+	if len(g.arms) == 0 {
+		for i := 0; i < k; i++ {
+			sigma[i] = math.Sqrt(g.prior.At(i, i))
+		}
+		return mu, sigma
+	}
+	for i := 0; i < k; i++ {
+		kv := g.kvec(i)
+		mu[i] = linalg.Dot(kv, g.alpha)
+		v := g.prior.At(i, i) - g.chol.QuadForm(kv)
+		if v < 0 {
+			v = 0
+		}
+		sigma[i] = math.Sqrt(v)
+	}
+	return mu, sigma
+}
+
+// LogMarginalLikelihood returns the log marginal likelihood of the
+// observations under the current prior:
+//
+//	log p(y) = −½ yᵀ(Σt+σ²I)⁻¹y − ½ log|Σt+σ²I| − t/2·log 2π.
+//
+// It returns 0 when there are no observations.
+func (g *GP) LogMarginalLikelihood() float64 {
+	t := len(g.arms)
+	if t == 0 {
+		return 0
+	}
+	quad := linalg.Dot(g.ys, g.alpha)
+	return -0.5*quad - 0.5*g.chol.LogDet() - 0.5*float64(t)*math.Log(2*math.Pi)
+}
+
+// Reset discards all observations, returning the process to its prior.
+func (g *GP) Reset() {
+	g.arms = g.arms[:0]
+	g.ys = g.ys[:0]
+	g.chol = nil
+	g.alpha = nil
+	g.jitter = 0
+}
+
+// Clone returns an independent deep copy of the process, including its
+// observation history.
+func (g *GP) Clone() *GP {
+	c := New(g.prior, g.noiseVar)
+	for i, a := range g.arms {
+		c.arms = append(c.arms, a)
+		c.ys = append(c.ys, g.ys[i])
+	}
+	if len(c.arms) > 0 {
+		c.refactor()
+	}
+	return c
+}

@@ -1,0 +1,212 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func perfectUserCorr(n int) *linalg.Matrix {
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 1)
+		}
+	}
+	return m
+}
+
+func TestMultiTaskValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"non-square user":  func() { NewMultiTask(linalg.NewMatrix(2, 3), linalg.Identity(2), 0.1) },
+		"non-square model": func() { NewMultiTask(linalg.Identity(2), linalg.NewMatrix(1, 2), 0.1) },
+		"negative noise":   func() { NewMultiTask(linalg.Identity(2), linalg.Identity(2), -1) },
+		"bad user index":   func() { NewMultiTask(linalg.Identity(2), linalg.Identity(2), 0.1).Observe(2, 0, 0.5) },
+		"bad model index":  func() { NewMultiTask(linalg.Identity(2), linalg.Identity(2), 0.1).Observe(0, 2, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMultiTaskPriorState(t *testing.T) {
+	mt := NewMultiTaskFromFeatures(
+		RBF{Variance: 1, LengthScale: 1}, [][]float64{{0}, {1}},
+		RBF{Variance: 0.5, LengthScale: 1}, [][]float64{{0}, {0.5}, {1}},
+		0.01,
+	)
+	if mt.NumUsers() != 2 || mt.NumModels() != 3 || mt.NumObservations() != 0 {
+		t.Fatalf("shape %d×%d obs %d", mt.NumUsers(), mt.NumModels(), mt.NumObservations())
+	}
+	// Prior: zero mean, variance = K_U(u,u)·K_M(m,m) = 1·0.5.
+	if mt.Mean(0, 0) != 0 {
+		t.Error("prior mean not zero")
+	}
+	if got := mt.Var(1, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("prior var %g, want 0.5", got)
+	}
+}
+
+// With perfectly correlated users, one user's observation transfers exactly
+// to the other user (same model): the cross-user posterior matches the
+// single-task posterior.
+func TestMultiTaskPerfectTransfer(t *testing.T) {
+	modelCov := linalg.Identity(2)
+	mt := NewMultiTask(perfectUserCorr(2), modelCov, 0.25)
+	mt.Observe(0, 0, 0.8)
+
+	single := New(modelCov, 0.25)
+	single.Observe(0, 0.8)
+
+	if got, want := mt.Mean(1, 0), single.Mean(0); math.Abs(got-want) > 1e-10 {
+		t.Errorf("cross-user mean %g, want single-task %g", got, want)
+	}
+	if got, want := mt.Var(1, 0), single.Var(0); math.Abs(got-want) > 1e-10 {
+		t.Errorf("cross-user var %g, want single-task %g", got, want)
+	}
+}
+
+// With independent users (identity K_U), nothing transfers: the other user's
+// posterior stays at the prior.
+func TestMultiTaskNoTransferWhenIndependent(t *testing.T) {
+	mt := NewMultiTask(linalg.Identity(2), linalg.Identity(2), 0.01)
+	mt.Observe(0, 0, 0.9)
+	if got := mt.Mean(1, 0); math.Abs(got) > 1e-12 {
+		t.Errorf("independent users leaked mean %g", got)
+	}
+	if got := mt.Var(1, 0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("independent users leaked variance: %g", got)
+	}
+	// The observed pair itself is updated.
+	if mt.Mean(0, 0) <= 0.5 {
+		t.Errorf("own posterior mean %g too low", mt.Mean(0, 0))
+	}
+}
+
+// Partial correlation transfers proportionally: 0 < cross-user update <
+// own update.
+func TestMultiTaskPartialTransfer(t *testing.T) {
+	userCov := linalg.NewMatrixFromRows([][]float64{{1, 0.6}, {0.6, 1}})
+	mt := NewMultiTask(userCov, linalg.Identity(2), 0.1)
+	mt.Observe(0, 1, 0.7)
+	own := mt.Mean(0, 1)
+	cross := mt.Mean(1, 1)
+	if !(cross > 0 && cross < own) {
+		t.Errorf("cross-user mean %g not strictly between 0 and own %g", cross, own)
+	}
+	// Variance shrinks for both, more for the observed user.
+	ownVar := mt.Var(0, 1)
+	crossVar := mt.Var(1, 1)
+	if !(ownVar < crossVar && crossVar < 1) {
+		t.Errorf("variances own %g cross %g prior 1", ownVar, crossVar)
+	}
+}
+
+func TestMultiTaskUserPosterior(t *testing.T) {
+	mt := NewMultiTaskFromFeatures(
+		RBF{Variance: 1, LengthScale: 0.5}, [][]float64{{0}, {0.2}, {1}},
+		RBF{Variance: 0.3, LengthScale: 0.4}, [][]float64{{0}, {0.5}, {1}, {1.5}},
+		0.01,
+	)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 6; i++ {
+		mt.Observe(rng.Intn(3), rng.Intn(4), rng.Float64())
+	}
+	mu, sigma := mt.UserPosterior(1)
+	if len(mu) != 4 || len(sigma) != 4 {
+		t.Fatalf("posterior lengths %d/%d", len(mu), len(sigma))
+	}
+	for a := 0; a < 4; a++ {
+		if math.Abs(mu[a]-mt.Mean(1, a)) > 1e-12 || math.Abs(sigma[a]-mt.Std(1, a)) > 1e-12 {
+			t.Errorf("UserPosterior disagrees with Mean/Std at arm %d", a)
+		}
+	}
+}
+
+// The incremental Extend path must agree with full refactorization.
+func TestMultiTaskIncrementalMatchesRefactor(t *testing.T) {
+	build := func(incremental bool) *MultiTask {
+		mt := NewMultiTaskFromFeatures(
+			RBF{Variance: 1, LengthScale: 0.6}, [][]float64{{0}, {0.3}, {0.9}},
+			RBF{Variance: 0.4, LengthScale: 0.5}, [][]float64{{0}, {0.4}, {0.8}},
+			0.05,
+		)
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 7; i++ {
+			mt.Observe(rng.Intn(3), rng.Intn(3), rng.Float64())
+			if !incremental {
+				mt.refactor()
+			}
+		}
+		return mt
+	}
+	inc, full := build(true), build(false)
+	for u := 0; u < 3; u++ {
+		for a := 0; a < 3; a++ {
+			if math.Abs(inc.Mean(u, a)-full.Mean(u, a)) > 1e-8 {
+				t.Fatalf("mean mismatch at (%d,%d): %g vs %g", u, a, inc.Mean(u, a), full.Mean(u, a))
+			}
+			if math.Abs(inc.Var(u, a)-full.Var(u, a)) > 1e-8 {
+				t.Fatalf("var mismatch at (%d,%d)", u, a)
+			}
+		}
+	}
+}
+
+// Property: posterior variance stays within [0, prior] everywhere, for any
+// observation sequence.
+func TestQuickMultiTaskVarianceBounds(t *testing.T) {
+	f := func(seed int64, obsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		uf := [][]float64{{0}, {0.4}, {0.8}}
+		mf := [][]float64{{0}, {0.3}, {0.6}, {0.9}}
+		mt := NewMultiTaskFromFeatures(
+			RBF{Variance: 1, LengthScale: 0.5}, uf,
+			RBF{Variance: 0.5, LengthScale: 0.5}, mf, 0.05)
+		for i := 0; i < int(obsRaw%15); i++ {
+			mt.Observe(rng.Intn(3), rng.Intn(4), rng.Float64())
+		}
+		for u := 0; u < 3; u++ {
+			for a := 0; a < 4; a++ {
+				v := mt.Var(u, a)
+				if v < 0 || v > 0.5+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMultiTaskObserve(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	uf := make([][]float64, 10)
+	for i := range uf {
+		uf[i] = []float64{rng.Float64()}
+	}
+	mf := make([][]float64, 30)
+	for i := range mf {
+		mf[i] = []float64{rng.Float64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt := NewMultiTaskFromFeatures(RBF{Variance: 1, LengthScale: 0.5}, uf,
+			RBF{Variance: 0.5, LengthScale: 0.5}, mf, 0.01)
+		for o := 0; o < 60; o++ {
+			mt.Observe(rng.Intn(10), rng.Intn(30), rng.Float64())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package gp
+
+import (
+	"math"
+)
+
+// TuneResult reports the outcome of a hyperparameter search.
+type TuneResult struct {
+	Kernel Kernel  // the winning kernel
+	LML    float64 // its (summed) log marginal likelihood
+}
+
+// TuneRBF grid-searches the RBF signal variance and length scale by
+// maximizing the summed log marginal likelihood over the provided training
+// function samples. Each element of samples is a full reward vector over the
+// arms (one training user's accuracies across all models, Appendix A).
+//
+// features are the per-arm quality vectors used to measure distances;
+// noiseVar is the fixed observation noise variance. variances and
+// lengthScales are the grids; when nil, sensible defaults spanning several
+// orders of magnitude are used. TuneRBF panics if samples is empty or a
+// sample's length differs from len(features).
+func TuneRBF(features [][]float64, samples [][]float64, noiseVar float64, variances, lengthScales []float64) TuneResult {
+	if len(samples) == 0 {
+		panic("gp: TuneRBF requires at least one training sample")
+	}
+	for _, s := range samples {
+		if len(s) != len(features) {
+			panic("gp: TuneRBF sample length does not match number of arms")
+		}
+	}
+	if variances == nil {
+		variances = []float64{0.001, 0.01, 0.05, 0.1, 0.5, 1}
+	}
+	if lengthScales == nil {
+		lengthScales = []float64{0.01, 0.05, 0.1, 0.5, 1, 2, 5}
+	}
+	best := TuneResult{LML: math.Inf(-1)}
+	for _, v := range variances {
+		for _, l := range lengthScales {
+			k := RBF{Variance: v, LengthScale: l}
+			lml := sumLML(k, features, samples, noiseVar)
+			if lml > best.LML {
+				best = TuneResult{Kernel: k, LML: lml}
+			}
+		}
+	}
+	return best
+}
+
+// TuneKernels evaluates an arbitrary list of candidate kernels and returns
+// the one with the highest summed log marginal likelihood over samples.
+func TuneKernels(candidates []Kernel, features [][]float64, samples [][]float64, noiseVar float64) TuneResult {
+	if len(candidates) == 0 {
+		panic("gp: TuneKernels requires at least one candidate")
+	}
+	best := TuneResult{LML: math.Inf(-1)}
+	for _, k := range candidates {
+		lml := sumLML(k, features, samples, noiseVar)
+		if lml > best.LML {
+			best = TuneResult{Kernel: k, LML: lml}
+		}
+	}
+	return best
+}
+
+// sumLML sums the log marginal likelihood of each centered sample under the
+// zero-mean GP with the given kernel. Samples are centered (their mean is
+// subtracted) because the working prior is zero-mean while raw accuracies
+// live around their task's baseline.
+func sumLML(k Kernel, features [][]float64, samples [][]float64, noiseVar float64) float64 {
+	cov := CovarianceMatrix(k, features)
+	var total float64
+	for _, s := range samples {
+		centered := center(s)
+		g := New(cov, noiseVar)
+		for arm, v := range centered {
+			g.arms = append(g.arms, arm)
+			g.ys = append(g.ys, v)
+		}
+		g.refactor()
+		total += g.LogMarginalLikelihood()
+	}
+	return total
+}
+
+// center returns s minus its mean.
+func center(s []float64) []float64 {
+	var mean float64
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(len(s))
+	out := make([]float64, len(s))
+	for i, v := range s {
+		out[i] = v - mean
+	}
+	return out
+}

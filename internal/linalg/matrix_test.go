@@ -1,0 +1,413 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %d×%d, want 3×4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("element (%d,%d) = %g, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("got %d×%d, want 3×2", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Errorf("wrong elements: %v", m)
+	}
+}
+
+func TestNewMatrixFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	NewMatrixFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative dims")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("I(%d,%d) = %g, want %g", i, j, id.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestSetAddAt(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2.5)
+	if got := m.At(0, 1); got != 7.5 {
+		t.Errorf("got %g, want 7.5", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestRowColClone(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	row := m.Row(1)
+	if row[0] != 4 || row[2] != 6 {
+		t.Errorf("Row(1) = %v", row)
+	}
+	col := m.Col(2)
+	if col[0] != 3 || col[1] != 6 {
+		t.Errorf("Col(2) = %v", col)
+	}
+	// Mutating copies must not affect the matrix.
+	row[0] = 99
+	col[0] = 99
+	if m.At(1, 0) != 4 || m.At(0, 2) != 3 {
+		t.Error("Row/Col returned aliased storage")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone returned aliased storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("got %d×%d, want 3×2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Errorf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := NewMatrixFromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 2))
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Errorf("got %v, want [-2 -2]", got)
+	}
+}
+
+func TestScaleAddDiagDiag(t *testing.T) {
+	m := Identity(3).Scale(2).AddDiag(0.5)
+	d := m.Diag()
+	for i, v := range d {
+		if v != 2.5 {
+			t.Errorf("diag[%d] = %g, want 2.5", i, v)
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2}, {4, 1}})
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Errorf("symmetrize failed: %v", m)
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.Submatrix([]int{2, 0}, []int{1})
+	if s.Rows() != 2 || s.Cols() != 1 || s.At(0, 0) != 8 || s.At(1, 0) != 2 {
+		t.Errorf("Submatrix = %v", s)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := SqDist([]float64{1, 1}, []float64{4, 5}); got != 25 {
+		t.Errorf("SqDist = %g, want 25", got)
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{10, 20}, y)
+	if y[0] != 21 || y[1] != 41 {
+		t.Errorf("AXPY = %v", y)
+	}
+}
+
+// randomSPD builds a random symmetric positive definite n×n matrix.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := b.Mul(b.Transpose())
+	a.AddDiag(float64(n)) // ensure well-conditioned
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 5, 10, 40} {
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		l := ch.L()
+		recon := l.Mul(l.Transpose())
+		if !recon.Equal(a, 1e-8) {
+			t.Errorf("n=%d: L·Lᵀ does not reconstruct A", n)
+		}
+	}
+}
+
+func TestCholeskyKnown2x2(t *testing.T) {
+	// A = [[4,2],[2,3]] ⇒ L = [[2,0],[1,sqrt2]]
+	a := NewMatrixFromRows([][]float64{{4, 2}, {2, 3}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ch.L()
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(l.At(1, 1)-math.Sqrt(2)) > 1e-12 || l.At(0, 1) != 0 {
+		t.Errorf("L = %v", l)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, err := NewCholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestCholeskyJittered(t *testing.T) {
+	// Rank-deficient PSD matrix: outer product of [1,1].
+	a := NewMatrixFromRows([][]float64{{1, 1}, {1, 1}})
+	ch, jitter, err := NewCholeskyJittered(a, 1e-10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jitter <= 0 {
+		t.Errorf("expected positive jitter, got %g", jitter)
+	}
+	if ch.Size() != 2 {
+		t.Errorf("Size = %d", ch.Size())
+	}
+	// A well-conditioned matrix should need no jitter.
+	_, jitter, err = NewCholeskyJittered(Identity(3), 1e-10, 5)
+	if err != nil || jitter != 0 {
+		t.Errorf("identity needed jitter %g, err %v", jitter, err)
+	}
+}
+
+func TestSolveVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 5, 20} {
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got := ch.SolveVec(b)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("n=%d: solution mismatch at %d: %g vs %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLogDet(t *testing.T) {
+	// diag(2,3,4): logdet = log 24.
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 3)
+	a.Set(2, 2, 4)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ch.LogDet(), math.Log(24); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogDet = %g, want %g", got, want)
+	}
+}
+
+func TestQuadForm(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{2, 0}, {0, 4}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bᵀA⁻¹b for b=[2,2]: 4/2 + 4/4 = 3.
+	if got := ch.QuadForm([]float64{2, 2}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("QuadForm = %g, want 3", got)
+	}
+}
+
+// Property: for random SPD matrices, SolveVec inverts MulVec.
+func TestQuickCholeskySolveInverts(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%15) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := ch.SolveVec(a.MulVec(x))
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transpose is an involution.
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64, rRaw, cRaw uint8) bool {
+		r, c := int(rRaw%8)+1, int(cRaw%8)+1
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QuadForm is always non-negative for SPD matrices.
+func TestQuickQuadFormNonNegative(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		return ch.QuadForm(b) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCholesky50(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSPD(rng, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveVec50(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomSPD(rng, 50)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make([]float64, 50)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.SolveVec(v)
+	}
+}

@@ -1,0 +1,94 @@
+// Package profile implements the "simple profiling" step of the ease.ml
+// pipeline (Figure 1, step 2: "Simple profiling and submission"): before a
+// candidate model enters the scheduler, its execution cost is estimated by
+// running a short probe — a few epochs on a subsample — and extrapolating to
+// the full grid-searched training run.
+//
+// The scheduler then selects with *estimated* costs while the cluster pays
+// *true* costs; the estimator's error model is what the cost-noise
+// sensitivity ablation in internal/experiments quantifies.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/trainsim"
+)
+
+// Estimate is one profiled cost prediction.
+type Estimate struct {
+	Task, Model   int
+	ProbeCost     float64 // cost actually spent probing
+	PredictedCost float64 // extrapolated full-run cost
+	TrueCost      float64 // ground truth (for evaluation only)
+}
+
+// RelativeError returns |predicted − true| / true.
+func (e Estimate) RelativeError() float64 {
+	return math.Abs(e.PredictedCost-e.TrueCost) / e.TrueCost
+}
+
+// Profiler estimates full-run training costs from short probes against a
+// trainsim Simulator.
+type Profiler struct {
+	sim *trainsim.Simulator
+	// ProbeEpochs is the number of epochs the probe runs (default 2).
+	ProbeEpochs int
+	// ProbeLRs is the number of learning rates probed (default 1).
+	ProbeLRs int
+	// NoiseSD perturbs the per-epoch timing measurement (relative, default
+	// 0.05): real profiling shares the machine with other work.
+	NoiseSD float64
+	rng     *rand.Rand
+}
+
+// NewProfiler creates a profiler over a simulator.
+func NewProfiler(sim *trainsim.Simulator, seed int64) *Profiler {
+	return &Profiler{sim: sim, ProbeEpochs: 2, ProbeLRs: 1, NoiseSD: 0.05, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Profile estimates the full grid-searched training cost of (task, model).
+// The probe observes ProbeEpochs×ProbeLRs epoch timings with measurement
+// noise and multiplies out to the full schedule.
+func (p *Profiler) Profile(task, model int) (Estimate, error) {
+	if task < 0 || task >= p.sim.NumTasks() {
+		return Estimate{}, fmt.Errorf("profile: task %d out of range", task)
+	}
+	if model < 0 || model >= p.sim.NumModels() {
+		return Estimate{}, fmt.Errorf("profile: model %d out of range", model)
+	}
+	trueCost := p.sim.Cost(task, model)
+	// Per-(epoch, lr) cost of the true schedule.
+	fullEpochs := float64(trainsim.DefaultEpochs * len(trainsim.DefaultLearningRates))
+	perEpoch := trueCost / fullEpochs
+
+	probeUnits := float64(p.ProbeEpochs * p.ProbeLRs)
+	var measured float64
+	for i := 0; i < p.ProbeEpochs*p.ProbeLRs; i++ {
+		measured += perEpoch * math.Exp(p.NoiseSD*p.rng.NormFloat64())
+	}
+	predicted := measured / probeUnits * fullEpochs
+	return Estimate{
+		Task:          task,
+		Model:         model,
+		ProbeCost:     measured,
+		PredictedCost: predicted,
+		TrueCost:      trueCost,
+	}, nil
+}
+
+// ProfileAll profiles every model for a task and returns the predicted
+// costs, suitable for seeding a cost-aware bandit.
+func (p *Profiler) ProfileAll(task int) ([]float64, error) {
+	costs := make([]float64, p.sim.NumModels())
+	for m := range costs {
+		est, err := p.Profile(task, m)
+		if err != nil {
+			return nil, err
+		}
+		costs[m] = est.PredictedCost
+	}
+	return costs, nil
+}

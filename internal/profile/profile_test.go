@@ -1,0 +1,94 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trainsim"
+)
+
+func testSim(t testing.TB) *trainsim.Simulator {
+	t.Helper()
+	sim, err := trainsim.DeepLearningSim([]trainsim.TaskSpec{
+		{Name: "t0", Difficulty: 0.1, SizeFactor: 1},
+		{Name: "t1", Difficulty: 0.2, SizeFactor: 2.5},
+	}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestProfileAccuracy(t *testing.T) {
+	sim := testSim(t)
+	p := NewProfiler(sim, 1)
+	for task := 0; task < 2; task++ {
+		for model := 0; model < sim.NumModels(); model++ {
+			est, err := p.Profile(task, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 5% per-epoch noise over a 2-epoch probe: relative error
+			// comfortably below 15%.
+			if est.RelativeError() > 0.15 {
+				t.Errorf("(%d,%d): relative error %.3f too large (pred %.1f vs true %.1f)",
+					task, model, est.RelativeError(), est.PredictedCost, est.TrueCost)
+			}
+			// Probes are cheap: far below the full-run cost.
+			if est.ProbeCost > est.TrueCost*0.05 {
+				t.Errorf("(%d,%d): probe cost %.2f not ≪ true cost %.1f", task, model, est.ProbeCost, est.TrueCost)
+			}
+		}
+	}
+}
+
+func TestProfileOrderingPreserved(t *testing.T) {
+	// Cost-aware selection only needs the ordering: the most expensive
+	// model (VGG-16) must still be estimated as the most expensive.
+	sim := testSim(t)
+	p := NewProfiler(sim, 2)
+	costs, err := p.ProfileAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxIdx := 0
+	for m, c := range costs {
+		if c > costs[maxIdx] {
+			maxIdx = m
+		}
+	}
+	if sim.Model(maxIdx).Name != "VGG-16" {
+		t.Errorf("estimated most expensive model is %s, want VGG-16", sim.Model(maxIdx).Name)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	p := NewProfiler(testSim(t), 3)
+	if _, err := p.Profile(-1, 0); err == nil {
+		t.Error("negative task accepted")
+	}
+	if _, err := p.Profile(0, 99); err == nil {
+		t.Error("out-of-range model accepted")
+	}
+}
+
+// Property: predictions are always positive and within a loose multiplicative
+// band of the truth.
+func TestQuickProfileBounds(t *testing.T) {
+	sim := testSim(t)
+	f := func(seed int64, taskRaw, modelRaw uint8) bool {
+		p := NewProfiler(sim, seed)
+		task := int(taskRaw) % sim.NumTasks()
+		model := int(modelRaw) % sim.NumModels()
+		est, err := p.Profile(task, model)
+		if err != nil {
+			return false
+		}
+		return est.PredictedCost > 0 &&
+			est.PredictedCost > est.TrueCost/2 &&
+			est.PredictedCost < est.TrueCost*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// API wraps a Scheduler with the HTTP surface of the ease.ml service:
+//
+//	POST /jobs                     submit a declarative job
+//	GET  /jobs                     list job ids
+//	GET  /jobs/{id}/status         job status and best model
+//	POST /jobs/{id}/feed           register example pairs
+//	POST /jobs/{id}/refine         toggle an example
+//	POST /jobs/{id}/infer          apply the best model
+//	POST /admin/rounds             run scheduling rounds synchronously
+//	GET  /admin/snapshot           checkpoint the shared storage as JSON
+type API struct {
+	sched *Scheduler
+}
+
+// NewAPI wraps a scheduler.
+func NewAPI(sched *Scheduler) *API { return &API{sched: sched} }
+
+// Handler returns the HTTP handler for the service.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", a.handleJobs)
+	mux.HandleFunc("/jobs/", a.handleJobOp)
+	mux.HandleFunc("/admin/rounds", a.handleRounds)
+	mux.HandleFunc("/admin/snapshot", a.handleSnapshot)
+	return mux
+}
+
+// SubmitRequest is the POST /jobs payload.
+type SubmitRequest struct {
+	Name    string `json:"name"`
+	Program string `json:"program"`
+}
+
+// SubmitResponse is the POST /jobs reply.
+type SubmitResponse struct {
+	ID         string   `json:"id"`
+	Template   string   `json:"template"`
+	Candidates []string `json:"candidates"`
+	Julia      string   `json:"julia"`
+	Python     string   `json:"python"`
+}
+
+// FeedRequest is the POST /jobs/{id}/feed payload.
+type FeedRequest struct {
+	Inputs  [][]float64 `json:"inputs"`
+	Outputs [][]float64 `json:"outputs"`
+}
+
+// FeedResponse is the feed reply.
+type FeedResponse struct {
+	IDs []int `json:"ids"`
+}
+
+// RefineRequest is the POST /jobs/{id}/refine payload.
+type RefineRequest struct {
+	Example int  `json:"example"`
+	Enabled bool `json:"enabled"`
+}
+
+// InferRequest is the POST /jobs/{id}/infer payload.
+type InferRequest struct {
+	Input []float64 `json:"input"`
+}
+
+// InferResponse is the infer reply.
+type InferResponse struct {
+	Output []float64 `json:"output"`
+	Model  string    `json:"model"`
+}
+
+// RoundsRequest is the POST /admin/rounds payload.
+type RoundsRequest struct {
+	Count int `json:"count"`
+}
+
+// RoundsResponse is the rounds reply.
+type RoundsResponse struct {
+	Ran   int `json:"ran"`
+	Total int `json:"total"`
+}
+
+func (a *API) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		var ids []string
+		for _, j := range a.sched.Jobs() {
+			ids = append(ids, j.ID)
+		}
+		writeJSON(w, http.StatusOK, map[string][]string{"jobs": ids})
+	case http.MethodPost:
+		var req SubmitRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		job, err := a.sched.Submit(req.Name, req.Program)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp := SubmitResponse{ID: job.ID, Template: job.Template, Julia: job.Julia, Python: job.Python}
+		for _, c := range job.Candidates {
+			resp.Candidates = append(resp.Candidates, c.Name())
+		}
+		writeJSON(w, http.StatusCreated, resp)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+	}
+}
+
+func (a *API) handleJobOp(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 || parts[0] == "" {
+		writeError(w, http.StatusNotFound, errors.New("use /jobs/{id}/{op}"))
+		return
+	}
+	id, op := parts[0], parts[1]
+	switch op {
+	case "status":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			return
+		}
+		st, err := a.sched.Status(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case "feed":
+		var req FeedRequest
+		if !requirePost(w, r) || !readJSON(w, r, &req) {
+			return
+		}
+		if len(req.Inputs) != len(req.Outputs) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%d inputs vs %d outputs", len(req.Inputs), len(req.Outputs)))
+			return
+		}
+		var resp FeedResponse
+		for i := range req.Inputs {
+			exID, err := a.sched.Feed(id, req.Inputs[i], req.Outputs[i])
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			resp.IDs = append(resp.IDs, exID)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case "refine":
+		var req RefineRequest
+		if !requirePost(w, r) || !readJSON(w, r, &req) {
+			return
+		}
+		if err := a.sched.Refine(id, req.Example, req.Enabled); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	case "infer":
+		var req InferRequest
+		if !requirePost(w, r) || !readJSON(w, r, &req) {
+			return
+		}
+		out, model, err := a.sched.Infer(id, req.Input)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, InferResponse{Output: out, Model: model})
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown operation %q", op))
+	}
+}
+
+func (a *API) handleRounds(w http.ResponseWriter, r *http.Request) {
+	var req RoundsRequest
+	if !requirePost(w, r) || !readJSON(w, r, &req) {
+		return
+	}
+	if req.Count <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("count %d must be positive", req.Count))
+		return
+	}
+	ran, err := a.sched.RunRounds(req.Count)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RoundsResponse{Ran: ran, Total: a.sched.Rounds()})
+}
+
+func (a *API) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := a.sched.Snapshot(w); err != nil {
+		// Headers are already sent; the truncated body signals the failure.
+		return
+	}
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return false
+	}
+	return true
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,504 @@
+// Package server implements the ease.ml service of §2 Figure 1: users submit
+// declarative jobs over HTTP, feed supervision examples, refine them, and
+// call infer against the best model found so far, while a multi-tenant
+// scheduler (internal/core's HYBRID policy) decides which job's next
+// candidate model to train on the shared (simulated) GPU pool.
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/bandit"
+	"repro/internal/cluster"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/gp"
+	"repro/internal/storage"
+	"repro/internal/templates"
+	"repro/internal/trainsim"
+)
+
+// Trainer runs one candidate model for a job and reports its measured
+// accuracy plus the execution cost. EstimateCost must be stable and
+// strictly positive; the scheduler uses it for cost-aware selection before
+// the candidate ever runs.
+type Trainer interface {
+	Train(jobID string, c templates.Candidate) (accuracy, cost float64)
+	EstimateCost(jobID string, c templates.Candidate) float64
+}
+
+// SimTrainer trains candidates on the trainsim learning-curve substrate,
+// serialized through a simulated GPU pool (the deployed single-device
+// strategy of §4.5).
+type SimTrainer struct {
+	Pool *cluster.Pool
+	Seed int64
+
+	mu   sync.Mutex
+	sims map[string]*simEntry
+}
+
+type simEntry struct {
+	sim   *trainsim.Simulator
+	index map[string]int // candidate name → model index
+}
+
+// NewSimTrainer creates a SimTrainer over the given pool.
+func NewSimTrainer(pool *cluster.Pool, seed int64) *SimTrainer {
+	return &SimTrainer{Pool: pool, Seed: seed, sims: make(map[string]*simEntry)}
+}
+
+// Register builds the per-job simulator for a candidate list. Candidate
+// training behaviour is derived deterministically from the job id and the
+// candidate name, so restarts reproduce the same quality surface.
+func (st *SimTrainer) Register(jobID string, cands []templates.Candidate) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.sims[jobID]; ok {
+		return fmt.Errorf("server: job %q already registered with trainer", jobID)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(jobID))
+	jobHash := int64(h.Sum64() & 0x7fffffffffff)
+
+	difficulty := 0.05 + 0.30*frac(jobHash, 11)
+	entry := &simEntry{index: make(map[string]int, len(cands))}
+	models := make([]trainsim.ModelSpec, len(cands))
+	for i, c := range cands {
+		ch := fnv.New64a()
+		ch.Write([]byte(c.Model))
+		candHash := int64(ch.Sum64() & 0x7fffffffffff)
+		peak := 0.55 + 0.40*frac(candHash, 3)
+		if c.Normalizer != nil {
+			// Normalization variants perturb the base model's peak: helpful
+			// for some (job, k) pairs, harmful for others.
+			peak += 0.10 * (frac(jobHash^candHash, 5) - 0.5) * c.Normalizer.K
+			peak = clamp(peak, 0.05, 0.99)
+		}
+		models[i] = trainsim.ModelSpec{
+			Name:         c.Name(),
+			Peak:         peak,
+			Tau:          10 + 30*frac(candHash, 7),
+			CostPerEpoch: 0.5 + 15*frac(candHash, 13)*frac(candHash, 17),
+			BestLR:       trainsim.DefaultLearningRates[int(candHash)%len(trainsim.DefaultLearningRates)],
+		}
+		entry.index[c.Name()] = i
+	}
+	sim, err := trainsim.New(trainsim.Config{
+		Models: models,
+		Tasks:  []trainsim.TaskSpec{{Name: jobID, Difficulty: difficulty, SizeFactor: 0.5 + 2*frac(jobHash, 19)}},
+		Seed:   st.Seed ^ jobHash,
+	})
+	if err != nil {
+		return fmt.Errorf("server: building simulator for %q: %w", jobID, err)
+	}
+	entry.sim = sim
+	st.sims[jobID] = entry
+	return nil
+}
+
+// Train implements Trainer.
+func (st *SimTrainer) Train(jobID string, c templates.Candidate) (float64, float64) {
+	st.mu.Lock()
+	entry, ok := st.sims[jobID]
+	st.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("server: job %q not registered", jobID))
+	}
+	idx, ok := entry.index[c.Name()]
+	if !ok {
+		panic(fmt.Sprintf("server: job %q has no candidate %q", jobID, c.Name()))
+	}
+	res := entry.sim.Train(0, idx)
+	if st.Pool != nil {
+		st.Pool.RunSingleDevice(jobID+"/"+c.Name(), res.Cost)
+	}
+	return res.Accuracy, res.Cost
+}
+
+// EstimateCost implements Trainer.
+func (st *SimTrainer) EstimateCost(jobID string, c templates.Candidate) float64 {
+	st.mu.Lock()
+	entry, ok := st.sims[jobID]
+	st.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("server: job %q not registered", jobID))
+	}
+	idx, ok := entry.index[c.Name()]
+	if !ok {
+		panic(fmt.Sprintf("server: job %q has no candidate %q", jobID, c.Name()))
+	}
+	return entry.sim.Cost(0, idx)
+}
+
+func frac(h int64, salt int64) float64 {
+	x := uint64(h) * uint64(salt*2654435761+1)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return float64(x%1000003) / 1000003
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}
+
+// Job is one submitted ease.ml task.
+type Job struct {
+	ID         string
+	Name       string
+	Program    dsl.Program
+	Template   string
+	Candidates []templates.Candidate
+	Julia      string
+	Python     string
+
+	tenant *core.Tenant
+	store  *storage.TaskStore
+}
+
+// Scheduler owns the job set and drives multi-tenant model selection over
+// it. It is the in-process core of the HTTP server and is usable directly
+// (examples drive it without HTTP).
+type Scheduler struct {
+	mu      sync.Mutex
+	store   *storage.Store
+	trainer Trainer
+	picker  core.UserPicker
+	jobs    []*Job
+	byID    map[string]*Job
+	nextID  int
+	rounds  int
+	server  string // advertised server address for codegen
+}
+
+// NewScheduler creates a scheduler with the given trainer and user picker
+// (nil picker defaults to ease.ml's HYBRID policy).
+func NewScheduler(trainer Trainer, picker core.UserPicker, serverAddr string) *Scheduler {
+	if picker == nil {
+		picker = core.NewHybridPicker()
+	}
+	if serverAddr == "" {
+		serverAddr = "http://localhost:9000"
+	}
+	return &Scheduler{
+		store:   storage.NewStore(),
+		trainer: trainer,
+		picker:  picker,
+		byID:    make(map[string]*Job),
+		server:  serverAddr,
+	}
+}
+
+// Submit parses and registers a new job: the program is validated, matched
+// against the Figure 4 templates, candidates are generated (including
+// normalization variants for image-shaped inputs), code is generated, and a
+// GP-UCB tenant is created for the scheduler.
+func (sc *Scheduler) Submit(name, programSrc string) (*Job, error) {
+	prog, err := dsl.Parse(programSrc)
+	if err != nil {
+		return nil, err
+	}
+	cands, tpl, err := templates.Generate(prog, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.nextID++
+	id := fmt.Sprintf("job-%04d", sc.nextID)
+
+	if reg, ok := sc.trainer.(*SimTrainer); ok {
+		if err := reg.Register(id, cands); err != nil {
+			return nil, err
+		}
+	}
+	ts, err := sc.store.CreateTask(id)
+	if err != nil {
+		return nil, err
+	}
+
+	costs := make([]float64, len(cands))
+	features := make([][]float64, len(cands))
+	for i, c := range cands {
+		costs[i] = sc.trainer.EstimateCost(id, c)
+		features[i] = candidateFeature(c)
+	}
+	process := gp.NewFromFeatures(gp.RBF{Variance: 0.05, LengthScale: 0.5}, features, 1e-4)
+	b := bandit.New(process, bandit.Config{
+		Costs:     costs,
+		CostAware: true,
+		BetaArms:  32 * len(cands), // headroom for jobs arriving later
+		Mean0:     0.6,
+	})
+	job := &Job{
+		ID:         id,
+		Name:       name,
+		Program:    prog,
+		Template:   tpl.Name,
+		Candidates: cands,
+		Julia:      codegen.JuliaTypes(prog),
+		Python:     codegen.PythonLibrary(id, sc.server, prog),
+		tenant:     core.NewTenant(len(sc.jobs), id, b),
+		store:      ts,
+	}
+	sc.jobs = append(sc.jobs, job)
+	sc.byID[id] = job
+	return job, nil
+}
+
+// candidateFeature embeds a candidate for the GP kernel: a hash-derived
+// model-family coordinate plus the normalization parameter. Candidates of
+// the same base model cluster together, which is what lets one observation
+// inform its normalization variants.
+func candidateFeature(c templates.Candidate) []float64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.Model))
+	base := float64(h.Sum64()%1000) / 1000
+	k := 0.0
+	if c.Normalizer != nil {
+		k = c.Normalizer.K
+	}
+	return []float64{base, k * 0.3}
+}
+
+// Job returns a job by id.
+func (sc *Scheduler) Job(id string) (*Job, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	j, ok := sc.byID[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (sc *Scheduler) Jobs() []*Job {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return append([]*Job(nil), sc.jobs...)
+}
+
+// Rounds returns the number of completed scheduling rounds.
+func (sc *Scheduler) Rounds() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.rounds
+}
+
+// RunRound executes one multi-tenant scheduling round: pick a job, pick its
+// next candidate, train it, and record the result. It returns false when no
+// job has untried candidates.
+func (sc *Scheduler) RunRound() (bool, error) {
+	sc.mu.Lock()
+	tenants := make([]*core.Tenant, len(sc.jobs))
+	for i, j := range sc.jobs {
+		tenants[i] = j.tenant
+	}
+	idx := sc.picker.Pick(tenants)
+	if idx < 0 {
+		sc.mu.Unlock()
+		return false, nil
+	}
+	job := sc.jobs[idx]
+	arm, ucb := job.tenant.Bandit.SelectArm()
+	if arm < 0 {
+		sc.mu.Unlock()
+		return false, fmt.Errorf("server: picker chose exhausted job %s", job.ID)
+	}
+	cand := job.Candidates[arm]
+	sc.rounds++
+	round := sc.rounds
+	sc.mu.Unlock()
+
+	// Train outside the lock: this is the long-running part.
+	acc, cost := sc.trainer.Train(job.ID, cand)
+
+	sc.mu.Lock()
+	job.tenant.Bandit.Observe(arm, acc)
+	job.tenant.RecordObservation(ucb, acc)
+	sc.mu.Unlock()
+
+	job.store.RecordModel(storage.ModelRecord{
+		Name:     cand.Name(),
+		Accuracy: acc,
+		Cost:     cost,
+		Round:    round,
+	})
+	return true, nil
+}
+
+// RunRounds executes up to n rounds, stopping early when all jobs are
+// exhausted. It returns the number of rounds that ran.
+func (sc *Scheduler) RunRounds(n int) (int, error) {
+	ran := 0
+	for ran < n {
+		ok, err := sc.RunRound()
+		if err != nil {
+			return ran, err
+		}
+		if !ok {
+			break
+		}
+		ran++
+	}
+	return ran, nil
+}
+
+// Feed stores a supervision example for a job.
+func (sc *Scheduler) Feed(jobID string, input, output []float64) (int, error) {
+	job, ok := sc.Job(jobID)
+	if !ok {
+		return 0, fmt.Errorf("server: no job %q", jobID)
+	}
+	if want := job.Program.Input.TotalElements(); len(input) != want {
+		return 0, fmt.Errorf("server: input has %d elements, schema wants %d", len(input), want)
+	}
+	if want := job.Program.Output.TotalElements(); len(output) != want {
+		return 0, fmt.Errorf("server: output has %d elements, schema wants %d", len(output), want)
+	}
+	return job.store.Feed(input, output), nil
+}
+
+// Refine toggles a supervision example for a job.
+func (sc *Scheduler) Refine(jobID string, exampleID int, enabled bool) error {
+	job, ok := sc.Job(jobID)
+	if !ok {
+		return fmt.Errorf("server: no job %q", jobID)
+	}
+	return job.store.Refine(exampleID, enabled)
+}
+
+// Infer applies the best model so far to an input. The simulated model
+// produces a deterministic pseudo-prediction whose entries depend on the
+// input and the model name; it returns an error before the first model
+// completes (the user has no model yet).
+func (sc *Scheduler) Infer(jobID string, input []float64) ([]float64, string, error) {
+	job, ok := sc.Job(jobID)
+	if !ok {
+		return nil, "", fmt.Errorf("server: no job %q", jobID)
+	}
+	if want := job.Program.Input.TotalElements(); len(input) != want {
+		return nil, "", fmt.Errorf("server: input has %d elements, schema wants %d", len(input), want)
+	}
+	best, ok := job.store.Best()
+	if !ok {
+		return nil, "", fmt.Errorf("server: job %q has no trained model yet", jobID)
+	}
+	out := make([]float64, job.Program.Output.TotalElements())
+	h := fnv.New64a()
+	h.Write([]byte(best.Name))
+	seed := float64(h.Sum64()%997) / 997
+	var acc float64
+	for _, v := range input {
+		acc += v
+	}
+	for i := range out {
+		out[i] = math.Abs(math.Sin(acc*seed + float64(i)))
+	}
+	return out, best.Name, nil
+}
+
+// Status summarizes a job for the status endpoint.
+type Status struct {
+	ID            string                `json:"id"`
+	Name          string                `json:"name"`
+	Template      string                `json:"template"`
+	NumCandidates int                   `json:"num_candidates"`
+	Trained       int                   `json:"trained"`
+	Examples      int                   `json:"examples"`
+	Enabled       int                   `json:"enabled"`
+	Best          *storage.ModelRecord  `json:"best,omitempty"`
+	Models        []storage.ModelRecord `json:"models"`
+}
+
+// Snapshot checkpoints the shared storage (fed examples, refine state and
+// completed model records for every job) as JSON. Scheduler state (bandit
+// posteriors) is reconstructable by replaying the recorded model results;
+// job definitions are the users' programs and are resubmitted on restart.
+func (sc *Scheduler) Snapshot(w io.Writer) error {
+	return sc.store.Snapshot(w)
+}
+
+// Restore replays a storage snapshot into this scheduler: for every job id
+// present in both the snapshot and the current job set (jobs are resubmitted
+// from their programs on restart, which reproduces the same ids and
+// candidate surfaces), the recorded examples and model results are loaded
+// and each completed run is fed back into the job's bandit so the GP
+// posterior resumes where the previous process stopped.
+//
+// It must be called before any scheduling round; it returns an error when a
+// snapshot record does not match the job's candidate set.
+func (sc *Scheduler) Restore(r io.Reader) error {
+	snap, err := storage.LoadStore(r)
+	if err != nil {
+		return err
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.rounds != 0 {
+		return fmt.Errorf("server: Restore after %d rounds; restore into a fresh scheduler", sc.rounds)
+	}
+	for _, id := range snap.TaskIDs() {
+		job, ok := sc.byID[id]
+		if !ok {
+			return fmt.Errorf("server: snapshot contains unknown job %q (resubmit jobs before restoring)", id)
+		}
+		candidateIdx := make(map[string]int, len(job.Candidates))
+		for i, c := range job.Candidates {
+			candidateIdx[c.Name()] = i
+		}
+		ts, _ := snap.Task(id)
+		// Re-feed examples preserving ids and refine state.
+		for _, ex := range ts.Examples() {
+			newID := job.store.Feed(ex.Input, ex.Output)
+			if err := job.store.Refine(newID, ex.Enabled); err != nil {
+				return fmt.Errorf("server: restoring example %d of %q: %w", ex.ID, id, err)
+			}
+		}
+		// Replay completed runs into the bandit and the model records.
+		for _, m := range ts.Models() {
+			arm, ok := candidateIdx[m.Name]
+			if !ok {
+				return fmt.Errorf("server: snapshot run %q does not match a candidate of %q", m.Name, id)
+			}
+			if job.tenant.Bandit.Tried(arm) {
+				return fmt.Errorf("server: snapshot replays candidate %q of %q twice", m.Name, id)
+			}
+			ucb := job.tenant.Bandit.UCB(arm)
+			job.tenant.Bandit.Observe(arm, m.Accuracy)
+			job.tenant.RecordObservation(ucb, m.Accuracy)
+			job.store.RecordModel(m)
+			if m.Round > sc.rounds {
+				sc.rounds = m.Round
+			}
+		}
+	}
+	return nil
+}
+
+// Status reports a job's current state.
+func (sc *Scheduler) Status(jobID string) (Status, error) {
+	job, ok := sc.Job(jobID)
+	if !ok {
+		return Status{}, fmt.Errorf("server: no job %q", jobID)
+	}
+	st := Status{
+		ID:            job.ID,
+		Name:          job.Name,
+		Template:      job.Template,
+		NumCandidates: len(job.Candidates),
+		Models:        job.store.Models(),
+		Examples:      len(job.store.Examples()),
+		Enabled:       job.store.EnabledCount(),
+	}
+	st.Trained = len(st.Models)
+	if best, ok := job.store.Best(); ok {
+		st.Best = &best
+	}
+	return st, nil
+}

@@ -1,0 +1,405 @@
+package server_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+const imgProgram = "{input: {[Tensor[8, 8, 3]], []}, output: {[Tensor[2]], []}}"
+const tsProgram = "{input: {[Tensor[4]], [next]}, output: {[Tensor[2]], []}}"
+
+func newScheduler(t testing.TB) *server.Scheduler {
+	t.Helper()
+	pool := cluster.NewPool(8, 0.9)
+	return server.NewScheduler(server.NewSimTrainer(pool, 42), nil, "http://test:9000")
+}
+
+func TestSubmitGeneratesEverything(t *testing.T) {
+	sc := newScheduler(t)
+	job, err := sc.Submit("dogs-vs-cats", imgProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Template != "image-classification" {
+		t.Errorf("template %q", job.Template)
+	}
+	if len(job.Candidates) != 35 { // 7 models × (1 + 4 normalizations)
+		t.Errorf("%d candidates, want 35", len(job.Candidates))
+	}
+	if !strings.Contains(job.Julia, "type Input") {
+		t.Error("missing Julia codegen")
+	}
+	if !strings.Contains(job.Python, job.ID) {
+		t.Error("python stub does not embed task id")
+	}
+}
+
+func TestSubmitRejectsBadProgram(t *testing.T) {
+	sc := newScheduler(t)
+	if _, err := sc.Submit("bad", "{not a program}"); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestFeedRefineLifecycle(t *testing.T) {
+	sc := newScheduler(t)
+	job, err := sc.Submit("ts", tsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sc.Feed(job.ID, []float64{1, 2, 3, 4}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schema enforcement.
+	if _, err := sc.Feed(job.ID, []float64{1}, []float64{0, 1}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := sc.Feed(job.ID, []float64{1, 2, 3, 4}, []float64{0}); err == nil {
+		t.Error("short output accepted")
+	}
+	if err := sc.Refine(job.ID, id, false); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sc.Status(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Examples != 1 || st.Enabled != 0 {
+		t.Errorf("status %+v", st)
+	}
+	if err := sc.Refine("nope", id, false); err == nil {
+		t.Error("unknown job accepted")
+	}
+}
+
+func TestSchedulingRoundsProduceModels(t *testing.T) {
+	sc := newScheduler(t)
+	jobA, err := sc.Submit("a", imgProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := sc.Submit("b", tsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := sc.RunRounds(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 10 {
+		t.Fatalf("ran %d rounds, want 10", ran)
+	}
+	stA, _ := sc.Status(jobA.ID)
+	stB, _ := sc.Status(jobB.ID)
+	if stA.Trained+stB.Trained != 10 {
+		t.Errorf("trained %d+%d models, want 10", stA.Trained, stB.Trained)
+	}
+	// Multi-tenancy: both jobs must have been served (hybrid init sweep).
+	if stA.Trained == 0 || stB.Trained == 0 {
+		t.Errorf("a tenant starved: %d vs %d", stA.Trained, stB.Trained)
+	}
+	if stA.Best == nil || stA.Best.Accuracy <= 0 {
+		t.Errorf("no best model: %+v", stA.Best)
+	}
+	// Best must be the max over trained models.
+	for _, m := range stA.Models {
+		if m.Accuracy > stA.Best.Accuracy {
+			t.Errorf("best %g below trained model %g", stA.Best.Accuracy, m.Accuracy)
+		}
+	}
+}
+
+func TestRunRoundsExhausts(t *testing.T) {
+	sc := newScheduler(t)
+	job, err := sc.Submit("ts", tsProgram) // 4 candidates only
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := sc.RunRounds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 4 {
+		t.Errorf("ran %d rounds, want 4 (candidate count)", ran)
+	}
+	st, _ := sc.Status(job.ID)
+	if st.Trained != 4 {
+		t.Errorf("trained %d", st.Trained)
+	}
+}
+
+func TestInfer(t *testing.T) {
+	sc := newScheduler(t)
+	job, err := sc.Submit("ts", tsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sc.Infer(job.ID, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("infer before any training should fail")
+	}
+	if _, err := sc.RunRounds(2); err != nil {
+		t.Fatal(err)
+	}
+	out, model, err := sc.Infer(job.ID, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || model == "" {
+		t.Errorf("infer = %v via %q", out, model)
+	}
+	// Deterministic for the same input and model.
+	out2, _, err := sc.Infer(job.ID, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != out2[0] || out[1] != out2[1] {
+		t.Error("infer is not deterministic")
+	}
+	if _, _, err := sc.Infer(job.ID, []float64{1}); err == nil {
+		t.Error("wrong input arity accepted")
+	}
+}
+
+func TestTrainerDeterministicAcrossSchedulers(t *testing.T) {
+	run := func() float64 {
+		sc := server.NewScheduler(server.NewSimTrainer(cluster.NewPool(8, 0.9), 42), nil, "")
+		job, err := sc.Submit("a", imgProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.RunRounds(5); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := sc.Status(job.ID)
+		return st.Best.Accuracy
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different best accuracies %g vs %g", a, b)
+	}
+}
+
+// Full integration over HTTP: submit → feed → rounds → status → infer,
+// exercised through the typed client.
+func TestHTTPEndToEnd(t *testing.T) {
+	sc := newScheduler(t)
+	srv := httptest.NewServer(server.NewAPI(sc).Handler())
+	defer srv.Close()
+	cl := client.New(srv.URL)
+
+	sub, err := cl.Submit("dogs", imgProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Template != "image-classification" || len(sub.Candidates) != 35 {
+		t.Fatalf("submit response %+v", sub)
+	}
+	jobs, err := cl.Jobs()
+	if err != nil || len(jobs) != 1 || jobs[0] != sub.ID {
+		t.Fatalf("jobs = %v, err %v", jobs, err)
+	}
+
+	in := make([]float64, 8*8*3)
+	ids, err := cl.Feed(sub.ID, [][]float64{in}, [][]float64{{1, 0}})
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("feed: ids=%v err=%v", ids, err)
+	}
+	if err := cl.Refine(sub.ID, ids[0], false); err != nil {
+		t.Fatal(err)
+	}
+
+	rr, err := cl.RunRounds(3)
+	if err != nil || rr.Ran != 3 {
+		t.Fatalf("rounds: %+v err=%v", rr, err)
+	}
+	st, err := cl.Status(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trained != 3 || st.Best == nil || st.Enabled != 0 || st.Examples != 1 {
+		t.Fatalf("status %+v", st)
+	}
+	inf, err := cl.Infer(sub.ID, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inf.Output) != 2 || inf.Model != st.Best.Name {
+		t.Errorf("infer %+v", inf)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	sc := newScheduler(t)
+	srv := httptest.NewServer(server.NewAPI(sc).Handler())
+	defer srv.Close()
+	cl := client.New(srv.URL)
+
+	if _, err := cl.Submit("bad", "nope"); err == nil {
+		t.Error("bad program accepted over HTTP")
+	}
+	if _, err := cl.Status("missing"); err == nil {
+		t.Error("missing job status should error")
+	}
+	if _, err := cl.Feed("missing", [][]float64{{1}}, [][]float64{{1}}); err == nil {
+		t.Error("feed to missing job should error")
+	}
+	if _, err := cl.RunRounds(-1); err == nil {
+		t.Error("negative round count accepted")
+	}
+	if _, err := cl.Feed("missing", [][]float64{{1}, {2}}, [][]float64{{1}}); err == nil {
+		t.Error("mismatched feed arity accepted")
+	}
+}
+
+func TestSimTrainerCostsPositiveAndStable(t *testing.T) {
+	st := server.NewSimTrainer(cluster.NewPool(4, 0.9), 7)
+	sc := server.NewScheduler(st, nil, "")
+	job, err := sc.Submit("a", imgProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range job.Candidates {
+		c1 := st.EstimateCost(job.ID, c)
+		c2 := st.EstimateCost(job.ID, c)
+		if c1 <= 0 || c1 != c2 {
+			t.Fatalf("candidate %q cost %g/%g", c.Name(), c1, c2)
+		}
+	}
+	// Training advances the shared pool's clock.
+	before := st.Pool.Now()
+	if _, err := sc.RunRounds(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pool.Now() <= before {
+		t.Error("training did not consume GPU time")
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	sc := newScheduler(t)
+	srv := httptest.NewServer(server.NewAPI(sc).Handler())
+	defer srv.Close()
+
+	cl := client.New(srv.URL)
+	sub, err := cl.Submit("snap", tsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Feed(sub.ID, [][]float64{{1, 2, 3, 4}}, [][]float64{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RunRounds(2); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/admin/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	restored, err := storage.LoadStore(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, ok := restored.Task(sub.ID)
+	if !ok {
+		t.Fatalf("restored store missing task %s", sub.ID)
+	}
+	if len(ts.Examples()) != 1 || len(ts.Models()) != 2 {
+		t.Errorf("restored %d examples, %d models", len(ts.Examples()), len(ts.Models()))
+	}
+	best, ok := ts.Best()
+	if !ok || best.Accuracy <= 0 {
+		t.Errorf("restored best %+v", best)
+	}
+	// Wrong method is rejected.
+	postResp, err := http.Post(srv.URL+"/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST snapshot returned %d", postResp.StatusCode)
+	}
+}
+
+// Crash-restart path: snapshot a running service, build a fresh scheduler,
+// resubmit the same jobs, restore — the best model, the model history and
+// the bandit's tried set must survive, and scheduling must continue without
+// retraining completed candidates.
+func TestRestoreResumesService(t *testing.T) {
+	mk := func() *server.Scheduler {
+		return server.NewScheduler(server.NewSimTrainer(cluster.NewPool(4, 0.9), 42), nil, "")
+	}
+	old := mk()
+	if _, err := old.Submit("a", tsProgram); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Submit("b", tsProgram); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Feed("job-0001", []float64{1, 2, 3, 4}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.RunRounds(3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := old.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	oldStatus, _ := old.Status("job-0001")
+
+	fresh := mk()
+	if _, err := fresh.Submit("a", tsProgram); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Submit("b", tsProgram); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fresh.Status("job-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trained != oldStatus.Trained || st.Examples != 1 {
+		t.Errorf("restored status %+v, want %d trained", st, oldStatus.Trained)
+	}
+	if oldStatus.Best != nil && (st.Best == nil || st.Best.Name != oldStatus.Best.Name) {
+		t.Errorf("restored best %+v, want %+v", st.Best, oldStatus.Best)
+	}
+	// Continuing must not retrain completed candidates: total across both
+	// jobs is 8 candidates, 3 already done ⇒ at most 5 more rounds.
+	ran, err := fresh.RunRounds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 5 {
+		t.Errorf("ran %d more rounds after restore, want 5", ran)
+	}
+}
+
+func TestRestoreRejectsUnknownJob(t *testing.T) {
+	old := server.NewScheduler(server.NewSimTrainer(cluster.NewPool(2, 0.9), 1), nil, "")
+	if _, err := old.Submit("a", tsProgram); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := old.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := server.NewScheduler(server.NewSimTrainer(cluster.NewPool(2, 0.9), 1), nil, "")
+	if err := fresh.Restore(&buf); err == nil {
+		t.Error("restore without resubmitted jobs accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot/Load give the shared store crash-restart durability: the server
+// can checkpoint all fed examples, refine states and completed model records
+// to a writer (typically a file on the 100 TB shared storage of Figure 1)
+// and restore them on startup.
+
+// storeSnapshot is the JSON wire format of a Store.
+type storeSnapshot struct {
+	Version int                     `json:"version"`
+	Tasks   map[string]taskSnapshot `json:"tasks"`
+}
+
+type taskSnapshot struct {
+	NextID   int           `json:"next_id"`
+	Examples []Example     `json:"examples"`
+	Models   []ModelRecord `json:"models"`
+}
+
+const snapshotVersion = 1
+
+// Snapshot serializes the whole store as JSON.
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	taskIDs := make([]string, 0, len(s.tasks))
+	for id := range s.tasks {
+		taskIDs = append(taskIDs, id)
+	}
+	s.mu.RUnlock()
+
+	snap := storeSnapshot{Version: snapshotVersion, Tasks: make(map[string]taskSnapshot, len(taskIDs))}
+	for _, id := range taskIDs {
+		ts, ok := s.Task(id)
+		if !ok {
+			continue // task removed concurrently; snapshot what remains
+		}
+		// Collect examples sorted by id without re-entering the task lock
+		// (RWMutex read locks must not nest: a queued writer would deadlock
+		// the second acquisition).
+		exs := ts.Examples()
+		ts.mu.RLock()
+		t := taskSnapshot{NextID: ts.nextID, Examples: exs}
+		t.Models = append(t.Models, ts.models...)
+		ts.mu.RUnlock()
+		snap.Tasks[id] = t
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("storage: snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadStore reconstructs a store from a Snapshot stream.
+func LoadStore(r io.Reader) (*Store, error) {
+	var snap storeSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("storage: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
+	}
+	s := NewStore()
+	for id, t := range snap.Tasks {
+		ts, err := s.CreateTask(id)
+		if err != nil {
+			return nil, err
+		}
+		ts.mu.Lock()
+		for _, ex := range t.Examples {
+			if ex.ID <= 0 {
+				ts.mu.Unlock()
+				return nil, fmt.Errorf("storage: task %q has example with invalid id %d", id, ex.ID)
+			}
+			cp := ex
+			ts.examples[ex.ID] = &cp
+		}
+		ts.nextID = t.NextID
+		// nextID must stay ahead of every restored example.
+		for eid := range ts.examples {
+			if eid >= ts.nextID {
+				ts.nextID = eid + 1
+			}
+		}
+		for _, m := range t.Models {
+			ts.models = append(ts.models, m)
+			if ts.best == nil || m.Accuracy > ts.best.Accuracy {
+				cp := m
+				ts.best = &cp
+			}
+		}
+		ts.mu.Unlock()
+	}
+	return s, nil
+}

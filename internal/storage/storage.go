@@ -1,0 +1,170 @@
+// Package storage implements ease.ml's shared storage (§2, Figure 1): a
+// concurrency-safe store holding, per task, the supervision examples the
+// user feeds, their on/off state (the refine operator), and the trained
+// model records the scheduler produces. Every feed/refine/infer invocation
+// from the generated binaries lands here on the central server.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Example is one input/output supervision pair fed by a user. Payloads are
+// opaque to the storage layer.
+type Example struct {
+	ID      int
+	Input   []float64
+	Output  []float64
+	Enabled bool
+}
+
+// ModelRecord is one completed training run for a task.
+type ModelRecord struct {
+	Name     string  // candidate model name
+	Accuracy float64 // measured validation accuracy
+	Cost     float64 // execution cost (time units)
+	Round    int     // global scheduling round it finished at
+}
+
+// TaskStore holds everything the server keeps for one task.
+type TaskStore struct {
+	mu       sync.RWMutex
+	nextID   int
+	examples map[int]*Example
+	models   []ModelRecord
+	best     *ModelRecord
+}
+
+// NewTaskStore returns an empty per-task store.
+func NewTaskStore() *TaskStore {
+	return &TaskStore{nextID: 1, examples: make(map[int]*Example)}
+}
+
+// Feed registers a new example pair (enabled by default, as freshly fed
+// supervision is live) and returns its id.
+func (s *TaskStore) Feed(input, output []float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	in := append([]float64(nil), input...)
+	out := append([]float64(nil), output...)
+	s.examples[id] = &Example{ID: id, Input: in, Output: out, Enabled: true}
+	return id
+}
+
+// Refine turns an example on or off — the data-cleaning loop the paper
+// motivates with weak/distant supervision noise. It returns an error for an
+// unknown example id.
+func (s *TaskStore) Refine(id int, enabled bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ex, ok := s.examples[id]
+	if !ok {
+		return fmt.Errorf("storage: no example %d", id)
+	}
+	ex.Enabled = enabled
+	return nil
+}
+
+// Examples returns a copy of all examples sorted by id. Payload slices are
+// shared (they are never mutated after Feed).
+func (s *TaskStore) Examples() []Example {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Example, 0, len(s.examples))
+	for _, ex := range s.examples {
+		out = append(out, *ex)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EnabledCount returns the number of currently enabled examples.
+func (s *TaskStore) EnabledCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, ex := range s.examples {
+		if ex.Enabled {
+			n++
+		}
+	}
+	return n
+}
+
+// RecordModel stores a completed training run and updates the best model if
+// it improves on it ("the user has a view of the best available model").
+func (s *TaskStore) RecordModel(rec ModelRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.models = append(s.models, rec)
+	if s.best == nil || rec.Accuracy > s.best.Accuracy {
+		cp := rec
+		s.best = &cp
+	}
+}
+
+// Models returns a copy of all recorded training runs in completion order.
+func (s *TaskStore) Models() []ModelRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]ModelRecord(nil), s.models...)
+}
+
+// Best returns the best model so far; ok is false before the first run
+// completes.
+func (s *TaskStore) Best() (ModelRecord, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.best == nil {
+		return ModelRecord{}, false
+	}
+	return *s.best, true
+}
+
+// Store is the server-wide shared storage: one TaskStore per task id.
+type Store struct {
+	mu    sync.RWMutex
+	tasks map[string]*TaskStore
+}
+
+// NewStore returns an empty shared store.
+func NewStore() *Store {
+	return &Store{tasks: make(map[string]*TaskStore)}
+}
+
+// CreateTask allocates storage for a new task id. It returns an error if
+// the id already exists.
+func (s *Store) CreateTask(id string) (*TaskStore, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tasks[id]; ok {
+		return nil, fmt.Errorf("storage: task %q already exists", id)
+	}
+	ts := NewTaskStore()
+	s.tasks[id] = ts
+	return ts, nil
+}
+
+// Task returns the store for a task id.
+func (s *Store) Task(id string) (*TaskStore, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts, ok := s.tasks[id]
+	return ts, ok
+}
+
+// TaskIDs returns all task ids in sorted order.
+func (s *Store) TaskIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.tasks))
+	for id := range s.tasks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

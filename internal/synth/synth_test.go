@@ -1,0 +1,291 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func TestSimilarityCovarianceProperties(t *testing.T) {
+	f := []float64{0.1, 0.12, 0.9}
+	cov := SimilarityCovariance(f, 0.5)
+	// Diagonal is 1.
+	for i := 0; i < 3; i++ {
+		if cov.At(i, i) != 1 {
+			t.Errorf("diag[%d] = %g", i, cov.At(i, i))
+		}
+	}
+	// Closer hidden scores ⇒ higher covariance.
+	if cov.At(0, 1) <= cov.At(0, 2) {
+		t.Errorf("cov(0,1)=%g should exceed cov(0,2)=%g", cov.At(0, 1), cov.At(0, 2))
+	}
+	// Symmetry.
+	if cov.At(0, 1) != cov.At(1, 0) {
+		t.Error("asymmetric covariance")
+	}
+	// Known value: exp(-(0.1-0.9)²/0.25) = exp(-2.56).
+	if got, want := cov.At(0, 2), math.Exp(-2.56); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cov(0,2) = %g, want %g", got, want)
+	}
+}
+
+func TestSimilarityCovarianceZeroSigmaIsIdentity(t *testing.T) {
+	cov := SimilarityCovariance([]float64{0.3, 0.6, 0.9}, 0)
+	if !cov.Equal(linalg.Identity(3), 0) {
+		t.Errorf("expected identity, got %v", cov)
+	}
+}
+
+func TestDatasetShapeAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q, err := Dataset(Config{NumUsers: 20, NumModels: 15, SigmaM: 0.5, Alpha: 0.1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumUsers != 20 || q.NumModels != 15 {
+		t.Fatalf("shape %d×%d", q.NumUsers, q.NumModels)
+	}
+	if len(q.X) != 20 || len(q.X[0]) != 15 {
+		t.Fatalf("matrix shape %d×%d", len(q.X), len(q.X[0]))
+	}
+	for i, row := range q.X {
+		for j, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("X[%d][%d] = %g outside [0,1]", i, j, v)
+			}
+		}
+	}
+	if len(q.ModelF) != 15 {
+		t.Errorf("ModelF length %d", len(q.ModelF))
+	}
+}
+
+func TestDatasetTwoBaselineGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q, err := Dataset(Config{NumUsers: 200, NumModels: 5, SigmaM: 0.5, Alpha: 0.1, SigmaB: 0.02}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even users ⇒ µ=0.75 group, odd ⇒ µ=0.25 group (round-robin).
+	var hi, lo float64
+	for i, b := range q.Baselines {
+		if i%2 == 0 {
+			hi += b
+		} else {
+			lo += b
+		}
+	}
+	hi /= 100
+	lo /= 100
+	if math.Abs(hi-0.75) > 0.02 || math.Abs(lo-0.25) > 0.02 {
+		t.Errorf("group means %g / %g, want ≈0.75 / ≈0.25", hi, lo)
+	}
+}
+
+func TestDatasetDeterministicPerSeed(t *testing.T) {
+	q1, err := Dataset(Config{NumUsers: 10, NumModels: 8, SigmaM: 0.01, Alpha: 1}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Dataset(Config{NumUsers: 10, NumModels: 8, SigmaM: 0.01, Alpha: 1}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q1.X {
+		for j := range q1.X[i] {
+			if q1.X[i][j] != q2.X[i][j] {
+				t.Fatalf("same seed diverged at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDatasetInvalidConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Dataset(Config{NumUsers: 0, NumModels: 5}, rng); err == nil {
+		t.Error("expected error for zero users")
+	}
+	if _, err := Dataset(Config{NumUsers: 5, NumModels: -1}, rng); err == nil {
+		t.Error("expected error for negative models")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cases := map[string]*Generator{
+		"no groups": {},
+		"bad model count": {
+			Baselines:   []BaselineGroup{{Mu: 0.5}},
+			ModelGroups: []ModelGroup{{SigmaM: 0.5, Count: 0}},
+			UserGroups:  []UserGroup{{SigmaU: 0.5, Count: 3}},
+		},
+		"bad user count": {
+			Baselines:   []BaselineGroup{{Mu: 0.5}},
+			ModelGroups: []ModelGroup{{SigmaM: 0.5, Count: 3}},
+			UserGroups:  []UserGroup{{SigmaU: 0.5, Count: -2}},
+		},
+		"no baselines": {
+			ModelGroups: []ModelGroup{{SigmaM: 0.5, Count: 3}},
+			UserGroups:  []UserGroup{{SigmaU: 0.5, Count: 3}},
+		},
+	}
+	for name, g := range cases {
+		if _, err := g.Generate(rng); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestGeneratorMultipleGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := &Generator{
+		Baselines:   []BaselineGroup{{Mu: 0.7, Sigma: 0.05}, {Mu: 0.3, Sigma: 0.05}},
+		ModelGroups: []ModelGroup{{SigmaM: 0.5, Count: 10}, {SigmaM: 0.01, Count: 7}},
+		UserGroups:  []UserGroup{{SigmaU: 0.3, Count: 12}, {SigmaU: 0.1, Count: 8}},
+		SigmaW:      0.01,
+		Alpha:       0.5,
+		UserAlpha:   0.2,
+	}
+	q, err := g.Generate(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumModels != 17 || q.NumUsers != 20 {
+		t.Fatalf("shape %d×%d, want 20×17", q.NumUsers, q.NumModels)
+	}
+}
+
+// High σM (strong correlation) should produce model columns that are more
+// correlated across users than low σM.
+func TestModelCorrelationStrength(t *testing.T) {
+	avgAbsCorr := func(sigmaM float64, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := Dataset(Config{NumUsers: 80, NumModels: 30, SigmaM: sigmaM, Alpha: 1, SigmaW: 0.001, SigmaB: 0.001}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Average |corr| between adjacent-f model columns.
+		var total float64
+		var count int
+		for a := 0; a < q.NumModels; a++ {
+			for b := a + 1; b < q.NumModels; b++ {
+				if math.Abs(q.ModelF[a]-q.ModelF[b]) < 0.05 {
+					total += math.Abs(pearson(col(q.X, a), col(q.X, b)))
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			return 0
+		}
+		return total / float64(count)
+	}
+	strong := avgAbsCorr(0.5, 10)
+	weak := avgAbsCorr(0.0001, 10)
+	if strong <= weak {
+		t.Errorf("strong-correlation dataset (%g) should beat weak (%g)", strong, weak)
+	}
+}
+
+func col(x [][]float64, j int) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i][j]
+	}
+	return out
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var sab, sa, sb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		sa += da * da
+		sb += db * db
+	}
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(sa*sb)
+}
+
+func TestUniformCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := UniformCosts(10, 20, rng)
+	if len(c) != 10 || len(c[0]) != 20 {
+		t.Fatalf("shape %d×%d", len(c), len(c[0]))
+	}
+	for _, row := range c {
+		for _, v := range row {
+			if v <= 0 || v >= 1 {
+				t.Fatalf("cost %g outside (0,1)", v)
+			}
+		}
+	}
+}
+
+// Property: every generated quality is in [0,1] and the similarity covariance
+// is PSD for random hidden scores.
+func TestQuickGenerateInRange(t *testing.T) {
+	f := func(seed int64, usersRaw, modelsRaw uint8, sigmaMRaw, alphaRaw uint8) bool {
+		users := int(usersRaw%20) + 2
+		models := int(modelsRaw%20) + 2
+		sigmaM := 0.01 + float64(sigmaMRaw%100)/100
+		alpha := float64(alphaRaw%100) / 100
+		rng := rand.New(rand.NewSource(seed))
+		q, err := Dataset(Config{NumUsers: users, NumModels: models, SigmaM: sigmaM, Alpha: alpha}, rng)
+		if err != nil {
+			return false
+		}
+		for _, row := range q.X {
+			for _, v := range row {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimilarityCovariancePSD(t *testing.T) {
+	f := func(seed int64, nRaw uint8, sigmaRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		sigma := 0.01 + float64(sigmaRaw%100)/50
+		rng := rand.New(rand.NewSource(seed))
+		fs := make([]float64, n)
+		for i := range fs {
+			fs[i] = rng.Float64()
+		}
+		cov := SimilarityCovariance(fs, sigma)
+		_, _, err := linalg.NewCholeskyJittered(cov, 1e-10, 12)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDataset200x100(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := Dataset(Config{NumUsers: 200, NumModels: 100, SigmaM: 0.5, Alpha: 1}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package trainsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testSim(t testing.TB) *Simulator {
+	t.Helper()
+	sim, err := DeepLearningSim([]TaskSpec{
+		{Name: "easy", Difficulty: 0.0, SizeFactor: 1},
+		{Name: "hard", Difficulty: 0.3, SizeFactor: 2},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestNewValidation(t *testing.T) {
+	model := ModelSpec{Name: "m", Peak: 0.7, Tau: 10, CostPerEpoch: 1, BestLR: 0.01}
+	task := TaskSpec{Name: "t", SizeFactor: 1}
+	cases := map[string]Config{
+		"no models": {Tasks: []TaskSpec{task}},
+		"no tasks":  {Models: []ModelSpec{model}},
+		"bad peak":  {Models: []ModelSpec{{Name: "m", Peak: 1.5, Tau: 1, CostPerEpoch: 1, BestLR: 0.1}}, Tasks: []TaskSpec{task}},
+		"bad tau":   {Models: []ModelSpec{{Name: "m", Peak: 0.5, Tau: 0, CostPerEpoch: 1, BestLR: 0.1}}, Tasks: []TaskSpec{task}},
+		"bad size":  {Models: []ModelSpec{model}, Tasks: []TaskSpec{{Name: "t", SizeFactor: 0}}},
+	}
+	for name, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	sim := testSim(t)
+	a := sim.Train(0, 2)
+	b := sim.Train(0, 2)
+	if a.Accuracy != b.Accuracy || a.Cost != b.Cost || a.BestLR != b.BestLR {
+		t.Errorf("replay diverged: %+v vs %+v", a, b)
+	}
+	// Different pairs use different sub-seeds.
+	c := sim.Train(1, 2)
+	if c.Accuracy == a.Accuracy {
+		t.Error("different tasks produced identical accuracy (suspicious seeding)")
+	}
+}
+
+func TestTrainAccuracyNearTruth(t *testing.T) {
+	sim := testSim(t)
+	for task := 0; task < sim.NumTasks(); task++ {
+		for model := 0; model < sim.NumModels(); model++ {
+			res := sim.Train(task, model)
+			truth := sim.TrueQuality(task, model)
+			// 100 epochs ≥ ~3τ for every model, so the run should land
+			// within noise plus the unconverged tail of the truth.
+			if math.Abs(res.Accuracy-truth) > 0.08 {
+				t.Errorf("task %d model %s: accuracy %.3f vs truth %.3f",
+					task, res.Model, res.Accuracy, truth)
+			}
+		}
+	}
+}
+
+func TestHarderTaskLowerAccuracy(t *testing.T) {
+	sim := testSim(t)
+	for model := 0; model < sim.NumModels(); model++ {
+		easy := sim.TrueQuality(0, model)
+		hard := sim.TrueQuality(1, model)
+		if hard >= easy {
+			t.Errorf("model %d: hard task quality %.3f not below easy %.3f", model, hard, easy)
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	sim := testSim(t)
+	// Cost = cost/epoch × size × epochs × grid size, deterministic.
+	m := sim.Model(6) // VGG-16
+	if m.Name != "VGG-16" {
+		t.Fatalf("model order changed: %q", m.Name)
+	}
+	want := m.CostPerEpoch * 2 * 100 * 4
+	if got := sim.Cost(1, 6); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Cost = %g, want %g", got, want)
+	}
+	// VGG-16 must dominate SqueezeNet by an order of magnitude.
+	if sim.Cost(0, 6) < 10*sim.Cost(0, 7) {
+		t.Errorf("VGG cost %g not ≫ SqueezeNet %g", sim.Cost(0, 6), sim.Cost(0, 7))
+	}
+}
+
+func TestLearningRateGridSearch(t *testing.T) {
+	sim := testSim(t)
+	res := sim.Train(0, 0)
+	found := false
+	for _, lr := range DefaultLearningRates {
+		if res.BestLR == lr {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("winning LR %g not on the grid", res.BestLR)
+	}
+}
+
+func TestKeepCurves(t *testing.T) {
+	sim, err := New(Config{
+		Models:     []ModelSpec{{Name: "m", Peak: 0.8, Tau: 10, CostPerEpoch: 1, BestLR: 0.01}},
+		Tasks:      []TaskSpec{{Name: "t", SizeFactor: 1}},
+		Epochs:     20,
+		KeepCurves: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Train(0, 0)
+	if len(res.Curves) != len(DefaultLearningRates) {
+		t.Fatalf("%d curves, want %d", len(res.Curves), len(DefaultLearningRates))
+	}
+	curve := res.Curves[0.01]
+	if len(curve) != 20 {
+		t.Fatalf("curve has %d points, want 20", len(curve))
+	}
+	// The curve should broadly increase (saturating exponential + noise).
+	if curve[19].Accuracy < curve[0].Accuracy {
+		t.Errorf("curve decreased: %.3f → %.3f", curve[0].Accuracy, curve[19].Accuracy)
+	}
+}
+
+func TestEnvImplementsSchedulerContract(t *testing.T) {
+	sim := testSim(t)
+	env := NewEnv(sim)
+	if env.NumUsers() != 2 || env.NumModels(0) != 8 {
+		t.Fatalf("env shape %d×%d", env.NumUsers(), env.NumModels(0))
+	}
+	r1 := env.Reward(0, 3)
+	r2 := env.Reward(0, 3) // cached replay
+	if r1 != r2 {
+		t.Error("Reward not stable across calls")
+	}
+	if got := len(env.Runs()); got != 1 {
+		t.Errorf("%d runs cached, want 1", got)
+	}
+	if env.Cost(0, 3) != sim.Cost(0, 3) {
+		t.Error("Cost mismatch")
+	}
+	best := env.BestQuality(0)
+	for j := 0; j < 8; j++ {
+		if q := sim.TrueQuality(0, j); q > best {
+			t.Errorf("BestQuality %g below model %d truth %g", best, j, q)
+		}
+	}
+}
+
+// Property: accuracies and ground truths always live in [0,1], and cost is
+// positive, for arbitrary task difficulty.
+func TestQuickTrainBounds(t *testing.T) {
+	f := func(seed int64, diffRaw, sizeRaw uint8) bool {
+		diff := float64(diffRaw) / 255 // [0,1]
+		size := 0.1 + float64(sizeRaw)/64
+		sim, err := DeepLearningSim([]TaskSpec{{Name: "t", Difficulty: diff, SizeFactor: size}}, seed)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < sim.NumModels(); j++ {
+			res := sim.Train(0, j)
+			if res.Accuracy < 0 || res.Accuracy > 1 || res.Cost <= 0 {
+				return false
+			}
+			tq := sim.TrueQuality(0, j)
+			if tq < 0 || tq > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	sim, err := DeepLearningSim([]TaskSpec{{Name: "t", Difficulty: 0.1, SizeFactor: 1}}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Train(0, i%sim.NumModels())
+	}
+}
