@@ -17,8 +17,12 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"testing"
+	"time"
 
+	"repro/easeml"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 )
@@ -30,6 +34,86 @@ var benchCfg = experiments.FigureConfig{RunsSmall: 10, RunsLarge: 2, TestUsers: 
 func finalAvg(r experiments.Result, series int) float64 {
 	s := r.Series[series]
 	return s.Avg[len(s.Avg)-1]
+}
+
+// BenchmarkEngine pits the async multi-device execution engine against the
+// serialized single-device strategy on the same job set and seed: per worker
+// count it reports the virtual-time makespan speedup (the §5.3.2 strategy
+// comparison on an α=0.35 pool) and the wall-clock speedup (each simulated
+// training sleeps TrainDelay, so engine concurrency is real). Final best
+// models must be identical between the two runs — the engine changes the
+// schedule, never the answers.
+func BenchmarkEngine(b *testing.B) {
+	const (
+		gpus       = 24
+		alpha      = 0.35
+		seed       = 11
+		trainDelay = 200 * time.Microsecond
+	)
+	jobs := []string{
+		"{input: {[Tensor[32, 32, 3]], []}, output: {[Tensor[3]], []}}",
+		"{input: {[Tensor[16, 16, 3]], []}, output: {[Tensor[2]], []}}",
+		"{input: {[Tensor[6]], [next]}, output: {[Tensor[2]], []}}",
+	}
+	submitAll := func(svc *easeml.Service) []string {
+		ids := make([]string, len(jobs))
+		for i, prog := range jobs {
+			job, err := svc.Submit(fmt.Sprintf("bench-%d", i), prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[i] = job.Name
+		}
+		return ids
+	}
+	for _, workers := range []int{4, 8, 24} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var serialWall, engineWall time.Duration
+			var virtualSpeedup, utilization float64
+			for i := 0; i < b.N; i++ {
+				serial := easeml.NewService(easeml.ServiceConfig{
+					GPUs: gpus, Seed: seed, Alpha: alpha, TrainDelay: trainDelay,
+				})
+				serialIDs := submitAll(serial)
+				t0 := time.Now()
+				if _, err := serial.RunRounds(1 << 20); err != nil {
+					b.Fatal(err)
+				}
+				serialWall += time.Since(t0)
+
+				eng := easeml.NewService(easeml.ServiceConfig{
+					GPUs: gpus, Seed: seed, Alpha: alpha, Workers: workers, TrainDelay: trainDelay,
+				})
+				engIDs := submitAll(eng)
+				sum, err := eng.DrainEngine(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				engineWall += sum.Wall
+				virtualSpeedup = sum.Speedup
+				utilization = sum.Utilization
+
+				// The engine must not change the answers.
+				for j := range serialIDs {
+					sa, err := serial.Status(serialIDs[j])
+					if err != nil {
+						b.Fatal(err)
+					}
+					sb, err := eng.Status(engIDs[j])
+					if err != nil {
+						b.Fatal(err)
+					}
+					if sa.Best == nil || sb.Best == nil || sa.Best.Name != sb.Best.Name ||
+						sa.Best.Accuracy != sb.Best.Accuracy {
+						b.Fatalf("job %d best diverged: serial %+v vs engine %+v", j, sa.Best, sb.Best)
+					}
+				}
+			}
+			b.ReportMetric(virtualSpeedup, "virtual-speedup")
+			b.ReportMetric(float64(serialWall)/float64(engineWall), "wall-speedup")
+			b.ReportMetric(utilization, "utilization")
+		})
+	}
 }
 
 func BenchmarkFigure08DatasetStats(b *testing.B) {

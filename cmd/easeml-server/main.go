@@ -5,11 +5,18 @@
 //
 // Usage:
 //
-//	easeml-server [-addr :9000] [-gpus 24] [-seed 1] [-auto 0]
+//	easeml-server [-addr :9000] [-gpus 24] [-seed 1] [-alpha 0.9]
+//	              [-workers 0] [-batch 0]
 //
-// With -auto N > 0 the server runs one scheduling round every N
-// milliseconds in the background; otherwise rounds are driven explicitly
-// via POST /admin/rounds.
+// With -workers N > 0 the async execution engine starts at boot: N
+// concurrent trainers lease work through the scheduler's two-phase API and
+// keep the pool busy, with at most -batch leases in flight (default 2×N).
+// The engine is controlled at runtime via POST /admin/start|stop and
+// observed via GET /admin/metrics. Without workers, rounds are driven
+// explicitly via POST /admin/rounds, serialized across the whole pool.
+//
+// SIGINT/SIGTERM drain the engine gracefully before exit: running trainings
+// finish and queued leases are handed back.
 package main
 
 import (
@@ -17,7 +24,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"time"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/easeml"
 )
@@ -26,25 +35,41 @@ func main() {
 	addr := flag.String("addr", ":9000", "listen address")
 	gpus := flag.Int("gpus", 24, "simulated GPU pool size")
 	seed := flag.Int64("seed", 1, "training-surface seed")
-	auto := flag.Int("auto", 0, "run one scheduling round every N ms (0 = manual)")
+	alpha := flag.Float64("alpha", 0.9, "pool scaling exponent: g GPUs give one job g^alpha speedup")
+	workers := flag.Int("workers", 0, "async engine worker count (0 = serialized rounds via /admin/rounds)")
+	batch := flag.Int("batch", 0, "max in-flight leases for the engine (default 2*workers)")
 	flag.Parse()
+	if *alpha <= 0 || *alpha > 1 {
+		log.Fatalf("-alpha %g outside (0, 1]", *alpha)
+	}
 
 	svc := easeml.NewService(easeml.ServiceConfig{
-		GPUs: *gpus,
-		Seed: *seed,
-		Addr: "http://localhost" + *addr,
+		GPUs:    *gpus,
+		Seed:    *seed,
+		Addr:    "http://localhost" + *addr,
+		Alpha:   *alpha,
+		Workers: *workers,
+		Batch:   *batch,
 	})
-	if *auto > 0 {
+	if *workers > 0 {
+		if err := svc.StartEngine(); err != nil {
+			log.Fatalf("starting engine: %v", err)
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
-			ticker := time.NewTicker(time.Duration(*auto) * time.Millisecond)
-			defer ticker.Stop()
-			for range ticker.C {
-				if _, err := svc.RunRounds(1); err != nil {
-					log.Printf("scheduling round failed: %v", err)
-				}
+			<-sig
+			log.Println("draining engine…")
+			if err := svc.StopEngine(); err != nil {
+				log.Printf("engine stop: %v", err)
 			}
+			os.Exit(0)
 		}()
+		fmt.Printf("ease.ml server listening on %s (%d GPUs, seed %d, %d engine workers)\n",
+			*addr, *gpus, *seed, *workers)
+	} else {
+		fmt.Printf("ease.ml server listening on %s (%d GPUs, seed %d, manual rounds)\n",
+			*addr, *gpus, *seed)
 	}
-	fmt.Printf("ease.ml server listening on %s (%d GPUs, seed %d)\n", *addr, *gpus, *seed)
 	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
 }

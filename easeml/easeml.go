@@ -11,6 +11,10 @@
 //   - NewService starts an in-process ease.ml service: submitted jobs are
 //     trained on a simulated GPU pool under the HYBRID multi-tenant
 //     scheduler, with feed/refine/infer and an http.Handler for remote use.
+//     With ServiceConfig.Workers > 0 the service gains the asynchronous
+//     multi-device execution engine (internal/engine): StartEngine /
+//     StopEngine / DrainEngine train candidates concurrently across the
+//     pool instead of one at a time.
 //
 //   - NewSelection runs the paper's core contribution as a library: given a
 //     (quality, cost) environment and per-model kernel features, it drives
@@ -19,14 +23,17 @@
 package easeml
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/dsl"
+	"repro/internal/engine"
 	"repro/internal/gp"
 	"repro/internal/server"
 	"repro/internal/templates"
@@ -71,8 +78,10 @@ func ParseJob(name, program string) (*Job, error) {
 
 // Service is an in-process ease.ml service instance.
 type Service struct {
-	sched *server.Scheduler
-	pool  *cluster.Pool
+	sched   *server.Scheduler
+	pool    *cluster.Pool
+	trainer *server.SimTrainer
+	engine  *engine.Engine // nil unless Workers > 0
 }
 
 // ServiceConfig parameterizes NewService. Zero values select the defaults
@@ -85,6 +94,22 @@ type ServiceConfig struct {
 	// Addr is the advertised server address baked into generated code
 	// (default "http://localhost:9000").
 	Addr string
+	// Alpha is the pool's scaling exponent in (0, 1]: one job on g GPUs
+	// runs g^Alpha times faster (default 0.9, the paper's near-linear
+	// InfiniBand setup; values outside the domain panic in cluster.NewPool).
+	// Lower values model workloads that scale poorly across devices — the
+	// regime where the async engine's multi-device strategy wins.
+	Alpha float64
+	// Workers, when positive, attaches the async execution engine: that
+	// many concurrent trainers, each accounted on its own device slice of
+	// the pool (§5.3.2's multi-device strategy). Zero keeps the serialized
+	// single-device strategy driven by RunRounds.
+	Workers int
+	// Batch caps in-flight leases for the engine (default 2×Workers).
+	Batch int
+	// TrainDelay makes each simulated training take real wall time, so
+	// engine concurrency is observable in benchmarks (default instant).
+	TrainDelay time.Duration
 }
 
 // NewService creates a service with a simulated GPU pool and the HYBRID
@@ -96,9 +121,26 @@ func NewService(cfg ServiceConfig) *Service {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	pool := cluster.NewPool(cfg.GPUs, 0.9)
-	sched := server.NewScheduler(server.NewSimTrainer(pool, cfg.Seed), nil, cfg.Addr)
-	return &Service{sched: sched, pool: pool}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.9
+	}
+	pool := cluster.NewPool(cfg.GPUs, cfg.Alpha)
+	trainer := server.NewSimTrainer(pool, cfg.Seed)
+	trainer.Delay = cfg.TrainDelay
+	sched := server.NewScheduler(trainer, nil, cfg.Addr)
+	s := &Service{sched: sched, pool: pool, trainer: trainer}
+	if cfg.Workers > 0 {
+		devices := cfg.Workers
+		if devices > cfg.GPUs {
+			devices = cfg.GPUs
+		}
+		trainer.Devices = devices
+		s.engine = engine.New(sched, trainer, engine.Config{
+			Workers:     cfg.Workers,
+			MaxInFlight: cfg.Batch,
+		})
+	}
+	return s
 }
 
 // Submit registers a declarative job and returns its parsed form with the
@@ -107,6 +149,9 @@ func (s *Service) Submit(name, program string) (*Job, error) {
 	j, err := s.sched.Submit(name, program)
 	if err != nil {
 		return nil, err
+	}
+	if s.engine != nil {
+		s.engine.Kick() // wake an idle engine for the new job
 	}
 	out := &Job{
 		Name:     j.ID,
@@ -148,8 +193,151 @@ func (s *Service) RunRounds(n int) (int, error) { return s.sched.RunRounds(n) }
 func (s *Service) GPUTime() float64 { return s.pool.Now() }
 
 // Handler exposes the service over HTTP (see internal/server for the
-// endpoint list); internal/client provides the matching Go client.
-func (s *Service) Handler() http.Handler { return server.NewAPI(s.sched).Handler() }
+// endpoint list); internal/client provides the matching Go client. When the
+// service has an engine, the /admin/metrics and /admin/start|stop endpoints
+// control it.
+func (s *Service) Handler() http.Handler {
+	api := server.NewAPI(s.sched)
+	if s.engine != nil {
+		api.WithEngine(engineControl{s})
+	}
+	return api.Handler()
+}
+
+// StartEngine launches the async execution engine in the background: the
+// worker pool leases work through the scheduler's two-phase API and keeps
+// its device slice busy until StopEngine. It errors when the service was
+// built without Workers or the engine is already running.
+func (s *Service) StartEngine() error {
+	if s.engine == nil {
+		return fmt.Errorf("easeml: service has no engine (set ServiceConfig.Workers)")
+	}
+	return s.engine.Start()
+}
+
+// StopEngine gracefully stops the engine: running trainings finish, queued
+// leases are handed back, and it returns once every lease is settled.
+func (s *Service) StopEngine() error {
+	if s.engine == nil {
+		return fmt.Errorf("easeml: service has no engine (set ServiceConfig.Workers)")
+	}
+	return s.engine.Stop()
+}
+
+// EngineMetrics snapshots the engine counters; ok is false when the service
+// has no engine.
+func (s *Service) EngineMetrics() (engine.Metrics, bool) {
+	if s.engine == nil {
+		return engine.Metrics{}, false
+	}
+	return s.engine.Metrics(), true
+}
+
+// EngineEvents exposes the engine's observability stream (nil without an
+// engine).
+func (s *Service) EngineEvents() <-chan engine.Event {
+	if s.engine == nil {
+		return nil
+	}
+	return s.engine.Events()
+}
+
+// VirtualTimes reports the pool's virtual-time accounting: the makespan of
+// everything trained so far and what the serialized single-device strategy
+// would have taken for the same runs (§5.3.2's comparison).
+func (s *Service) VirtualTimes() (makespan, singleDevice float64) {
+	return s.pool.Makespan(), s.pool.SingleDeviceTime()
+}
+
+// EngineRunSummary reports one DrainEngine batch run.
+type EngineRunSummary struct {
+	Rounds       int64         // trainings completed by this drain
+	Wall         time.Duration // wall-clock duration of the drain
+	Makespan     float64       // virtual multi-device completion time (all runs so far)
+	SingleDevice float64       // virtual serialized single-device time for the same runs
+	Speedup      float64       // SingleDevice / Makespan
+	Utilization  float64       // mean worker busy fraction
+}
+
+// DrainEngine runs the engine synchronously until every job's candidate
+// list is exhausted (batch mode: examples and benchmarks), returning the
+// makespan-vs-serialized summary. It shares the background engine's
+// running guard, so it errors when the service has no engine or the engine
+// is already running — a concurrent StartEngine cannot race onto the same
+// scheduler.
+func (s *Service) DrainEngine(ctx context.Context) (EngineRunSummary, error) {
+	if s.engine == nil {
+		return EngineRunSummary{}, fmt.Errorf("easeml: service has no engine (set ServiceConfig.Workers)")
+	}
+	before := s.engine.Metrics()
+	start := time.Now()
+	// Drain errors (ErrInterrupted) on any exit before the work ran dry —
+	// caller cancellation or a concurrent StopEngine — so a partial drain
+	// can never masquerade as a complete summary.
+	if err := s.engine.Drain(ctx); err != nil {
+		return EngineRunSummary{}, fmt.Errorf("easeml: engine drain aborted: %w", err)
+	}
+	m := s.engine.Metrics()
+	makespan, single := s.VirtualTimes()
+	sum := EngineRunSummary{
+		Rounds:       m.Completed - before.Completed,
+		Wall:         time.Since(start),
+		Makespan:     makespan,
+		SingleDevice: single,
+	}
+	// Engine counters are cumulative across runs; the summary reports this
+	// drain alone, so utilization comes from the busy/elapsed deltas.
+	busyDelta := sumBusy(m.PerWorker) - sumBusy(before.PerWorker)
+	if elapsedDelta := m.Elapsed - before.Elapsed; elapsedDelta > 0 && m.Workers > 0 {
+		sum.Utilization = float64(busyDelta) / (float64(elapsedDelta) * float64(m.Workers))
+	}
+	if makespan > 0 {
+		sum.Speedup = single / makespan
+	}
+	return sum, nil
+}
+
+func sumBusy(ws []engine.WorkerStats) time.Duration {
+	var busy time.Duration
+	for _, w := range ws {
+		busy += w.Busy
+	}
+	return busy
+}
+
+// engineControl adapts the service's engine to the server admin surface,
+// folding in the pool's virtual-time accounting.
+type engineControl struct{ s *Service }
+
+func (c engineControl) Start() error { return c.s.StartEngine() }
+func (c engineControl) Stop() error  { return c.s.StopEngine() }
+
+func (c engineControl) Status() server.EngineStatus {
+	m, _ := c.s.EngineMetrics()
+	st := server.EngineStatus{
+		Running:     m.Running,
+		Workers:     m.Workers,
+		Completed:   m.Completed,
+		Released:    m.Released,
+		Abandoned:   m.Abandoned,
+		Errors:      m.Errors,
+		InFlight:    m.InFlight,
+		QueueDepth:  m.QueueDepth,
+		UptimeMS:    float64(m.Elapsed) / float64(time.Millisecond),
+		Utilization: m.Utilization,
+	}
+	for _, w := range m.PerWorker {
+		st.PerWorker = append(st.PerWorker, server.EngineWorkerStatus{
+			Items:  w.Items,
+			BusyMS: float64(w.Busy) / float64(time.Millisecond),
+		})
+	}
+	st.VirtualMakespan, st.VirtualSingleDevice = c.s.VirtualTimes()
+	if st.VirtualMakespan > 0 {
+		st.VirtualSpeedup = st.VirtualSingleDevice / st.VirtualMakespan
+	}
+	return st
+}
 
 // Policy selects a multi-tenant user-scheduling policy.
 type Policy string

@@ -1,10 +1,16 @@
 package easeml
 
 import (
+	"context"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/server"
 )
 
 const imgProgram = "{input: {[Tensor[32, 32, 3]], []}, output: {[Tensor[10]], []}}"
@@ -163,5 +169,138 @@ func TestSelectionExtensions(t *testing.T) {
 	}
 	if len(serves) != 3 {
 		t.Errorf("guaranteed FCFS starved tenants: %v", serves)
+	}
+}
+
+func TestServiceEngineDrain(t *testing.T) {
+	svc := NewService(ServiceConfig{GPUs: 24, Seed: 3, Alpha: 0.35, Workers: 8})
+	total := 0
+	for _, name := range []string{"a", "b"} {
+		job, err := svc.Submit(name, imgProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(job.Candidates)
+	}
+	sum, err := svc.DrainEngine(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Rounds != int64(total) {
+		t.Errorf("drained %d rounds, want %d", sum.Rounds, total)
+	}
+	if sum.Speedup < 2 {
+		t.Errorf("virtual speedup %.2fx, want ≥2x at 8 workers on α=0.35", sum.Speedup)
+	}
+	if mk, sd := svc.VirtualTimes(); mk != sum.Makespan || sd != sum.SingleDevice {
+		t.Errorf("VirtualTimes (%g, %g) disagrees with summary (%g, %g)", mk, sd, sum.Makespan, sum.SingleDevice)
+	}
+
+	// A cancelled drain must not masquerade as a complete summary.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.DrainEngine(cancelled); err == nil {
+		t.Error("cancelled DrainEngine should error")
+	}
+
+	plain := NewService(ServiceConfig{GPUs: 4})
+	if err := plain.StartEngine(); err == nil {
+		t.Error("StartEngine without workers should fail")
+	}
+	if _, err := plain.DrainEngine(context.Background()); err == nil {
+		t.Error("DrainEngine without workers should fail")
+	}
+	if _, ok := plain.EngineMetrics(); ok {
+		t.Error("EngineMetrics without workers should report !ok")
+	}
+}
+
+func TestServiceEngineHTTPAdmin(t *testing.T) {
+	svc := NewService(ServiceConfig{GPUs: 8, Seed: 5, Workers: 4})
+	if _, err := svc.Submit("a", imgProgram); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	getMetrics := func() server.MetricsResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/admin/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status %d", resp.StatusCode)
+		}
+		var m server.MetricsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	m := getMetrics()
+	if m.Jobs != 1 || m.Engine == nil || m.Engine.Running || m.Engine.Workers != 4 {
+		t.Fatalf("initial metrics %+v engine %+v", m, m.Engine)
+	}
+
+	post := func(path string) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/admin/start"); code != http.StatusOK {
+		t.Fatalf("start returned %d", code)
+	}
+	if code := post("/admin/start"); code != http.StatusConflict {
+		t.Errorf("double start returned %d, want 409", code)
+	}
+	// Wait for the engine to finish the job's 35 candidates.
+	deadline := time.Now().Add(10 * time.Second)
+	for getMetrics().Rounds < 35 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	m = getMetrics()
+	if m.Rounds != 35 || m.InFlight != 0 {
+		t.Errorf("after drain: %+v", m)
+	}
+	if m.Engine.Completed != 35 || m.Engine.VirtualMakespan <= 0 {
+		t.Errorf("engine block %+v", m.Engine)
+	}
+	if code := post("/admin/stop"); code != http.StatusOK {
+		t.Errorf("stop returned %d", code)
+	}
+	if code := post("/admin/stop"); code != http.StatusConflict {
+		t.Errorf("double stop returned %d, want 409", code)
+	}
+
+	// A service without an engine: no engine block, start/stop conflict.
+	plain := NewService(ServiceConfig{GPUs: 4})
+	plainSrv := httptest.NewServer(plain.Handler())
+	defer plainSrv.Close()
+	resp, err := http.Get(plainSrv.URL + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pm server.MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pm); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pm.Engine != nil {
+		t.Error("engineless service reports an engine block")
+	}
+	sr, err := http.Post(plainSrv.URL+"/admin/start", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if sr.StatusCode != http.StatusConflict {
+		t.Errorf("engineless start returned %d, want 409", sr.StatusCode)
 	}
 }

@@ -39,11 +39,38 @@ func (b *GPUCB) SelectBatch(batchSize int) []int {
 			break
 		}
 		batch = append(batch, arm)
-		// Hallucinate: observing the posterior mean keeps the mean surface
-		// intact while collapsing the arm's variance.
-		shadow.Observe(arm, shadow.Mean(arm))
+		// Observing the posterior mean keeps the mean surface intact while
+		// collapsing the arm's variance.
+		shadow.Hallucinate(arm)
 	}
 	return batch
+}
+
+// NewShadow returns a hallucination shadow of the bandit: a deep copy
+// conditioned on fake posterior-mean observations for every in-flight arm
+// (arms leased to engine workers whose results have not come back yet).
+// SelectArm on the shadow is then the GP-BUCB pick given the in-flight set;
+// the real bandit's state is untouched. Callers that lease several arms in
+// a row (server.Scheduler.PickWork) keep one shadow and Hallucinate each
+// pick on it incrementally — one clone per batch instead of one per pick.
+// Conditioning on the posterior mean leaves the mean surface intact, so the
+// shadow's state is independent of hallucination order.
+func (b *GPUCB) NewShadow(inFlight []int) *GPUCB {
+	shadow := b.shadowClone()
+	for _, a := range inFlight {
+		shadow.Hallucinate(a)
+	}
+	return shadow
+}
+
+// Hallucinate conditions the bandit on a fake observation of arm a at its
+// current posterior mean (no-op for invalid or already-tried arms). Only
+// ever call this on a shadow from NewShadow/shadowClone — it consumes the
+// arm like a real observation.
+func (b *GPUCB) Hallucinate(a int) {
+	if a >= 0 && a < b.NumArms() && !b.Tried(a) {
+		b.Observe(a, b.Mean(a))
+	}
 }
 
 // shadowClone duplicates the bandit's decision-relevant state (posterior,

@@ -228,6 +228,23 @@ func (b *GPUCB) Observe(k int, y float64) {
 	}
 }
 
+// Retire permanently removes arm k from selection without recording an
+// observation — for candidates that repeatedly fail to train. The
+// posterior, the local clock and the best-so-far record are untouched; the
+// arm simply stops being selectable and counts toward exhaustion. Retiring
+// a played or already-retired arm is a no-op.
+func (b *GPUCB) Retire(k int) {
+	if b.Tried(k) {
+		return
+	}
+	if b.tried == nil {
+		b.tried = make([]bool, b.NumArms())
+	}
+	b.tried[k] = true
+	b.nTried++
+	b.cacheValid = false
+}
+
 // Best returns the best arm observed so far and its reward; ok is false
 // before the first observation. This is the model ease.ml serves for the
 // infer operator ("the best model so far").

@@ -40,6 +40,8 @@ type Pool struct {
 	gpuFree   []float64 // per-GPU next-free time (multi-device mode)
 	nextJobID int
 	completed []Job
+	horizon   float64 // latest completion time over all jobs
+	workTotal float64 // total work submitted, for the serialized baseline
 }
 
 // NewPool creates a pool of numGPUs devices with scaling exponent alpha
@@ -88,20 +90,43 @@ func (p *Pool) RunSingleDevice(label string, work float64) Job {
 			p.gpuFree[i] = j.End
 		}
 	}
-	p.completed = append(p.completed, j)
+	p.record(j)
 	return j
+}
+
+// record appends a finished job and folds it into the running aggregates
+// (metrics reads stay O(1) however long the history grows). Callers must
+// hold p.mu.
+func (p *Pool) record(j Job) {
+	p.completed = append(p.completed, j)
+	if j.End > p.horizon {
+		p.horizon = j.End
+	}
+	p.workTotal += j.Work
 }
 
 // RunOneGPU executes a job on the earliest-available single GPU (the
 // multi-device alternative of §5.3.2). Jobs overlap across GPUs.
 func (p *Pool) RunOneGPU(label string, work float64) Job {
+	return p.RunOneGPUAmong(label, work, p.numGPUs)
+}
+
+// RunOneGPUAmong executes a job on the earliest-available single GPU among
+// the first limit devices. The execution engine uses this to account runs
+// when its worker pool owns only a slice of the cluster: W workers can keep
+// at most W devices busy, so packing onto more would under-report the
+// virtual makespan. limit ≤ 0 or beyond the pool size means the whole pool.
+func (p *Pool) RunOneGPUAmong(label string, work float64, limit int) Job {
 	if work <= 0 {
 		panic(fmt.Sprintf("cluster: non-positive work %g", work))
+	}
+	if limit <= 0 || limit > p.numGPUs {
+		limit = p.numGPUs
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	g := 0
-	for i, free := range p.gpuFree {
+	for i, free := range p.gpuFree[:limit] {
 		if free < p.gpuFree[g] {
 			g = i
 		}
@@ -113,7 +138,7 @@ func (p *Pool) RunOneGPU(label string, work float64) Job {
 	j := Job{ID: p.nextJobID, Label: label, Work: work, GPUs: 1, Start: start, End: start + work}
 	p.nextJobID++
 	p.gpuFree[g] = j.End
-	p.completed = append(p.completed, j)
+	p.record(j)
 	return j
 }
 
@@ -122,6 +147,25 @@ func (p *Pool) Now() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.clock
+}
+
+// Makespan returns the virtual completion time of the last finished job —
+// the multi-device analogue of Now (which only tracks the single-device
+// frontier). An idle pool reports 0.
+func (p *Pool) Makespan() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.horizon
+}
+
+// SingleDeviceTime returns the virtual time the completed job set would
+// have taken under the deployed single-device strategy (every job takes the
+// whole pool, strictly serialized) — the baseline an engine run's Makespan
+// is compared against for the §5.3.2 strategy comparison.
+func (p *Pool) SingleDeviceTime() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workTotal / math.Pow(float64(p.numGPUs), p.alpha)
 }
 
 // Completed returns a copy of all finished jobs in submission order.

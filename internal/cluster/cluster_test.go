@@ -161,6 +161,58 @@ func TestConcurrentSubmissions(t *testing.T) {
 	}
 }
 
+func TestRunOneGPUAmongRespectsLimit(t *testing.T) {
+	p := NewPool(8, 0.9)
+	// Four equal jobs onto two devices: two waves of two.
+	var jobs []Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, p.RunOneGPUAmong("j", 10, 2))
+	}
+	if jobs[0].Start != 0 || jobs[1].Start != 0 {
+		t.Errorf("first wave starts %g/%g, want 0/0", jobs[0].Start, jobs[1].Start)
+	}
+	if jobs[2].Start != 10 || jobs[3].Start != 10 {
+		t.Errorf("second wave starts %g/%g, want 10/10", jobs[2].Start, jobs[3].Start)
+	}
+	if p.Makespan() != 20 {
+		t.Errorf("makespan %g, want 20", p.Makespan())
+	}
+	// Out-of-range limits fall back to the whole pool.
+	q := NewPool(3, 0.9)
+	a := q.RunOneGPUAmong("a", 5, 0)
+	b := q.RunOneGPUAmong("b", 5, 99)
+	if a.Start != 0 || b.Start != 0 {
+		t.Errorf("whole-pool fallback serialized: %g/%g", a.Start, b.Start)
+	}
+}
+
+func TestMakespanAndSingleDeviceTime(t *testing.T) {
+	p := NewPool(4, 1) // linear scaling for exact numbers
+	if p.Makespan() != 0 || p.SingleDeviceTime() != 0 {
+		t.Error("idle pool should report zero virtual times")
+	}
+	// Four unit-work jobs, one GPU each: makespan 1. Serialized across the
+	// whole 4-GPU pool they would take 4 × (1/4) = 1 as well (linear
+	// scaling makes the strategies tie).
+	for i := 0; i < 4; i++ {
+		p.RunOneGPU("j", 1)
+	}
+	if math.Abs(p.Makespan()-1) > 1e-12 {
+		t.Errorf("makespan %g, want 1", p.Makespan())
+	}
+	if math.Abs(p.SingleDeviceTime()-1) > 1e-12 {
+		t.Errorf("single-device time %g, want 1", p.SingleDeviceTime())
+	}
+	// Sublinear scaling breaks the tie in favour of one-GPU packing.
+	q := NewPool(4, 0.5)
+	for i := 0; i < 4; i++ {
+		q.RunOneGPU("j", 1)
+	}
+	if q.Makespan() >= q.SingleDeviceTime() {
+		t.Errorf("sublinear pool: makespan %g should beat single-device %g", q.Makespan(), q.SingleDeviceTime())
+	}
+}
+
 // Property: jobs never overlap in single-device mode and the clock equals
 // the sum of durations.
 func TestQuickSingleDeviceClock(t *testing.T) {

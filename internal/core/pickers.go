@@ -20,11 +20,12 @@ type UserPicker interface {
 	Pick(tenants []*Tenant) int
 }
 
-// Active returns the indices of tenants that still have untried models.
+// Active returns the indices of tenants that still have untried, unleased
+// models.
 func Active(tenants []*Tenant) []int {
 	var active []int
 	for i, t := range tenants {
-		if !t.Bandit.Exhausted() {
+		if t.Active() {
 			active = append(active, i)
 		}
 	}
@@ -122,7 +123,7 @@ func (FCFSPicker) Name() string { return "fcfs" }
 // Pick implements UserPicker.
 func (FCFSPicker) Pick(tenants []*Tenant) int {
 	for i, t := range tenants {
-		if !t.Bandit.Exhausted() {
+		if t.Active() {
 			return i
 		}
 	}
@@ -143,7 +144,7 @@ func (p *RoundRobinPicker) Pick(tenants []*Tenant) int {
 	n := len(tenants)
 	for off := 0; off < n; off++ {
 		i := (p.next + off) % n
-		if !tenants[i].Bandit.Exhausted() {
+		if tenants[i].Active() {
 			p.next = (i + 1) % n
 			return i
 		}
@@ -252,6 +253,7 @@ type HybridPicker struct {
 	stableCount int
 	prevSig     string
 	prevTotal   float64
+	prevObs     int
 	havePrev    bool
 }
 
@@ -273,6 +275,18 @@ func (p *HybridPicker) Pick(tenants []*Tenant) int {
 	if choice < 0 {
 		return choice
 	}
+	// Freeze detection counts scheduling rounds — pick followed by an
+	// observed result. The execution engine leases several arms between
+	// results, so picks that arrive before any new observation must not
+	// advance (or reset) the stability window, or a single lease batch
+	// would latch GREEDY into round-robin before training even starts.
+	totalObs := 0
+	for _, t := range tenants {
+		totalObs += t.Bandit.NumTried()
+	}
+	if p.havePrev && totalObs == p.prevObs {
+		return choice
+	}
 	sig := fmt.Sprint(p.greedy.lastCandidates)
 	total := 0.0
 	for _, t := range tenants {
@@ -285,6 +299,7 @@ func (p *HybridPicker) Pick(tenants []*Tenant) int {
 	}
 	p.prevSig = sig
 	p.prevTotal = total
+	p.prevObs = totalObs
 	p.havePrev = true
 	sWindow := p.S
 	if sWindow <= 0 {

@@ -25,6 +25,11 @@ type Tenant struct {
 	served     bool
 
 	lastReward float64 // X_it: reward at the last round this tenant was served
+
+	// leased counts arms currently leased to in-flight work (set by the
+	// server scheduler's two-phase API); those arms are untried but not
+	// selectable, so Active subtracts them. Always 0 in replay simulations.
+	leased int
 }
 
 // NewTenant wraps a bandit as a tenant.
@@ -34,6 +39,17 @@ func NewTenant(id int, name string, b *bandit.GPUCB) *Tenant {
 
 // Served reports whether the tenant has been scheduled at least once.
 func (t *Tenant) Served() bool { return t.served }
+
+// SetLeased records how many of the tenant's untried arms are currently
+// leased out to in-flight work.
+func (t *Tenant) SetLeased(n int) { t.leased = n }
+
+// Active reports whether the tenant has at least one untried arm that is
+// not leased out — i.e. whether a user picker may select it. With no
+// leases this is exactly !Bandit.Exhausted().
+func (t *Tenant) Active() bool {
+	return t.Bandit.NumArms()-t.Bandit.NumTried()-t.leased > 0
+}
 
 // SigmaTilde returns the empirical variance σ̃ of Algorithm 2 line 6.
 // Tenants that have never been served return +Inf, which keeps them in every

@@ -1,0 +1,507 @@
+// Package engine implements the asynchronous multi-device execution engine
+// that closes the §6 future-work gap: instead of training one candidate at a
+// time across the whole GPU pool (the deployed single-device strategy of
+// §4.5), a worker pool keeps several devices busy at once, with the
+// candidate stream chosen by the multi-tenant scheduler's two-phase API
+// (server.Scheduler.PickWork / Complete) under GP-BUCB hallucination so
+// concurrent picks diversify.
+//
+// The engine is a dispatcher plus N workers around a bounded work queue:
+//
+//	dispatcher ──PickWork──▶ [bounded queue] ──▶ worker 0 ──Train──▶ Complete
+//	     ▲                                  └──▶ worker 1 ──Train──▶ Complete
+//	     └──────────── kick on completion ◀──────────┘
+//
+// Leases flow exactly once: every lease the dispatcher obtains is either
+// completed (result observed by the scheduler) or released (drain, worker
+// failure), never both, never twice. Stopping is graceful: workers finish
+// the run they are on, queued-but-unstarted leases are released back to the
+// scheduler, and Run returns only when every lease is settled.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Source is the scheduling surface the engine drains: the two-phase lease
+// API of server.Scheduler (the only production implementation; tests
+// substitute fakes).
+type Source interface {
+	PickWork(maxInFlight int) ([]*server.Lease, error)
+	Complete(l *server.Lease, accuracy, cost float64) error
+	Release(l *server.Lease) error
+	// Abandon retires a lease's candidate from selection without an
+	// observation — the terminal state for runs that keep failing.
+	Abandon(l *server.Lease) error
+}
+
+// Config parameterizes an Engine. Zero values select the defaults noted per
+// field.
+type Config struct {
+	// Workers is the worker-pool size (default 4). Each worker trains one
+	// candidate at a time, so Workers bounds wall-clock concurrency.
+	Workers int
+	// Queue is the bounded work-queue depth between the dispatcher and the
+	// workers (default Workers): enough to hide pick latency, small enough
+	// that stale leases don't pile up.
+	Queue int
+	// MaxInFlight caps outstanding leases — queued plus training (default
+	// Workers + Queue). It is the batch size handed to PickWork.
+	MaxInFlight int
+	// ExitOnIdle makes Run return once no work is available and nothing is
+	// in flight (batch mode: examples, benchmarks). The default keeps the
+	// engine alive waiting for new jobs (server mode).
+	ExitOnIdle bool
+	// PollInterval is the idle re-poll period in server mode (default
+	// 50ms); Kick wakes the dispatcher sooner.
+	PollInterval time.Duration
+	// MaxRetries bounds how often a failing (job, candidate) run is
+	// retried (default 3). After that many failures the candidate is
+	// abandoned — retired from selection with no observation recorded —
+	// because without the bound a persistently failing candidate would be
+	// released, immediately re-leased (it keeps its top UCB) and retried
+	// forever, livelocking the engine.
+	MaxRetries int
+	// EventBuffer is the capacity of the event stream (default 128).
+	// Events are dropped, never blocked on, when no one drains them.
+	EventBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Queue <= 0 {
+		c.Queue = c.Workers
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = c.Workers + c.Queue
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 50 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 128
+	}
+	return c
+}
+
+// EventType labels an engine event.
+type EventType string
+
+// The engine event stream.
+const (
+	EventLease    EventType = "lease"    // a work item was leased and enqueued
+	EventComplete EventType = "complete" // a worker finished a run and reported it
+	EventRelease  EventType = "release"  // a lease was handed back untrained
+	EventAbandon  EventType = "abandon"  // a candidate was retired after MaxRetries failures
+	EventError    EventType = "error"    // a training run or report failed
+	EventDrained  EventType = "drained"  // batch mode: no work left, engine exiting
+	EventStopped  EventType = "stopped"  // the engine run ended
+)
+
+// Event is one entry of the engine's event stream.
+type Event struct {
+	Type      EventType
+	JobID     string
+	Candidate string
+	Worker    int // -1 for dispatcher events
+	Accuracy  float64
+	Cost      float64
+	Err       string
+	Rounds    int64 // completed runs at emit time
+}
+
+// WorkerStats is the per-worker slice of Metrics.
+type WorkerStats struct {
+	Items int64         // completed training runs
+	Busy  time.Duration // wall time spent inside Train
+}
+
+// Metrics is a point-in-time snapshot of the engine counters.
+type Metrics struct {
+	Running     bool
+	Workers     int
+	Completed   int64 // scheduling rounds completed through this engine
+	Released    int64 // leases handed back untrained
+	Abandoned   int64 // candidates retired after MaxRetries failures
+	Errors      int64 // failed training runs or reports
+	InFlight    int   // leases currently queued or training
+	QueueDepth  int   // leases sitting in the bounded queue
+	Elapsed     time.Duration
+	PerWorker   []WorkerStats
+	Utilization float64 // mean busy fraction across workers over Elapsed
+}
+
+// ErrRunning is returned by Run/Start when the engine is already running.
+var ErrRunning = errors.New("engine: already running")
+
+// ErrInterrupted is returned by Drain when the run ended (context cancelled
+// or Stop called) before the work source ran dry.
+var ErrInterrupted = errors.New("engine: drain interrupted before the work source ran dry")
+
+// Engine keeps a device pool busy with leased scheduler work. Create with
+// New, then either Run (blocking, batch) or Start/Stop (server mode).
+// Counters are cumulative across runs.
+type Engine struct {
+	src     Source
+	trainer server.Trainer
+	cfg     Config
+
+	kick   chan struct{}
+	events chan Event
+
+	completed atomic.Int64
+	released  atomic.Int64
+	abandoned atomic.Int64
+	errs      atomic.Int64
+	inFlight  atomic.Int64
+
+	mu           sync.Mutex
+	running      bool
+	exitOnIdle   bool // effective mode of the current run
+	queue        chan *server.Lease
+	cancel       context.CancelFunc
+	done         chan struct{}
+	started      time.Time
+	elapsedTotal time.Duration // summed across finished runs
+	workers      []WorkerStats
+	failures     map[string]int // per-(job, arm) Train failure counts
+}
+
+// New creates an engine over a work source and a trainer.
+func New(src Source, trainer server.Trainer, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		src:      src,
+		trainer:  trainer,
+		cfg:      cfg,
+		kick:     make(chan struct{}, 1),
+		events:   make(chan Event, cfg.EventBuffer),
+		workers:  make([]WorkerStats, cfg.Workers),
+		failures: make(map[string]int),
+	}
+}
+
+// Events returns the engine's event stream. Events are dropped when the
+// buffer is full, so the stream is for observability, not control flow.
+func (e *Engine) Events() <-chan Event { return e.events }
+
+// Kick wakes an idle dispatcher immediately (e.g. after a job submission)
+// instead of waiting for the next poll tick. Safe to call at any time.
+func (e *Engine) Kick() {
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Running reports whether an engine run is active.
+func (e *Engine) Running() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.running
+}
+
+// Metrics snapshots the engine counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := Metrics{
+		Running:   e.running,
+		Workers:   e.cfg.Workers,
+		Completed: e.completed.Load(),
+		Released:  e.released.Load(),
+		Abandoned: e.abandoned.Load(),
+		Errors:    e.errs.Load(),
+		InFlight:  int(e.inFlight.Load()),
+		// Busy counters are cumulative across runs, so Elapsed must be too
+		// or Utilization would exceed 1 after a restart.
+		Elapsed:   e.elapsedTotal,
+		PerWorker: append([]WorkerStats(nil), e.workers...),
+	}
+	if e.queue != nil {
+		m.QueueDepth = len(e.queue)
+	}
+	if e.running {
+		m.Elapsed += time.Since(e.started)
+	}
+	if m.Elapsed > 0 {
+		var busy time.Duration
+		for _, w := range m.PerWorker {
+			busy += w.Busy
+		}
+		m.Utilization = float64(busy) / (float64(m.Elapsed) * float64(len(m.PerWorker)))
+	}
+	return m
+}
+
+// Run executes the engine until the context is cancelled or — with
+// Config.ExitOnIdle — until all work is drained. It returns ErrRunning when
+// called while another run is active. On return every lease the engine
+// obtained has been completed or released.
+func (e *Engine) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if err := e.begin(cancel, e.cfg.ExitOnIdle); err != nil {
+		return err
+	}
+	_, err := e.execute(ctx)
+	return err
+}
+
+// Drain runs the engine until no work remains, regardless of the configured
+// server mode — Run with ExitOnIdle forced on. Because it shares the
+// engine's running guard, a Drain and a Start can never race onto the same
+// scheduler. Unlike Run (whose nil-on-cancel is Stop's graceful path), an
+// interrupted Drain returns ErrInterrupted: a partial drain must never look
+// like a completed one.
+func (e *Engine) Drain(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if err := e.begin(cancel, true); err != nil {
+		return err
+	}
+	drained, err := e.execute(ctx)
+	if err == nil && !drained {
+		return ErrInterrupted
+	}
+	return err
+}
+
+// Start launches Run in the background (server mode); Stop cancels it and
+// waits for the graceful drain.
+func (e *Engine) Start() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := e.begin(cancel, e.cfg.ExitOnIdle); err != nil {
+		cancel()
+		return err
+	}
+	go func() {
+		defer cancel()
+		_, _ = e.execute(ctx)
+	}()
+	return nil
+}
+
+// execute runs the dispatcher and worker pool of an already-begun run; it
+// settles every lease before returning and always calls finish. drained
+// reports whether the run ended because the work source ran dry (as
+// opposed to cancellation).
+func (e *Engine) execute(ctx context.Context) (drained bool, err error) {
+	defer e.finish()
+	e.mu.Lock()
+	queue := e.queue
+	e.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			e.worker(ctx, id, queue)
+		}(w)
+	}
+	drained, err = e.dispatch(ctx, queue)
+	close(queue)
+	wg.Wait()
+	return drained, err
+}
+
+// Stop cancels the active run and blocks until every worker has settled its
+// lease. It errors when the engine is not running.
+func (e *Engine) Stop() error {
+	e.mu.Lock()
+	if !e.running {
+		e.mu.Unlock()
+		return errors.New("engine: not running")
+	}
+	cancel, done := e.cancel, e.done
+	e.mu.Unlock()
+	cancel()
+	<-done
+	return nil
+}
+
+// begin transitions to running, allocating the per-run queue.
+func (e *Engine) begin(cancel context.CancelFunc, exitOnIdle bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.running {
+		return ErrRunning
+	}
+	e.running = true
+	e.exitOnIdle = exitOnIdle
+	e.started = time.Now()
+	e.queue = make(chan *server.Lease, e.cfg.Queue)
+	e.done = make(chan struct{})
+	e.cancel = cancel
+	return nil
+}
+
+// finish transitions out of running and closes the done latch.
+func (e *Engine) finish() {
+	e.mu.Lock()
+	e.running = false
+	e.elapsedTotal += time.Since(e.started)
+	done := e.done
+	e.mu.Unlock()
+	e.emit(Event{Type: EventStopped, Worker: -1, Rounds: e.completed.Load()})
+	close(done)
+}
+
+// dispatch leases work from the source and feeds the bounded queue until the
+// context is cancelled or (exit-on-idle) the source runs dry; drained
+// reports which of the two ended the run.
+func (e *Engine) dispatch(ctx context.Context, queue chan<- *server.Lease) (drained bool, err error) {
+	for {
+		if ctx.Err() != nil {
+			return false, nil
+		}
+		// Sample idleness BEFORE polling: a worker settles its lease in the
+		// scheduler before decrementing inFlight, so "nothing was in flight
+		// and the poll still found nothing" proves the source is dry. The
+		// reverse order would race with a release landing between the poll
+		// and the in-flight check, ending a drain with work left behind.
+		idleBefore := e.inFlight.Load() == 0
+		work, err := e.src.PickWork(e.cfg.MaxInFlight)
+		if err != nil {
+			e.errs.Add(1)
+			e.emit(Event{Type: EventError, Worker: -1, Err: err.Error(), Rounds: e.completed.Load()})
+			return false, fmt.Errorf("engine: picking work: %w", err)
+		}
+		for i, l := range work {
+			e.inFlight.Add(1)
+			e.emit(Event{Type: EventLease, JobID: l.JobID, Candidate: l.Candidate.Name(), Worker: -1, Rounds: e.completed.Load()})
+			select {
+			case queue <- l:
+			case <-ctx.Done():
+				// Graceful stop while enqueueing: hand this lease and the
+				// rest of the batch straight back.
+				e.releaseLease(l, -1)
+				for _, rest := range work[i+1:] {
+					e.inFlight.Add(1)
+					e.releaseLease(rest, -1)
+				}
+				return false, nil
+			}
+		}
+		if len(work) > 0 {
+			continue
+		}
+		if idleBefore && e.exitOnIdle {
+			e.emit(Event{Type: EventDrained, Worker: -1, Rounds: e.completed.Load()})
+			return true, nil
+		}
+		// Nothing to lease right now: wait for a completion (kick), a new
+		// job (kick via Kick), a poll tick, or cancellation.
+		timer := time.NewTimer(e.cfg.PollInterval)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return false, nil
+		case <-e.kick:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// worker trains leases from the queue until it closes. After cancellation it
+// keeps draining the queue but releases leases instead of training them.
+func (e *Engine) worker(ctx context.Context, id int, queue <-chan *server.Lease) {
+	for l := range queue {
+		if ctx.Err() != nil {
+			e.releaseLease(l, id)
+			continue
+		}
+		start := time.Now()
+		acc, cost, err := e.trainer.Train(l.JobID, l.Candidate)
+		busy := time.Since(start)
+
+		e.mu.Lock()
+		e.workers[id].Busy += busy
+		if err == nil {
+			e.workers[id].Items++
+		}
+		e.mu.Unlock()
+
+		if err != nil {
+			e.errs.Add(1)
+			e.emit(Event{Type: EventError, JobID: l.JobID, Candidate: l.Candidate.Name(), Worker: id, Err: err.Error(), Rounds: e.completed.Load()})
+			if e.noteFailure(l) >= e.cfg.MaxRetries {
+				// Give up: retire the candidate so it stops being re-leased
+				// (livelock guard) — no observation is fabricated, the GP
+				// posterior and model history stay clean.
+				if aerr := e.src.Abandon(l); aerr != nil {
+					e.errs.Add(1)
+					e.emit(Event{Type: EventError, JobID: l.JobID, Candidate: l.Candidate.Name(), Worker: id, Err: aerr.Error(), Rounds: e.completed.Load()})
+				} else {
+					e.abandoned.Add(1)
+					e.emit(Event{
+						Type: EventAbandon, JobID: l.JobID, Candidate: l.Candidate.Name(), Worker: id,
+						Err:    fmt.Sprintf("retired after %d failed runs", e.cfg.MaxRetries),
+						Rounds: e.completed.Load(),
+					})
+				}
+				e.inFlight.Add(-1)
+				e.Kick()
+				continue
+			}
+			e.releaseLease(l, id)
+			continue
+		}
+		if cerr := e.src.Complete(l, acc, cost); cerr != nil {
+			e.errs.Add(1)
+			e.inFlight.Add(-1)
+			e.emit(Event{Type: EventError, JobID: l.JobID, Candidate: l.Candidate.Name(), Worker: id, Err: cerr.Error(), Rounds: e.completed.Load()})
+			e.Kick()
+			continue
+		}
+		rounds := e.completed.Add(1)
+		e.inFlight.Add(-1)
+		e.emit(Event{Type: EventComplete, JobID: l.JobID, Candidate: l.Candidate.Name(), Worker: id, Accuracy: acc, Cost: cost, Rounds: rounds})
+		e.Kick()
+	}
+}
+
+// noteFailure records one Train failure for a lease's (job, arm) pair and
+// returns the running count.
+func (e *Engine) noteFailure(l *server.Lease) int {
+	key := fmt.Sprintf("%s#%d", l.JobID, l.Arm)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.failures[key]++
+	return e.failures[key]
+}
+
+// releaseLease settles a lease without a result and wakes the dispatcher.
+func (e *Engine) releaseLease(l *server.Lease, worker int) {
+	if err := e.src.Release(l); err != nil {
+		e.errs.Add(1)
+		e.emit(Event{Type: EventError, JobID: l.JobID, Candidate: l.Candidate.Name(), Worker: worker, Err: err.Error(), Rounds: e.completed.Load()})
+	} else {
+		e.released.Add(1)
+		e.emit(Event{Type: EventRelease, JobID: l.JobID, Candidate: l.Candidate.Name(), Worker: worker, Rounds: e.completed.Load()})
+	}
+	e.inFlight.Add(-1)
+	e.Kick()
+}
+
+// emit pushes an event, dropping it when the stream is full.
+func (e *Engine) emit(ev Event) {
+	select {
+	case e.events <- ev:
+	default:
+	}
+}

@@ -18,12 +18,69 @@ import (
 //	POST /jobs/{id}/infer          apply the best model
 //	POST /admin/rounds             run scheduling rounds synchronously
 //	GET  /admin/snapshot           checkpoint the shared storage as JSON
+//	GET  /admin/metrics            scheduler counters + engine metrics
+//	POST /admin/start              start the async execution engine
+//	POST /admin/stop               stop the engine (graceful drain)
+//
+// The three /admin engine endpoints operate on the optional EngineControl
+// wired in with WithEngine (the easeml facade does this when the service is
+// configured with workers). Without one, /admin/metrics still reports the
+// scheduler counters and start/stop answer 409 Conflict.
 type API struct {
-	sched *Scheduler
+	sched  *Scheduler
+	engine EngineControl
+}
+
+// EngineControl is the engine surface the admin endpoints drive. It is an
+// interface so the server layer stays independent of the engine package
+// (which imports this one for the lease API); the easeml facade adapts
+// engine.Engine to it.
+type EngineControl interface {
+	// Start launches the engine; it errors when already running.
+	Start() error
+	// Stop gracefully drains and stops the engine; it errors when not
+	// running.
+	Stop() error
+	// Status snapshots the engine counters.
+	Status() EngineStatus
+}
+
+// EngineWorkerStatus is the per-worker slice of EngineStatus.
+type EngineWorkerStatus struct {
+	Items  int64   `json:"items"`
+	BusyMS float64 `json:"busy_ms"`
+}
+
+// EngineStatus is the engine block of the metrics endpoint.
+type EngineStatus struct {
+	Running     bool                 `json:"running"`
+	Workers     int                  `json:"workers"`
+	Completed   int64                `json:"completed"`
+	Released    int64                `json:"released"`
+	Abandoned   int64                `json:"abandoned"`
+	Errors      int64                `json:"errors"`
+	InFlight    int                  `json:"in_flight"`
+	QueueDepth  int                  `json:"queue_depth"`
+	UptimeMS    float64              `json:"uptime_ms"`
+	Utilization float64              `json:"utilization"`
+	PerWorker   []EngineWorkerStatus `json:"per_worker,omitempty"`
+	// Virtual-time accounting of the simulated pool: the multi-device
+	// makespan of everything trained so far versus what the serialized
+	// single-device strategy would have taken (§5.3.2).
+	VirtualMakespan     float64 `json:"virtual_makespan"`
+	VirtualSingleDevice float64 `json:"virtual_single_device"`
+	VirtualSpeedup      float64 `json:"virtual_speedup"`
 }
 
 // NewAPI wraps a scheduler.
 func NewAPI(sched *Scheduler) *API { return &API{sched: sched} }
+
+// WithEngine attaches an engine control to the admin surface and returns
+// the API for chaining.
+func (a *API) WithEngine(ctrl EngineControl) *API {
+	a.engine = ctrl
+	return a
+}
 
 // Handler returns the HTTP handler for the service.
 func (a *API) Handler() http.Handler {
@@ -32,6 +89,9 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("/jobs/", a.handleJobOp)
 	mux.HandleFunc("/admin/rounds", a.handleRounds)
 	mux.HandleFunc("/admin/snapshot", a.handleSnapshot)
+	mux.HandleFunc("/admin/metrics", a.handleMetrics)
+	mux.HandleFunc("/admin/start", a.handleEngineStart)
+	mux.HandleFunc("/admin/stop", a.handleEngineStop)
 	return mux
 }
 
@@ -198,6 +258,61 @@ func (a *API) handleRounds(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, RoundsResponse{Ran: ran, Total: a.sched.Rounds()})
+}
+
+// MetricsResponse is the GET /admin/metrics reply.
+type MetricsResponse struct {
+	Jobs     int           `json:"jobs"`
+	Rounds   int           `json:"rounds"`
+	InFlight int           `json:"in_flight"`
+	Engine   *EngineStatus `json:"engine,omitempty"`
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	resp := MetricsResponse{
+		Jobs:     len(a.sched.Jobs()),
+		Rounds:   a.sched.Rounds(),
+		InFlight: a.sched.InFlight(),
+	}
+	if a.engine != nil {
+		st := a.engine.Status()
+		resp.Engine = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *API) handleEngineStart(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	if a.engine == nil {
+		writeError(w, http.StatusConflict, errors.New("no engine configured (run the server with workers)"))
+		return
+	}
+	if err := a.engine.Start(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"running": true})
+}
+
+func (a *API) handleEngineStop(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	if a.engine == nil {
+		writeError(w, http.StatusConflict, errors.New("no engine configured (run the server with workers)"))
+		return
+	}
+	if err := a.engine.Stop(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"running": false})
 }
 
 func (a *API) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -3,6 +3,13 @@
 // call infer against the best model found so far, while a multi-tenant
 // scheduler (internal/core's HYBRID policy) decides which job's next
 // candidate model to train on the shared (simulated) GPU pool.
+//
+// Scheduling is a two-phase API: PickWork leases (job, candidate) pairs —
+// chosen by the user picker with in-flight arms hallucinated GP-BUCB style —
+// and Complete feeds results back. RunRound drives it serialized (the
+// deployed single-device strategy); internal/engine drives it with a
+// concurrent worker pool. The HTTP surface (see API in http.go) adds
+// /admin/metrics and /admin/start|stop for engine control.
 package server
 
 import (
@@ -11,6 +18,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/bandit"
 	"repro/internal/cluster"
@@ -26,18 +34,33 @@ import (
 // Trainer runs one candidate model for a job and reports its measured
 // accuracy plus the execution cost. EstimateCost must be stable and
 // strictly positive; the scheduler uses it for cost-aware selection before
-// the candidate ever runs.
+// the candidate ever runs. Implementations must be safe for concurrent use:
+// the execution engine calls Train from many workers at once, and a failed
+// run must surface as an error, never a panic (a panic inside an engine
+// worker would take down the whole server).
 type Trainer interface {
-	Train(jobID string, c templates.Candidate) (accuracy, cost float64)
-	EstimateCost(jobID string, c templates.Candidate) float64
+	Train(jobID string, c templates.Candidate) (accuracy, cost float64, err error)
+	EstimateCost(jobID string, c templates.Candidate) (float64, error)
 }
 
 // SimTrainer trains candidates on the trainsim learning-curve substrate,
-// serialized through a simulated GPU pool (the deployed single-device
-// strategy of §4.5).
+// accounted through a simulated GPU pool. By default every run takes the
+// whole pool (the deployed single-device strategy of §4.5); with Devices > 0
+// runs are packed one-GPU-each onto that many devices instead (the
+// multi-device strategy of §5.3.2, used by the execution engine).
 type SimTrainer struct {
 	Pool *cluster.Pool
 	Seed int64
+
+	// Devices selects the pool-accounting mode: 0 serializes every run
+	// across the whole pool; N > 0 packs runs one GPU each onto the first N
+	// devices, overlapping in virtual time.
+	Devices int
+
+	// Delay, when positive, makes every Train call sleep that long. The
+	// simulated substrate is otherwise instantaneous; benchmarks use Delay
+	// to surface the engine's wall-clock concurrency.
+	Delay time.Duration
 
 	mu   sync.Mutex
 	sims map[string]*simEntry
@@ -102,38 +125,50 @@ func (st *SimTrainer) Register(jobID string, cands []templates.Candidate) error 
 	return nil
 }
 
-// Train implements Trainer.
-func (st *SimTrainer) Train(jobID string, c templates.Candidate) (float64, float64) {
+// lookup resolves a (job, candidate) pair to its simulator and model index.
+func (st *SimTrainer) lookup(jobID string, c templates.Candidate) (*simEntry, int, error) {
 	st.mu.Lock()
 	entry, ok := st.sims[jobID]
 	st.mu.Unlock()
 	if !ok {
-		panic(fmt.Sprintf("server: job %q not registered", jobID))
+		return nil, 0, fmt.Errorf("server: job %q not registered", jobID)
 	}
 	idx, ok := entry.index[c.Name()]
 	if !ok {
-		panic(fmt.Sprintf("server: job %q has no candidate %q", jobID, c.Name()))
+		return nil, 0, fmt.Errorf("server: job %q has no candidate %q", jobID, c.Name())
+	}
+	return entry, idx, nil
+}
+
+// Train implements Trainer. It is safe for concurrent use: simulator runs
+// are deterministic pure functions of (job, candidate) and the pool does its
+// own locking.
+func (st *SimTrainer) Train(jobID string, c templates.Candidate) (float64, float64, error) {
+	entry, idx, err := st.lookup(jobID, c)
+	if err != nil {
+		return 0, 0, err
 	}
 	res := entry.sim.Train(0, idx)
-	if st.Pool != nil {
-		st.Pool.RunSingleDevice(jobID+"/"+c.Name(), res.Cost)
+	if st.Delay > 0 {
+		time.Sleep(st.Delay)
 	}
-	return res.Accuracy, res.Cost
+	if st.Pool != nil {
+		if st.Devices > 0 {
+			st.Pool.RunOneGPUAmong(jobID+"/"+c.Name(), res.Cost, st.Devices)
+		} else {
+			st.Pool.RunSingleDevice(jobID+"/"+c.Name(), res.Cost)
+		}
+	}
+	return res.Accuracy, res.Cost, nil
 }
 
 // EstimateCost implements Trainer.
-func (st *SimTrainer) EstimateCost(jobID string, c templates.Candidate) float64 {
-	st.mu.Lock()
-	entry, ok := st.sims[jobID]
-	st.mu.Unlock()
-	if !ok {
-		panic(fmt.Sprintf("server: job %q not registered", jobID))
+func (st *SimTrainer) EstimateCost(jobID string, c templates.Candidate) (float64, error) {
+	entry, idx, err := st.lookup(jobID, c)
+	if err != nil {
+		return 0, err
 	}
-	idx, ok := entry.index[c.Name()]
-	if !ok {
-		panic(fmt.Sprintf("server: job %q has no candidate %q", jobID, c.Name()))
-	}
-	return entry.sim.Cost(0, idx)
+	return entry.sim.Cost(0, idx), nil
 }
 
 func frac(h int64, salt int64) float64 {
@@ -166,15 +201,17 @@ type Job struct {
 // it. It is the in-process core of the HTTP server and is usable directly
 // (examples drive it without HTTP).
 type Scheduler struct {
-	mu      sync.Mutex
-	store   *storage.Store
-	trainer Trainer
-	picker  core.UserPicker
-	jobs    []*Job
-	byID    map[string]*Job
-	nextID  int
-	rounds  int
-	server  string // advertised server address for codegen
+	mu        sync.Mutex
+	store     *storage.Store
+	trainer   Trainer
+	picker    core.UserPicker
+	jobs      []*Job
+	byID      map[string]*Job
+	nextID    int
+	rounds    int
+	server    string // advertised server address for codegen
+	leases    map[int]*Lease
+	nextLease int
 }
 
 // NewScheduler creates a scheduler with the given trainer and user picker
@@ -192,8 +229,13 @@ func NewScheduler(trainer Trainer, picker core.UserPicker, serverAddr string) *S
 		picker:  picker,
 		byID:    make(map[string]*Job),
 		server:  serverAddr,
+		leases:  make(map[int]*Lease),
 	}
 }
+
+// Trainer returns the trainer the scheduler was built with, so an execution
+// engine can run the work it leases.
+func (sc *Scheduler) Trainer() Trainer { return sc.trainer }
 
 // Submit parses and registers a new job: the program is validated, matched
 // against the Figure 4 templates, candidates are generated (including
@@ -227,7 +269,11 @@ func (sc *Scheduler) Submit(name, programSrc string) (*Job, error) {
 	costs := make([]float64, len(cands))
 	features := make([][]float64, len(cands))
 	for i, c := range cands {
-		costs[i] = sc.trainer.EstimateCost(id, c)
+		cost, err := sc.trainer.EstimateCost(id, c)
+		if err != nil {
+			return nil, fmt.Errorf("server: estimating cost of %q: %w", c.Name(), err)
+		}
+		costs[i] = cost
 		features[i] = candidateFeature(c)
 	}
 	process := gp.NewFromFeatures(gp.RBF{Variance: 0.05, LengthScale: 0.5}, features, 1e-4)
@@ -290,46 +336,217 @@ func (sc *Scheduler) Rounds() int {
 	return sc.rounds
 }
 
-// RunRound executes one multi-tenant scheduling round: pick a job, pick its
-// next candidate, train it, and record the result. It returns false when no
-// job has untried candidates.
-func (sc *Scheduler) RunRound() (bool, error) {
+// Lease is one unit of leased work: a (job, candidate) pair the scheduler
+// has picked but whose result has not been reported yet. A lease's arm is
+// excluded from further selection until Complete or Release is called with
+// it, so concurrent workers never train the same candidate twice.
+type Lease struct {
+	ID        int
+	JobID     string
+	Arm       int
+	Candidate templates.Candidate
+	// UCB is the (hallucinated-posterior) upper confidence bound the arm was
+	// selected at; Complete feeds it into the σ̃ recurrence.
+	UCB float64
+}
+
+// InFlight returns the number of outstanding leases.
+func (sc *Scheduler) InFlight() int {
 	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.leases)
+}
+
+// PickWork is the first phase of the scheduler's two-phase API: it leases
+// new (job, candidate) work items until maxInFlight leases are outstanding
+// or no more work is available, and returns the newly created leases. Jobs
+// are chosen by the configured core.UserPicker over the tenants that still
+// have unleased untried candidates; within a job the candidate is chosen by
+// GP-BUCB with the job's in-flight arms hallucinated (bandit.SelectBatch's
+// scheme, applied incrementally), so parallel picks diversify.
+//
+// Every returned lease must eventually be handed back via Complete (with
+// the training result) or Release (on failure or drain).
+func (sc *Scheduler) PickWork(maxInFlight int) ([]*Lease, error) {
+	if maxInFlight <= 0 {
+		return nil, fmt.Errorf("server: maxInFlight %d must be positive", maxInFlight)
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+
+	inFlight := sc.inFlightArmsLocked()
+	shadows := make(map[string]*bandit.GPUCB)
+	var picked []*Lease
+	for len(sc.leases) < maxInFlight {
+		l, err := sc.pickNextLocked(inFlight, shadows)
+		if err != nil {
+			return picked, err
+		}
+		if l == nil {
+			break
+		}
+		picked = append(picked, l)
+	}
+	return picked, nil
+}
+
+// inFlightArmsLocked collects the in-flight arms per job from the
+// outstanding leases. Callers must hold sc.mu.
+func (sc *Scheduler) inFlightArmsLocked() map[string][]int {
+	inFlight := make(map[string][]int, len(sc.jobs))
+	for _, l := range sc.leases {
+		inFlight[l.JobID] = append(inFlight[l.JobID], l.Arm)
+	}
+	return inFlight
+}
+
+// pickNextLocked leases the next single work item, updating inFlight and
+// the per-job hallucination shadows in place so a batch of picks pays one
+// bandit clone per job instead of one per lease. It returns (nil, nil)
+// when no job has an untried, unleased arm, and an error when the picker
+// violates its contract by choosing a blocked tenant. Callers must hold
+// sc.mu.
+func (sc *Scheduler) pickNextLocked(inFlight map[string][]int, shadows map[string]*bandit.GPUCB) (*Lease, error) {
+	// The picker always sees the full tenant slice — stateful pickers
+	// (HYBRID's freeze signature, round-robin's rotation) depend on stable
+	// indices. Jobs whose untried arms are all leased out are excluded via
+	// the tenants' leased counts, which Tenant.Active folds in.
 	tenants := make([]*core.Tenant, len(sc.jobs))
+	anyActive := false
 	for i, j := range sc.jobs {
+		j.tenant.SetLeased(len(inFlight[j.ID]))
 		tenants[i] = j.tenant
+		anyActive = anyActive || j.tenant.Active()
+	}
+	if !anyActive {
+		return nil, nil
 	}
 	idx := sc.picker.Pick(tenants)
-	if idx < 0 {
-		sc.mu.Unlock()
-		return false, nil
+	if idx < 0 || idx >= len(sc.jobs) {
+		return nil, fmt.Errorf("server: picker %s returned index %d with active tenants remaining", sc.picker.Name(), idx)
 	}
 	job := sc.jobs[idx]
-	arm, ucb := job.tenant.Bandit.SelectArm()
-	if arm < 0 {
-		sc.mu.Unlock()
-		return false, fmt.Errorf("server: picker chose exhausted job %s", job.ID)
+	if !job.tenant.Active() {
+		// A silent nil here would let a faulty picker end scheduling with
+		// untried candidates looking like a clean drain.
+		return nil, fmt.Errorf("server: picker %s chose job %s, which has no selectable candidate", sc.picker.Name(), job.ID)
 	}
-	cand := job.Candidates[arm]
+	// With nothing in flight for the job, the hallucinated pick equals the
+	// real bandit's (cached) SelectArm — the serialized hot path pays no
+	// posterior clone. A shadow is built lazily on the first concurrent
+	// pick and reused for the rest of the batch.
+	var arm int
+	var ucb float64
+	if shadow, ok := shadows[job.ID]; ok {
+		arm, ucb = shadow.SelectArm()
+		shadow.Hallucinate(arm)
+	} else if len(inFlight[job.ID]) == 0 {
+		arm, ucb = job.tenant.Bandit.SelectArm()
+	} else {
+		shadow = job.tenant.Bandit.NewShadow(inFlight[job.ID])
+		shadows[job.ID] = shadow
+		arm, ucb = shadow.SelectArm()
+		shadow.Hallucinate(arm)
+	}
+	if arm < 0 {
+		// Cannot happen for an Active tenant; surface it rather than loop.
+		return nil, fmt.Errorf("server: job %s reported active but selected no arm", job.ID)
+	}
+	inFlight[job.ID] = append(inFlight[job.ID], arm)
+	sc.nextLease++
+	l := &Lease{ID: sc.nextLease, JobID: job.ID, Arm: arm, Candidate: job.Candidates[arm], UCB: ucb}
+	sc.leases[l.ID] = l
+	return l, nil
+}
+
+// Complete is the second phase of the two-phase API: it reports the training
+// result for a leased work item, feeding the observation into the job's
+// bandit and σ̃ recurrence and recording the model. The global round counter
+// advances in completion order. It errors on a lease that is not
+// outstanding (double completion, or completion after Release).
+func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
+	if l == nil {
+		return fmt.Errorf("server: nil lease")
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if stored, ok := sc.leases[l.ID]; !ok || stored != l {
+		return fmt.Errorf("server: lease %d (%s/%s) is not outstanding", l.ID, l.JobID, l.Candidate.Name())
+	}
+	delete(sc.leases, l.ID)
+	job := sc.byID[l.JobID]
+	if job.tenant.Bandit.Tried(l.Arm) {
+		return fmt.Errorf("server: lease %d arm %d of %s already observed", l.ID, l.Arm, l.JobID)
+	}
+	job.tenant.Bandit.Observe(l.Arm, accuracy)
+	job.tenant.RecordObservation(l.UCB, accuracy)
 	sc.rounds++
-	round := sc.rounds
+	job.store.RecordModel(storage.ModelRecord{
+		Name:     l.Candidate.Name(),
+		Accuracy: accuracy,
+		Cost:     cost,
+		Round:    sc.rounds,
+	})
+	return nil
+}
+
+// Abandon settles a lease for a candidate that cannot be trained (e.g. it
+// failed repeatedly): the arm is retired from selection without recording
+// an observation, so neither the GP posterior nor the job's model history
+// is polluted with a fabricated result. The round counter does not
+// advance. It errors on a lease that is not outstanding.
+func (sc *Scheduler) Abandon(l *Lease) error {
+	if l == nil {
+		return fmt.Errorf("server: nil lease")
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if stored, ok := sc.leases[l.ID]; !ok || stored != l {
+		return fmt.Errorf("server: lease %d (%s/%s) is not outstanding", l.ID, l.JobID, l.Candidate.Name())
+	}
+	delete(sc.leases, l.ID)
+	sc.byID[l.JobID].tenant.Bandit.Retire(l.Arm)
+	return nil
+}
+
+// Release hands a lease back untrained (worker failure or engine drain);
+// the arm becomes selectable again. It errors on a lease that is not
+// outstanding.
+func (sc *Scheduler) Release(l *Lease) error {
+	if l == nil {
+		return fmt.Errorf("server: nil lease")
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if stored, ok := sc.leases[l.ID]; !ok || stored != l {
+		return fmt.Errorf("server: lease %d (%s/%s) is not outstanding", l.ID, l.JobID, l.Candidate.Name())
+	}
+	delete(sc.leases, l.ID)
+	return nil
+}
+
+// RunRound executes one multi-tenant scheduling round: pick a job, pick its
+// next candidate, train it, and record the result — the serialized
+// single-device path, built on the same two-phase API the engine drives
+// concurrently. It returns false when no job has untried candidates.
+func (sc *Scheduler) RunRound() (bool, error) {
+	sc.mu.Lock()
+	l, err := sc.pickNextLocked(sc.inFlightArmsLocked(), make(map[string]*bandit.GPUCB))
 	sc.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	if l == nil {
+		return false, nil
+	}
 
 	// Train outside the lock: this is the long-running part.
-	acc, cost := sc.trainer.Train(job.ID, cand)
-
-	sc.mu.Lock()
-	job.tenant.Bandit.Observe(arm, acc)
-	job.tenant.RecordObservation(ucb, acc)
-	sc.mu.Unlock()
-
-	job.store.RecordModel(storage.ModelRecord{
-		Name:     cand.Name(),
-		Accuracy: acc,
-		Cost:     cost,
-		Round:    round,
-	})
-	return true, nil
+	acc, cost, err := sc.trainer.Train(l.JobID, l.Candidate)
+	if err != nil {
+		_ = sc.Release(l)
+		return false, fmt.Errorf("server: training %s/%s: %w", l.JobID, l.Candidate.Name(), err)
+	}
+	return true, sc.Complete(l, acc, cost)
 }
 
 // RunRounds executes up to n rounds, stopping early when all jobs are
@@ -442,6 +659,9 @@ func (sc *Scheduler) Restore(r io.Reader) error {
 	defer sc.mu.Unlock()
 	if sc.rounds != 0 {
 		return fmt.Errorf("server: Restore after %d rounds; restore into a fresh scheduler", sc.rounds)
+	}
+	if len(sc.leases) != 0 {
+		return fmt.Errorf("server: Restore with %d leases outstanding; drain the engine first", len(sc.leases))
 	}
 	for _, id := range snap.TaskIDs() {
 		job, ok := sc.byID[id]

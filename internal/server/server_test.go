@@ -267,11 +267,22 @@ func TestSimTrainerCostsPositiveAndStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, c := range job.Candidates {
-		c1 := st.EstimateCost(job.ID, c)
-		c2 := st.EstimateCost(job.ID, c)
+		c1, err1 := st.EstimateCost(job.ID, c)
+		c2, err2 := st.EstimateCost(job.ID, c)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("candidate %q cost errors %v/%v", c.Name(), err1, err2)
+		}
 		if c1 <= 0 || c1 != c2 {
 			t.Fatalf("candidate %q cost %g/%g", c.Name(), c1, c2)
 		}
+	}
+	// Unknown jobs and candidates surface as errors, not panics: engine
+	// workers must never be able to crash the server.
+	if _, _, err := st.Train("missing", job.Candidates[0]); err == nil {
+		t.Error("Train on unregistered job should error")
+	}
+	if _, err := st.EstimateCost("missing", job.Candidates[0]); err == nil {
+		t.Error("EstimateCost on unregistered job should error")
 	}
 	// Training advances the shared pool's clock.
 	before := st.Pool.Now()
