@@ -6,7 +6,7 @@
 // Usage:
 //
 //	easeml-server [-addr :9000] [-gpus 24] [-seed 1] [-alpha 0.9]
-//	              [-workers 0] [-batch 0]
+//	              [-workers 0] [-batch 0] [-data-dir DIR]
 //
 // With -workers N > 0 the async execution engine starts at boot: N
 // concurrent trainers lease work through the scheduler's two-phase API and
@@ -15,8 +15,16 @@
 // observed via GET /admin/metrics. Without workers, rounds are driven
 // explicitly via POST /admin/rounds, serialized across the whole pool.
 //
+// With -data-dir the service is durable: every mutation (job submitted,
+// example fed/refined, model recorded) is appended to a write-ahead log
+// before being acknowledged, and a restarted server recovers all jobs,
+// examples and trained models from the directory's snapshot + WAL, then
+// resumes training — work that was in flight at the crash is re-queued.
+// POST /admin/snapshot compacts the log into the snapshot at runtime.
+//
 // SIGINT/SIGTERM drain the engine gracefully before exit: running trainings
-// finish and queued leases are handed back.
+// finish, queued leases are handed back, and (with -data-dir) the log is
+// compacted and closed.
 package main
 
 import (
@@ -38,33 +46,53 @@ func main() {
 	alpha := flag.Float64("alpha", 0.9, "pool scaling exponent: g GPUs give one job g^alpha speedup")
 	workers := flag.Int("workers", 0, "async engine worker count (0 = serialized rounds via /admin/rounds)")
 	batch := flag.Int("batch", 0, "max in-flight leases for the engine (default 2*workers)")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots; empty = in-memory)")
 	flag.Parse()
 	if *alpha <= 0 || *alpha > 1 {
 		log.Fatalf("-alpha %g outside (0, 1]", *alpha)
 	}
 
-	svc := easeml.NewService(easeml.ServiceConfig{
+	svc, err := easeml.OpenService(easeml.ServiceConfig{
 		GPUs:    *gpus,
 		Seed:    *seed,
 		Addr:    "http://localhost" + *addr,
 		Alpha:   *alpha,
 		Workers: *workers,
 		Batch:   *batch,
+		DataDir: *dataDir,
 	})
-	if *workers > 0 {
-		if err := svc.StartEngine(); err != nil {
-			log.Fatalf("starting engine: %v", err)
-		}
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
+	if err != nil {
+		log.Fatalf("opening service: %v", err)
+	}
+	if *dataDir != "" {
+		r := svc.Recovered
+		fmt.Printf("recovered from %s: %d jobs, %d examples, %d trained models (%d WAL events replayed)\n",
+			*dataDir, r.Jobs, r.Examples, r.Models, r.WALEvents)
+	}
+
+	shutdown := func() {
+		if *workers > 0 {
 			log.Println("draining engine…")
 			if err := svc.StopEngine(); err != nil {
 				log.Printf("engine stop: %v", err)
 			}
-			os.Exit(0)
-		}()
+		}
+		if err := svc.Close(); err != nil {
+			log.Printf("closing data dir: %v", err)
+		}
+		os.Exit(0)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		shutdown()
+	}()
+
+	if *workers > 0 {
+		if err := svc.StartEngine(); err != nil {
+			log.Fatalf("starting engine: %v", err)
+		}
 		fmt.Printf("ease.ml server listening on %s (%d GPUs, seed %d, %d engine workers)\n",
 			*addr, *gpus, *seed, *workers)
 	} else {

@@ -14,7 +14,10 @@
 //     With ServiceConfig.Workers > 0 the service gains the asynchronous
 //     multi-device execution engine (internal/engine): StartEngine /
 //     StopEngine / DrainEngine train candidates concurrently across the
-//     pool instead of one at a time.
+//     pool instead of one at a time. With ServiceConfig.DataDir set (use
+//     OpenService), every mutation is written ahead to a log and the
+//     whole service state — jobs, examples, trained models — survives a
+//     crash and is recovered at the next boot.
 //
 //   - NewSelection runs the paper's core contribution as a library: given a
 //     (quality, cost) environment and per-model kernel features, it drives
@@ -36,6 +39,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gp"
 	"repro/internal/server"
+	"repro/internal/storage"
 	"repro/internal/templates"
 )
 
@@ -82,6 +86,19 @@ type Service struct {
 	pool    *cluster.Pool
 	trainer *server.SimTrainer
 	engine  *engine.Engine // nil unless Workers > 0
+	log     *storage.Log   // nil unless DataDir is set
+
+	// Recovered summarizes what boot-time recovery restored from DataDir:
+	// zero values for a fresh directory or an in-memory service.
+	Recovered RecoveryInfo
+}
+
+// RecoveryInfo reports what OpenService restored from a data directory.
+type RecoveryInfo struct {
+	Jobs      int // jobs resubmitted from the log
+	Models    int // completed training runs replayed into the bandits
+	Examples  int // supervision examples restored
+	WALEvents int // WAL events replayed on top of the snapshot
 }
 
 // ServiceConfig parameterizes NewService. Zero values select the defaults
@@ -110,11 +127,36 @@ type ServiceConfig struct {
 	// TrainDelay makes each simulated training take real wall time, so
 	// engine concurrency is observable in benchmarks (default instant).
 	TrainDelay time.Duration
+	// DataDir, when set, makes the service durable: every state mutation
+	// is appended to a write-ahead log in this directory before being
+	// acknowledged, and OpenService recovers jobs, examples and recorded
+	// models from the snapshot + WAL at boot (see internal/storage).
+	// In-flight leases of a crashed process are re-queued, not lost.
+	// Requires OpenService (NewService panics on a DataDir it cannot
+	// open).
+	DataDir string
 }
 
 // NewService creates a service with a simulated GPU pool and the HYBRID
-// multi-tenant scheduler.
+// multi-tenant scheduler. It panics when OpenService would fail — which
+// only I/O against ServiceConfig.DataDir can cause, so the zero-friction
+// constructor stays available for in-memory services; durable deployments
+// should call OpenService and handle the error.
 func NewService(cfg ServiceConfig) *Service {
+	s, err := OpenService(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("easeml: NewService: %v (use OpenService with a DataDir)", err))
+	}
+	return s
+}
+
+// OpenService creates a service with a simulated GPU pool and the HYBRID
+// multi-tenant scheduler. With ServiceConfig.DataDir set it opens (or
+// creates) the durable data directory, recovers all jobs, examples and
+// recorded models from snapshot + WAL, and resumes model selection from
+// the recovered posteriors; training then picks up where the previous
+// process stopped.
+func OpenService(cfg ServiceConfig) (*Service, error) {
 	if cfg.GPUs == 0 {
 		cfg.GPUs = 24
 	}
@@ -129,6 +171,27 @@ func NewService(cfg ServiceConfig) *Service {
 	trainer.Delay = cfg.TrainDelay
 	sched := server.NewScheduler(trainer, nil, cfg.Addr)
 	s := &Service{sched: sched, pool: pool, trainer: trainer}
+	if cfg.DataDir != "" {
+		log, rec, err := storage.OpenDir(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		if err := sched.Recover(rec, log); err != nil {
+			log.Close()
+			return nil, err
+		}
+		s.log = log
+		s.Recovered.Jobs = len(rec.Jobs)
+		s.Recovered.WALEvents = rec.Events
+		for _, j := range sched.Jobs() {
+			st, serr := sched.Status(j.ID)
+			if serr != nil {
+				continue
+			}
+			s.Recovered.Models += st.Trained
+			s.Recovered.Examples += st.Examples
+		}
+	}
 	if cfg.Workers > 0 {
 		devices := cfg.Workers
 		if devices > cfg.GPUs {
@@ -140,7 +203,24 @@ func NewService(cfg ServiceConfig) *Service {
 			MaxInFlight: cfg.Batch,
 		})
 	}
-	return s
+	return s, nil
+}
+
+// Compact folds the write-ahead log into the data directory's snapshot,
+// bounding boot-time replay. It errors for a service without a DataDir.
+func (s *Service) Compact() error { return s.sched.Compact() }
+
+// Close compacts (when durable) and closes the write-ahead log. The
+// service must be quiesced first (StopEngine); mutations after Close fail.
+// It is a no-op for in-memory services.
+func (s *Service) Close() error {
+	if s.log == nil {
+		return nil
+	}
+	// Compaction on clean shutdown makes the next boot snapshot-only; if
+	// it fails the un-compacted WAL still recovers everything.
+	_ = s.sched.Compact()
+	return s.log.Close()
 }
 
 // Submit registers a declarative job and returns its parsed form with the

@@ -69,7 +69,10 @@ func (b *GPUCB) NewShadow(inFlight []int) *GPUCB {
 // arm like a real observation.
 func (b *GPUCB) Hallucinate(a int) {
 	if a >= 0 && a < b.NumArms() && !b.Tried(a) {
-		b.Observe(a, b.Mean(a))
+		// A failed fake observation leaves the shadow's variance for the
+		// arm uncollapsed — the next pick may duplicate, which is benign;
+		// real observations surface the error through the real bandit.
+		_ = b.Observe(a, b.Mean(a))
 	}
 }
 

@@ -207,10 +207,17 @@ func (b *GPUCB) MaxUCB() float64 {
 }
 
 // Observe records reward y for arm k, advancing the local clock and paying
-// the arm's cost. It panics if the arm was already played.
-func (b *GPUCB) Observe(k int, y float64) {
+// the arm's cost. It panics if the arm was already played (a caller
+// contract violation) but returns an error when the posterior update fails
+// on an ill-conditioned covariance; the bandit's state is then unchanged —
+// the arm stays selectable and the clock does not advance — so a caller can
+// retire the tenant without a poisoned posterior.
+func (b *GPUCB) Observe(k int, y float64) error {
 	if b.Tried(k) {
 		panic(fmt.Sprintf("bandit: arm %d played twice", k))
+	}
+	if err := b.gp.Observe(k, y-b.shift(k)); err != nil {
+		return fmt.Errorf("bandit: arm %d: %w", k, err)
 	}
 	if b.tried == nil {
 		b.tried = make([]bool, b.NumArms())
@@ -220,12 +227,12 @@ func (b *GPUCB) Observe(k int, y float64) {
 	b.t++
 	b.cacheValid = false
 	b.cumCost += b.cfg.Costs[k]
-	b.gp.Observe(k, y-b.shift(k))
 	if !b.haveObs || y > b.bestY {
 		b.bestY = y
 		b.bestArm = k
 		b.haveObs = true
 	}
+	return nil
 }
 
 // Retire permanently removes arm k from selection without recording an

@@ -311,3 +311,25 @@ func BenchmarkSelectArm100(b *testing.B) {
 		gb.SelectArm()
 	}
 }
+
+// A posterior update failure propagates as an error and leaves the bandit
+// untouched: the arm stays untried, the clock does not advance.
+func TestObserveErrorLeavesBanditIntact(t *testing.T) {
+	bad := linalg.NewMatrixFromRows([][]float64{{1, 100}, {100, 1}})
+	b := New(gp.New(bad, 1e-6), Config{Costs: []float64{1, 1}})
+	if err := b.Observe(0, 0.5); err != nil {
+		t.Fatalf("first observation: %v", err)
+	}
+	if err := b.Observe(1, 0.7); err == nil {
+		t.Fatal("indefinite covariance accepted")
+	}
+	if b.Tried(1) {
+		t.Error("failed arm marked tried")
+	}
+	if b.Step() != 1 {
+		t.Errorf("clock advanced to %d on failed observation", b.Step())
+	}
+	if b.CumulativeCost() != 1 {
+		t.Errorf("cost %g charged for failed observation", b.CumulativeCost())
+	}
+}

@@ -196,7 +196,9 @@ func (s *Simulation) Step() (bool, error) {
 
 	reward := s.env.Reward(user, arm)
 	cost := s.env.Cost(user, arm)
-	tenant.Bandit.Observe(arm, reward)
+	if err := tenant.Bandit.Observe(arm, reward); err != nil {
+		return false, fmt.Errorf("core: observing arm %d for user %d: %w", arm, user, err)
+	}
 	tenant.RecordObservation(ucb, reward)
 
 	s.steps++

@@ -67,12 +67,17 @@ func (g *GP) Observations() (arms []int, ys []float64) {
 }
 
 // Observe conditions the process on reward y for arm k (Algorithm 1 line 5)
-// and updates the posterior (lines 6–7). It panics if k is out of range.
+// and updates the posterior (lines 6–7). It panics if k is out of range (a
+// programming error) but returns an error when the observation covariance
+// is not positive semi-definite even after jitter escalation — an
+// ill-conditioned prior must surface as a failure of this process, not kill
+// the caller. On error the observation is rolled back and the posterior is
+// left exactly as before the call.
 //
 // The factorization of (Σt + σ²I) is extended incrementally in O(t²); a full
 // refactorization with escalating jitter is the fallback when the extended
 // matrix is numerically semi-definite.
-func (g *GP) Observe(k int, y float64) {
+func (g *GP) Observe(k int, y float64) error {
 	if k < 0 || k >= g.NumArms() {
 		panic(fmt.Sprintf("gp: arm %d out of range [0,%d)", k, g.NumArms()))
 	}
@@ -87,25 +92,34 @@ func (g *GP) Observe(k int, y float64) {
 		row[t-1] = g.prior.At(k, k) + g.noiseVar + g.jitter
 		if err := g.chol.Extend(row); err == nil {
 			g.alpha = g.chol.SolveVec(g.ys)
-			return
+			return nil
 		}
 	}
-	g.refactor()
+	if err := g.refactor(); err != nil {
+		// Roll back: the failed observation must not poison later calls.
+		// The previous factorization (if any) is still valid for t-1
+		// observations, so the posterior is untouched.
+		g.arms = g.arms[:t-1]
+		g.ys = g.ys[:t-1]
+		return fmt.Errorf("gp: observing arm %d: %w", k, err)
+	}
+	return nil
 }
 
 // refactor rebuilds the Cholesky factorization of (Σt + σ²I) and the solve
 // vector alpha. t is at most a few hundred in every workload this system
 // handles, so a full O(t³) refactorization per observation is cheap.
-func (g *GP) refactor() {
+func (g *GP) refactor() error {
 	t := len(g.arms)
 	kt := g.prior.Submatrix(g.arms, g.arms).AddDiag(g.noiseVar)
 	ch, jit, err := linalg.NewCholeskyJittered(kt, 1e-10, 12)
 	if err != nil {
-		panic(fmt.Sprintf("gp: covariance of %d observations is not PSD: %v", t, err))
+		return fmt.Errorf("gp: covariance of %d observations is not PSD: %w", t, err)
 	}
 	g.chol = ch
 	g.jitter = jit
 	g.alpha = ch.SolveVec(g.ys)
+	return nil
 }
 
 // kvec returns Σt(k) = [Σ(a₁,k), …, Σ(a_t,k)].
@@ -200,7 +214,11 @@ func (g *GP) Clone() *GP {
 		c.ys = append(c.ys, g.ys[i])
 	}
 	if len(c.arms) > 0 {
-		c.refactor()
+		// The source factorized this exact history, and jitter escalation
+		// is deterministic, so re-factorizing cannot fail here.
+		if err := c.refactor(); err != nil {
+			panic(fmt.Sprintf("gp: cloning a valid posterior failed to refactor: %v", err))
+		}
 	}
 	return c
 }

@@ -360,3 +360,27 @@ func BenchmarkGPPosterior100Arms(b *testing.B) {
 		g.Posterior()
 	}
 }
+
+// An indefinite prior must surface as an Observe error — never a panic —
+// and leave the posterior exactly as before the failed call.
+func TestObserveIndefinitePriorReturnsError(t *testing.T) {
+	bad := linalg.NewMatrixFromRows([][]float64{{1, 100}, {100, 1}})
+	g := New(bad, 1e-6)
+	if err := g.Observe(0, 0.5); err != nil {
+		t.Fatalf("1×1 observation covariance should factorize: %v", err)
+	}
+	mean0 := g.Mean(0)
+	if err := g.Observe(1, 0.7); err == nil {
+		t.Fatal("indefinite covariance accepted")
+	}
+	// Rolled back: one observation, posterior unchanged, process usable.
+	if g.NumObservations() != 1 {
+		t.Errorf("failed observation not rolled back: t = %d", g.NumObservations())
+	}
+	if got := g.Mean(0); got != mean0 {
+		t.Errorf("posterior mean changed by failed observation: %g vs %g", got, mean0)
+	}
+	if err := g.Observe(1, 0.7); err == nil {
+		t.Error("retry of the indefinite observation should keep failing")
+	}
+}

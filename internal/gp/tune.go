@@ -78,7 +78,11 @@ func sumLML(k Kernel, features [][]float64, samples [][]float64, noiseVar float6
 			g.arms = append(g.arms, arm)
 			g.ys = append(g.ys, v)
 		}
-		g.refactor()
+		if err := g.refactor(); err != nil {
+			// A kernel whose covariance cannot be factorized over the
+			// samples is disqualified outright.
+			return math.Inf(-1)
+		}
 		total += g.LogMarginalLikelihood()
 	}
 	return total

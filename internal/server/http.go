@@ -18,6 +18,7 @@ import (
 //	POST /jobs/{id}/infer          apply the best model
 //	POST /admin/rounds             run scheduling rounds synchronously
 //	GET  /admin/snapshot           checkpoint the shared storage as JSON
+//	POST /admin/snapshot           compact the WAL into the on-disk snapshot
 //	GET  /admin/metrics            scheduler counters + engine metrics
 //	POST /admin/start              start the async execution engine
 //	POST /admin/stop               stop the engine (graceful drain)
@@ -316,14 +317,27 @@ func (a *API) handleEngineStop(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := a.sched.Snapshot(w); err != nil {
-		// Headers are already sent; the truncated body signals the failure.
-		return
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		if err := a.sched.Snapshot(w); err != nil {
+			// Headers are already sent; the truncated body signals the failure.
+			return
+		}
+	case http.MethodPost:
+		// With a data directory, a snapshot request is a compaction
+		// trigger: fold the write-ahead log into the on-disk snapshot.
+		if !a.sched.Persistent() {
+			writeError(w, http.StatusConflict, errors.New("no data dir configured (run the server with -data-dir)"))
+			return
+		}
+		if err := a.sched.Compact(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"compacted": true})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
 	}
 }
 

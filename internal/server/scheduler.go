@@ -10,6 +10,42 @@
 // deployed single-device strategy); internal/engine drives it with a
 // concurrent worker pool. The HTTP surface (see API in http.go) adds
 // /admin/metrics and /admin/start|stop for engine control.
+//
+// # Locking discipline
+//
+// State is guarded by three lock tiers instead of one global mutex, so
+// user-facing operations on one job never wait behind scheduling decisions
+// or bandit updates for another:
+//
+//   - jobsMu (RWMutex) guards the job set (jobs, byID, nextID). Write-held
+//     only during Submit and recovery; every other path takes the read side
+//     for a map lookup.
+//   - coordMu is the cross-job coordinator: picker decisions, the lease
+//     table and the round counter. It is never held across training, store
+//     writes or WAL appends.
+//   - each Job has its own mu guarding the tenant (bandit posterior, σ̃
+//     recurrence), its failure flag and its abandoned list. Complete's
+//     O(t²) posterior update runs under the job lock only, so completions
+//     for different jobs proceed in parallel.
+//
+// Lock order: jobsMu before coordMu before job locks; job locks are always
+// acquired in sc.jobs slice order (the cross-job picker holds all of them
+// for the duration of one decision). Feed/Refine/Infer/Status take none of
+// coordMu or the job locks — they touch only the per-task storage, which
+// does its own locking.
+//
+// # Durability
+//
+// With a write-ahead log attached (SetLog / Recover), every state mutation
+// appends a WAL event before the operation acknowledges: job submissions,
+// fed and refined examples, recorded models and abandoned candidates all
+// survive a crash. A failed append surfaces as an error from the mutating
+// call; the in-memory state may then be ahead of the log (there is no
+// transactional rollback) — treat the process as failing and restart it,
+// at which point recovery reflects exactly the acknowledged operations.
+// Leases are deliberately volatile — an in-flight lease of a crashed
+// process leaves its arm untried in the recovered state and is re-queued
+// by the next process's first scheduling pass.
 package server
 
 import (
@@ -62,7 +98,10 @@ type SimTrainer struct {
 	// to surface the engine's wall-clock concurrency.
 	Delay time.Duration
 
-	mu   sync.Mutex
+	// mu is an RWMutex because the sims map is read-mostly: registration
+	// writes once per job, while every Train/EstimateCost from every
+	// concurrent engine worker only reads, so lookups proceed in parallel.
+	mu   sync.RWMutex
 	sims map[string]*simEntry
 }
 
@@ -127,9 +166,9 @@ func (st *SimTrainer) Register(jobID string, cands []templates.Candidate) error 
 
 // lookup resolves a (job, candidate) pair to its simulator and model index.
 func (st *SimTrainer) lookup(jobID string, c templates.Candidate) (*simEntry, int, error) {
-	st.mu.Lock()
+	st.mu.RLock()
 	entry, ok := st.sims[jobID]
-	st.mu.Unlock()
+	st.mu.RUnlock()
 	if !ok {
 		return nil, 0, fmt.Errorf("server: job %q not registered", jobID)
 	}
@@ -193,25 +232,40 @@ type Job struct {
 	Julia      string
 	Python     string
 
-	tenant *core.Tenant
-	store  *storage.TaskStore
+	// mu is the per-job lock: it guards the tenant (bandit posterior and
+	// σ̃ recurrence), the failure flag and the abandoned list. See the
+	// package comment for the lock order.
+	mu        sync.Mutex
+	tenant    *core.Tenant
+	failed    string   // non-empty: the job is failed and excluded from scheduling
+	abandoned []string // candidate names retired after repeated training failures
+
+	store *storage.TaskStore
 }
 
 // Scheduler owns the job set and drives multi-tenant model selection over
 // it. It is the in-process core of the HTTP server and is usable directly
-// (examples drive it without HTTP).
+// (examples drive it without HTTP). See the package comment for the locking
+// discipline.
 type Scheduler struct {
-	mu        sync.Mutex
-	store     *storage.Store
-	trainer   Trainer
-	picker    core.UserPicker
-	jobs      []*Job
-	byID      map[string]*Job
-	nextID    int
-	rounds    int
-	server    string // advertised server address for codegen
+	store   *storage.Store
+	trainer Trainer
+	picker  core.UserPicker
+	server  string // advertised server address for codegen
+
+	// jobsMu guards the job set. jobs is append-only.
+	jobsMu sync.RWMutex
+	jobs   []*Job
+	byID   map[string]*Job
+	nextID int
+
+	// coordMu is the cross-job coordinator lock.
+	coordMu   sync.Mutex
 	leases    map[int]*Lease
 	nextLease int
+	rounds    int
+
+	log *storage.Log // nil: in-memory only
 }
 
 // NewScheduler creates a scheduler with the given trainer and user picker
@@ -237,33 +291,77 @@ func NewScheduler(trainer Trainer, picker core.UserPicker, serverAddr string) *S
 // engine can run the work it leases.
 func (sc *Scheduler) Trainer() Trainer { return sc.trainer }
 
+// SetLog attaches a write-ahead log: every subsequent state mutation
+// appends an event before acknowledging. Attach before serving traffic
+// (there is no synchronization with in-flight operations).
+func (sc *Scheduler) SetLog(l *storage.Log) { sc.log = l }
+
+// Persistent reports whether a write-ahead log is attached.
+func (sc *Scheduler) Persistent() bool { return sc.log != nil }
+
 // Submit parses and registers a new job: the program is validated, matched
 // against the Figure 4 templates, candidates are generated (including
 // normalization variants for image-shaped inputs), code is generated, and a
-// GP-UCB tenant is created for the scheduler.
+// GP-UCB tenant is created for the scheduler. With a WAL attached the
+// submission is logged before it becomes visible.
 func (sc *Scheduler) Submit(name, programSrc string) (*Job, error) {
 	prog, err := dsl.Parse(programSrc)
 	if err != nil {
 		return nil, err
 	}
-	cands, tpl, err := templates.Generate(prog, nil)
+
+	// Reserve the id briefly, then build outside the lock: candidate
+	// generation, codegen and per-candidate cost estimation are the
+	// expensive part of a submission, and holding jobsMu through them
+	// would stall every concurrent job lookup. Ids are never reused, so a
+	// failed build just skips one.
+	sc.jobsMu.Lock()
+	sc.nextID++
+	id := fmt.Sprintf("job-%04d", sc.nextID)
+	sc.jobsMu.Unlock()
+
+	job, err := sc.buildJob(id, name, prog)
 	if err != nil {
 		return nil, err
 	}
 
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	sc.nextID++
-	id := fmt.Sprintf("job-%04d", sc.nextID)
+	sc.jobsMu.Lock()
+	defer sc.jobsMu.Unlock()
+	job.tenant.ID = len(sc.jobs)
+	if sc.log != nil {
+		// Log before publishing, inside jobsMu: a submission that cannot
+		// be made durable is not acknowledged, and compaction's capture
+		// (which reads the job set) can never observe a published job
+		// whose event it is about to truncate. The leaked trainer entry
+		// of a failed append is harmless.
+		if err := sc.log.AppendJobSubmitted(id, name, prog.String()); err != nil {
+			return nil, fmt.Errorf("server: logging submission of %q: %w", id, err)
+		}
+	}
+	sc.jobs = append(sc.jobs, job)
+	sc.byID[id] = job
+	return job, nil
+}
 
+// buildJob constructs a Job for an already-parsed program under a fixed id:
+// trainer registration, task storage, cost estimation and the GP-UCB
+// tenant (its index is fixed at publish time). It takes no scheduler
+// locks; the trainer and store do their own locking.
+func (sc *Scheduler) buildJob(id, name string, prog dsl.Program) (*Job, error) {
+	cands, tpl, err := templates.Generate(prog, nil)
+	if err != nil {
+		return nil, err
+	}
 	if reg, ok := sc.trainer.(*SimTrainer); ok {
 		if err := reg.Register(id, cands); err != nil {
 			return nil, err
 		}
 	}
-	ts, err := sc.store.CreateTask(id)
-	if err != nil {
-		return nil, err
+	ts, ok := sc.store.Task(id)
+	if !ok {
+		if ts, err = sc.store.CreateTask(id); err != nil {
+			return nil, err
+		}
 	}
 
 	costs := make([]float64, len(cands))
@@ -283,7 +381,7 @@ func (sc *Scheduler) Submit(name, programSrc string) (*Job, error) {
 		BetaArms:  32 * len(cands), // headroom for jobs arriving later
 		Mean0:     0.6,
 	})
-	job := &Job{
+	return &Job{
 		ID:         id,
 		Name:       name,
 		Program:    prog,
@@ -291,12 +389,9 @@ func (sc *Scheduler) Submit(name, programSrc string) (*Job, error) {
 		Candidates: cands,
 		Julia:      codegen.JuliaTypes(prog),
 		Python:     codegen.PythonLibrary(id, sc.server, prog),
-		tenant:     core.NewTenant(len(sc.jobs), id, b),
+		tenant:     core.NewTenant(0, id, b), // index assigned at publish
 		store:      ts,
-	}
-	sc.jobs = append(sc.jobs, job)
-	sc.byID[id] = job
-	return job, nil
+	}, nil
 }
 
 // candidateFeature embeds a candidate for the GP kernel: a hash-derived
@@ -316,23 +411,31 @@ func candidateFeature(c templates.Candidate) []float64 {
 
 // Job returns a job by id.
 func (sc *Scheduler) Job(id string) (*Job, bool) {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
+	sc.jobsMu.RLock()
+	defer sc.jobsMu.RUnlock()
 	j, ok := sc.byID[id]
 	return j, ok
 }
 
 // Jobs returns all jobs in submission order.
 func (sc *Scheduler) Jobs() []*Job {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
+	sc.jobsMu.RLock()
+	defer sc.jobsMu.RUnlock()
 	return append([]*Job(nil), sc.jobs...)
+}
+
+// jobsSnapshot returns the current job slice (append-only, so the returned
+// slice is immutable) for a scheduling pass.
+func (sc *Scheduler) jobsSnapshot() []*Job {
+	sc.jobsMu.RLock()
+	defer sc.jobsMu.RUnlock()
+	return sc.jobs
 }
 
 // Rounds returns the number of completed scheduling rounds.
 func (sc *Scheduler) Rounds() int {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
 	return sc.rounds
 }
 
@@ -348,12 +451,19 @@ type Lease struct {
 	// UCB is the (hallucinated-posterior) upper confidence bound the arm was
 	// selected at; Complete feeds it into the σ̃ recurrence.
 	UCB float64
+
+	// settling marks a lease whose Complete/Abandon is in progress: the
+	// lease stays in the table — keeping its arm excluded from selection —
+	// until the bandit update lands, closing the window in which the arm
+	// would be neither leased nor tried and could be leased twice. Guarded
+	// by coordMu.
+	settling bool
 }
 
 // InFlight returns the number of outstanding leases.
 func (sc *Scheduler) InFlight() int {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
 	return len(sc.leases)
 }
 
@@ -371,14 +481,15 @@ func (sc *Scheduler) PickWork(maxInFlight int) ([]*Lease, error) {
 	if maxInFlight <= 0 {
 		return nil, fmt.Errorf("server: maxInFlight %d must be positive", maxInFlight)
 	}
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
+	jobs := sc.jobsSnapshot()
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
 
 	inFlight := sc.inFlightArmsLocked()
 	shadows := make(map[string]*bandit.GPUCB)
 	var picked []*Lease
 	for len(sc.leases) < maxInFlight {
-		l, err := sc.pickNextLocked(inFlight, shadows)
+		l, err := sc.pickNextLocked(jobs, inFlight, shadows)
 		if err != nil {
 			return picked, err
 		}
@@ -391,9 +502,9 @@ func (sc *Scheduler) PickWork(maxInFlight int) ([]*Lease, error) {
 }
 
 // inFlightArmsLocked collects the in-flight arms per job from the
-// outstanding leases. Callers must hold sc.mu.
+// outstanding leases. Callers must hold coordMu.
 func (sc *Scheduler) inFlightArmsLocked() map[string][]int {
-	inFlight := make(map[string][]int, len(sc.jobs))
+	inFlight := make(map[string][]int)
 	for _, l := range sc.leases {
 		inFlight[l.JobID] = append(inFlight[l.JobID], l.Arm)
 	}
@@ -405,15 +516,28 @@ func (sc *Scheduler) inFlightArmsLocked() map[string][]int {
 // bandit clone per job instead of one per lease. It returns (nil, nil)
 // when no job has an untried, unleased arm, and an error when the picker
 // violates its contract by choosing a blocked tenant. Callers must hold
-// sc.mu.
-func (sc *Scheduler) pickNextLocked(inFlight map[string][]int, shadows map[string]*bandit.GPUCB) (*Lease, error) {
+// coordMu; pickNextLocked acquires every job lock (in slice order) for the
+// duration of the cross-job decision, because the picker reads scheduling
+// state — σ̃, UCB gaps — across all tenants. User-facing operations take
+// none of these locks, so they stay responsive regardless.
+func (sc *Scheduler) pickNextLocked(jobs []*Job, inFlight map[string][]int, shadows map[string]*bandit.GPUCB) (*Lease, error) {
+	for _, j := range jobs {
+		j.mu.Lock()
+	}
+	defer func() {
+		for _, j := range jobs {
+			j.mu.Unlock()
+		}
+	}()
+
 	// The picker always sees the full tenant slice — stateful pickers
 	// (HYBRID's freeze signature, round-robin's rotation) depend on stable
 	// indices. Jobs whose untried arms are all leased out are excluded via
-	// the tenants' leased counts, which Tenant.Active folds in.
-	tenants := make([]*core.Tenant, len(sc.jobs))
+	// the tenants' leased counts, which Tenant.Active folds in. Failed
+	// jobs had all their arms retired, so they read as exhausted.
+	tenants := make([]*core.Tenant, len(jobs))
 	anyActive := false
-	for i, j := range sc.jobs {
+	for i, j := range jobs {
 		j.tenant.SetLeased(len(inFlight[j.ID]))
 		tenants[i] = j.tenant
 		anyActive = anyActive || j.tenant.Active()
@@ -422,10 +546,10 @@ func (sc *Scheduler) pickNextLocked(inFlight map[string][]int, shadows map[strin
 		return nil, nil
 	}
 	idx := sc.picker.Pick(tenants)
-	if idx < 0 || idx >= len(sc.jobs) {
+	if idx < 0 || idx >= len(jobs) {
 		return nil, fmt.Errorf("server: picker %s returned index %d with active tenants remaining", sc.picker.Name(), idx)
 	}
-	job := sc.jobs[idx]
+	job := jobs[idx]
 	if !job.tenant.Active() {
 		// A silent nil here would let a faulty picker end scheduling with
 		// untried candidates looking like a clean drain.
@@ -459,35 +583,104 @@ func (sc *Scheduler) pickNextLocked(inFlight map[string][]int, shadows map[strin
 	return l, nil
 }
 
-// Complete is the second phase of the two-phase API: it reports the training
-// result for a leased work item, feeding the observation into the job's
-// bandit and σ̃ recurrence and recording the model. The global round counter
-// advances in completion order. It errors on a lease that is not
-// outstanding (double completion, or completion after Release).
-func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
+// beginSettle marks an outstanding lease as settling, erroring on a lease
+// that is not outstanding (double completion, or completion after Release)
+// or already settling. The lease stays in the table so its arm remains
+// excluded from PickWork until endSettle.
+func (sc *Scheduler) beginSettle(l *Lease) error {
 	if l == nil {
 		return fmt.Errorf("server: nil lease")
 	}
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if stored, ok := sc.leases[l.ID]; !ok || stored != l {
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	stored, ok := sc.leases[l.ID]
+	if !ok || stored != l {
 		return fmt.Errorf("server: lease %d (%s/%s) is not outstanding", l.ID, l.JobID, l.Candidate.Name())
 	}
+	if stored.settling {
+		return fmt.Errorf("server: lease %d (%s/%s) is already being settled", l.ID, l.JobID, l.Candidate.Name())
+	}
+	stored.settling = true
+	return nil
+}
+
+// endSettle drops a settling lease from the table.
+func (sc *Scheduler) endSettle(l *Lease) {
+	sc.coordMu.Lock()
 	delete(sc.leases, l.ID)
-	job := sc.byID[l.JobID]
+	sc.coordMu.Unlock()
+}
+
+// Complete is the second phase of the two-phase API: it reports the training
+// result for a leased work item, feeding the observation into the job's
+// bandit and σ̃ recurrence and recording the model (durably, when a WAL is
+// attached). The global round counter advances in completion order. It
+// errors on a lease that is not outstanding, and a posterior update that
+// fails on an ill-conditioned covariance fails the job — retiring it from
+// scheduling — instead of killing the server.
+func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
+	if err := sc.beginSettle(l); err != nil {
+		return err
+	}
+	job, ok := sc.Job(l.JobID)
+	if !ok {
+		sc.endSettle(l)
+		return fmt.Errorf("server: lease %d refers to unknown job %s", l.ID, l.JobID)
+	}
+
+	job.mu.Lock()
+	if job.failed != "" {
+		job.mu.Unlock()
+		sc.endSettle(l)
+		return fmt.Errorf("server: job %s is failed (%s); dropping result for %s", l.JobID, job.failed, l.Candidate.Name())
+	}
 	if job.tenant.Bandit.Tried(l.Arm) {
+		job.mu.Unlock()
+		sc.endSettle(l)
 		return fmt.Errorf("server: lease %d arm %d of %s already observed", l.ID, l.Arm, l.JobID)
 	}
-	job.tenant.Bandit.Observe(l.Arm, accuracy)
+	if err := job.tenant.Bandit.Observe(l.Arm, accuracy); err != nil {
+		sc.failJobLocked(job, err)
+		job.mu.Unlock()
+		sc.endSettle(l)
+		return fmt.Errorf("server: job %s failed: %w", l.JobID, err)
+	}
 	job.tenant.RecordObservation(l.UCB, accuracy)
+	job.mu.Unlock()
+
+	// The arm is Tried now, so the lease can be dropped without the arm
+	// ever being selectable in between; claim the round in the same
+	// critical section.
+	sc.coordMu.Lock()
+	delete(sc.leases, l.ID)
 	sc.rounds++
-	job.store.RecordModel(storage.ModelRecord{
+	round := sc.rounds
+	sc.coordMu.Unlock()
+
+	rec := storage.ModelRecord{
 		Name:     l.Candidate.Name(),
 		Accuracy: accuracy,
 		Cost:     cost,
-		Round:    sc.rounds,
-	})
+		Round:    round,
+	}
+	job.store.RecordModel(rec)
+	if sc.log != nil {
+		if err := sc.log.AppendModelRecorded(l.JobID, rec); err != nil {
+			return fmt.Errorf("server: logging result for %s/%s: %w", l.JobID, rec.Name, err)
+		}
+	}
 	return nil
+}
+
+// failJobLocked marks a job as failed and retires all its untried arms, so
+// pickers see it as exhausted and it drops out of scheduling. One
+// ill-conditioned job must never take the whole service down. Callers hold
+// job.mu.
+func (sc *Scheduler) failJobLocked(job *Job, cause error) {
+	job.failed = cause.Error()
+	for arm := 0; arm < job.tenant.Bandit.NumArms(); arm++ {
+		job.tenant.Bandit.Retire(arm) // no-op for tried arms
+	}
 }
 
 // Abandon settles a lease for a candidate that cannot be trained (e.g. it
@@ -496,30 +689,45 @@ func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
 // is polluted with a fabricated result. The round counter does not
 // advance. It errors on a lease that is not outstanding.
 func (sc *Scheduler) Abandon(l *Lease) error {
-	if l == nil {
-		return fmt.Errorf("server: nil lease")
+	if err := sc.beginSettle(l); err != nil {
+		return err
 	}
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if stored, ok := sc.leases[l.ID]; !ok || stored != l {
-		return fmt.Errorf("server: lease %d (%s/%s) is not outstanding", l.ID, l.JobID, l.Candidate.Name())
+	job, ok := sc.Job(l.JobID)
+	if !ok {
+		sc.endSettle(l)
+		return fmt.Errorf("server: lease %d refers to unknown job %s", l.ID, l.JobID)
 	}
-	delete(sc.leases, l.ID)
-	sc.byID[l.JobID].tenant.Bandit.Retire(l.Arm)
+	job.mu.Lock()
+	fresh := !job.tenant.Bandit.Tried(l.Arm)
+	if fresh {
+		job.tenant.Bandit.Retire(l.Arm)
+		job.abandoned = append(job.abandoned, l.Candidate.Name())
+	}
+	job.mu.Unlock()
+	sc.endSettle(l) // the arm is retired (Tried) now, never re-selectable
+	if fresh && sc.log != nil {
+		if err := sc.log.AppendCandidateAbandoned(l.JobID, l.Candidate.Name()); err != nil {
+			return fmt.Errorf("server: logging abandonment of %s/%s: %w", l.JobID, l.Candidate.Name(), err)
+		}
+	}
 	return nil
 }
 
 // Release hands a lease back untrained (worker failure or engine drain);
 // the arm becomes selectable again. It errors on a lease that is not
-// outstanding.
+// outstanding or mid-settlement.
 func (sc *Scheduler) Release(l *Lease) error {
 	if l == nil {
 		return fmt.Errorf("server: nil lease")
 	}
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if stored, ok := sc.leases[l.ID]; !ok || stored != l {
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	stored, ok := sc.leases[l.ID]
+	if !ok || stored != l {
 		return fmt.Errorf("server: lease %d (%s/%s) is not outstanding", l.ID, l.JobID, l.Candidate.Name())
+	}
+	if stored.settling {
+		return fmt.Errorf("server: lease %d (%s/%s) is being settled", l.ID, l.JobID, l.Candidate.Name())
 	}
 	delete(sc.leases, l.ID)
 	return nil
@@ -530,9 +738,10 @@ func (sc *Scheduler) Release(l *Lease) error {
 // single-device path, built on the same two-phase API the engine drives
 // concurrently. It returns false when no job has untried candidates.
 func (sc *Scheduler) RunRound() (bool, error) {
-	sc.mu.Lock()
-	l, err := sc.pickNextLocked(sc.inFlightArmsLocked(), make(map[string]*bandit.GPUCB))
-	sc.mu.Unlock()
+	jobs := sc.jobsSnapshot()
+	sc.coordMu.Lock()
+	l, err := sc.pickNextLocked(jobs, sc.inFlightArmsLocked(), make(map[string]*bandit.GPUCB))
+	sc.coordMu.Unlock()
 	if err != nil {
 		return false, err
 	}
@@ -540,7 +749,7 @@ func (sc *Scheduler) RunRound() (bool, error) {
 		return false, nil
 	}
 
-	// Train outside the lock: this is the long-running part.
+	// Train outside all locks: this is the long-running part.
 	acc, cost, err := sc.trainer.Train(l.JobID, l.Candidate)
 	if err != nil {
 		_ = sc.Release(l)
@@ -566,7 +775,9 @@ func (sc *Scheduler) RunRounds(n int) (int, error) {
 	return ran, nil
 }
 
-// Feed stores a supervision example for a job.
+// Feed stores a supervision example for a job (durably, when a WAL is
+// attached). It takes no scheduler-wide lock: schema validation reads
+// immutable job fields and the example lands in the per-task store.
 func (sc *Scheduler) Feed(jobID string, input, output []float64) (int, error) {
 	job, ok := sc.Job(jobID)
 	if !ok {
@@ -578,16 +789,31 @@ func (sc *Scheduler) Feed(jobID string, input, output []float64) (int, error) {
 	if want := job.Program.Output.TotalElements(); len(output) != want {
 		return 0, fmt.Errorf("server: output has %d elements, schema wants %d", len(output), want)
 	}
-	return job.store.Feed(input, output), nil
+	id := job.store.Feed(input, output)
+	if sc.log != nil {
+		if err := sc.log.AppendExampleFed(jobID, id, input, output); err != nil {
+			return 0, fmt.Errorf("server: logging example for %q: %w", jobID, err)
+		}
+	}
+	return id, nil
 }
 
-// Refine toggles a supervision example for a job.
+// Refine toggles a supervision example for a job (durably, when a WAL is
+// attached).
 func (sc *Scheduler) Refine(jobID string, exampleID int, enabled bool) error {
 	job, ok := sc.Job(jobID)
 	if !ok {
 		return fmt.Errorf("server: no job %q", jobID)
 	}
-	return job.store.Refine(exampleID, enabled)
+	if err := job.store.Refine(exampleID, enabled); err != nil {
+		return err
+	}
+	if sc.log != nil {
+		if err := sc.log.AppendExampleRefined(jobID, exampleID, enabled); err != nil {
+			return fmt.Errorf("server: logging refine for %q: %w", jobID, err)
+		}
+	}
+	return nil
 }
 
 // Infer applies the best model so far to an input. The simulated model
@@ -629,14 +855,16 @@ type Status struct {
 	Trained       int                   `json:"trained"`
 	Examples      int                   `json:"examples"`
 	Enabled       int                   `json:"enabled"`
+	Failed        string                `json:"failed,omitempty"` // non-empty: job retired with this cause
+	Abandoned     []string              `json:"abandoned,omitempty"`
 	Best          *storage.ModelRecord  `json:"best,omitempty"`
 	Models        []storage.ModelRecord `json:"models"`
 }
 
 // Snapshot checkpoints the shared storage (fed examples, refine state and
-// completed model records for every job) as JSON. Scheduler state (bandit
-// posteriors) is reconstructable by replaying the recorded model results;
-// job definitions are the users' programs and are resubmitted on restart.
+// completed model records for every job) as JSON — the legacy manual
+// checkpoint surface. With a WAL attached, prefer Compact, which folds the
+// log into the on-disk snapshot.
 func (sc *Scheduler) Snapshot(w io.Writer) error {
 	return sc.store.Snapshot(w)
 }
@@ -646,7 +874,9 @@ func (sc *Scheduler) Snapshot(w io.Writer) error {
 // from their programs on restart, which reproduces the same ids and
 // candidate surfaces), the recorded examples and model results are loaded
 // and each completed run is fed back into the job's bandit so the GP
-// posterior resumes where the previous process stopped.
+// posterior resumes where the previous process stopped. (The WAL path —
+// OpenDir + Recover — supersedes this for -data-dir deployments: it also
+// restores the job definitions themselves.)
 //
 // It must be called before any scheduling round; it returns an error when a
 // snapshot record does not match the job's candidate set.
@@ -655,8 +885,18 @@ func (sc *Scheduler) Restore(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
+	// Resolve jobs before taking coordMu, honouring the jobsMu→coordMu
+	// lock order.
+	jobsByID := make(map[string]*Job, len(snap.TaskIDs()))
+	for _, id := range snap.TaskIDs() {
+		job, ok := sc.Job(id)
+		if !ok {
+			return fmt.Errorf("server: snapshot contains unknown job %q (resubmit jobs before restoring)", id)
+		}
+		jobsByID[id] = job
+	}
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
 	if sc.rounds != 0 {
 		return fmt.Errorf("server: Restore after %d rounds; restore into a fresh scheduler", sc.rounds)
 	}
@@ -664,38 +904,61 @@ func (sc *Scheduler) Restore(r io.Reader) error {
 		return fmt.Errorf("server: Restore with %d leases outstanding; drain the engine first", len(sc.leases))
 	}
 	for _, id := range snap.TaskIDs() {
-		job, ok := sc.byID[id]
-		if !ok {
-			return fmt.Errorf("server: snapshot contains unknown job %q (resubmit jobs before restoring)", id)
-		}
-		candidateIdx := make(map[string]int, len(job.Candidates))
-		for i, c := range job.Candidates {
-			candidateIdx[c.Name()] = i
-		}
+		job := jobsByID[id]
 		ts, _ := snap.Task(id)
-		// Re-feed examples preserving ids and refine state.
-		for _, ex := range ts.Examples() {
-			newID := job.store.Feed(ex.Input, ex.Output)
-			if err := job.store.Refine(newID, ex.Enabled); err != nil {
-				return fmt.Errorf("server: restoring example %d of %q: %w", ex.ID, id, err)
-			}
+		job.mu.Lock()
+		err := sc.replayTaskLocked(job, ts)
+		job.mu.Unlock()
+		if err != nil {
+			return err
 		}
-		// Replay completed runs into the bandit and the model records.
-		for _, m := range ts.Models() {
-			arm, ok := candidateIdx[m.Name]
-			if !ok {
-				return fmt.Errorf("server: snapshot run %q does not match a candidate of %q", m.Name, id)
-			}
+	}
+	return nil
+}
+
+// replayTaskLocked loads a task's examples and model records into a job and
+// feeds each completed run back into its bandit. Callers hold job.mu and
+// coordMu (for the round counter).
+func (sc *Scheduler) replayTaskLocked(job *Job, ts *storage.TaskStore) error {
+	candidateIdx := make(map[string]int, len(job.Candidates))
+	for i, c := range job.Candidates {
+		candidateIdx[c.Name()] = i
+	}
+	// Re-feed examples preserving ids and refine state. In the WAL
+	// recovery path the job was built over the recovered store, so ts IS
+	// job.store and the examples are already in place.
+	if ts != job.store {
+		for _, ex := range ts.Examples() {
+			job.store.PutExample(ex)
+		}
+	}
+	// Replay completed runs into the bandit and the model records. A
+	// posterior update that fails mid-replay (the job is ill-conditioned
+	// on replay too) retires the job but keeps recording its model
+	// history — recorded results must never silently vanish.
+	failed := job.failed != ""
+	for _, m := range ts.Models() {
+		arm, ok := candidateIdx[m.Name]
+		if !ok {
+			return fmt.Errorf("server: snapshot run %q does not match a candidate of %q", m.Name, job.ID)
+		}
+		if !failed {
 			if job.tenant.Bandit.Tried(arm) {
-				return fmt.Errorf("server: snapshot replays candidate %q of %q twice", m.Name, id)
+				return fmt.Errorf("server: snapshot replays candidate %q of %q twice", m.Name, job.ID)
 			}
 			ucb := job.tenant.Bandit.UCB(arm)
-			job.tenant.Bandit.Observe(arm, m.Accuracy)
-			job.tenant.RecordObservation(ucb, m.Accuracy)
-			job.store.RecordModel(m)
-			if m.Round > sc.rounds {
-				sc.rounds = m.Round
+			if err := job.tenant.Bandit.Observe(arm, m.Accuracy); err != nil {
+				sc.failJobLocked(job, err)
+				failed = true
+			} else {
+				job.tenant.RecordObservation(ucb, m.Accuracy)
 			}
+		}
+		if !job.store.HasModel(m.Name) {
+			job.store.RecordModel(m)
+		}
+		if m.Round > sc.rounds {
+			sc.rounds = m.Round
 		}
 	}
 	return nil
@@ -716,6 +979,10 @@ func (sc *Scheduler) Status(jobID string) (Status, error) {
 		Examples:      len(job.store.Examples()),
 		Enabled:       job.store.EnabledCount(),
 	}
+	job.mu.Lock()
+	st.Failed = job.failed
+	st.Abandoned = append([]string(nil), job.abandoned...)
+	job.mu.Unlock()
 	st.Trained = len(st.Models)
 	if best, ok := job.store.Best(); ok {
 		st.Best = &best

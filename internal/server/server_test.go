@@ -331,14 +331,27 @@ func TestSnapshotEndpoint(t *testing.T) {
 	if !ok || best.Accuracy <= 0 {
 		t.Errorf("restored best %+v", best)
 	}
-	// Wrong method is rejected.
+	// POST is the compaction trigger; without a data dir it answers 409.
 	postResp, err := http.Post(srv.URL+"/admin/snapshot", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	postResp.Body.Close()
-	if postResp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST snapshot returned %d", postResp.StatusCode)
+	if postResp.StatusCode != http.StatusConflict {
+		t.Errorf("POST snapshot without a data dir returned %d, want 409", postResp.StatusCode)
+	}
+	// Other methods are rejected.
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/admin/snapshot", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE snapshot returned %d", delResp.StatusCode)
 	}
 }
 

@@ -9,12 +9,20 @@ import (
 // Snapshot/Load give the shared store crash-restart durability: the server
 // can checkpoint all fed examples, refine states and completed model records
 // to a writer (typically a file on the 100 TB shared storage of Figure 1)
-// and restore them on startup.
+// and restore them on startup. With a write-ahead log attached (see wal.go),
+// the snapshot is the compaction target: it additionally records the job
+// registry, the abandoned-candidate sets and the WAL sequence number it
+// covers, so boot-time recovery replays only the log's tail.
 
-// storeSnapshot is the JSON wire format of a Store.
+// storeSnapshot is the JSON wire format of a Store. Version 1 carried tasks
+// only; version 2 adds the WAL-compaction metadata (jobs, abandoned,
+// last_seq). Both versions load.
 type storeSnapshot struct {
-	Version int                     `json:"version"`
-	Tasks   map[string]taskSnapshot `json:"tasks"`
+	Version   int                     `json:"version"`
+	Tasks     map[string]taskSnapshot `json:"tasks"`
+	Jobs      []JobMeta               `json:"jobs,omitempty"`
+	Abandoned map[string][]string     `json:"abandoned,omitempty"`
+	LastSeq   uint64                  `json:"last_seq,omitempty"`
 }
 
 type taskSnapshot struct {
@@ -23,10 +31,17 @@ type taskSnapshot struct {
 	Models   []ModelRecord `json:"models"`
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
-// Snapshot serializes the whole store as JSON.
+// Snapshot serializes the whole store as JSON (tasks only — the legacy
+// checkpoint surface of GET /admin/snapshot). The WAL compaction path uses
+// writeSnapshot, which adds the job registry and sequence horizon.
 func (s *Store) Snapshot(w io.Writer) error {
+	return writeSnapshot(w, s, nil, nil, 0)
+}
+
+// writeSnapshot serializes the store plus compaction metadata.
+func writeSnapshot(w io.Writer, s *Store, jobs []JobMeta, abandoned map[string][]string, lastSeq uint64) error {
 	s.mu.RLock()
 	taskIDs := make([]string, 0, len(s.tasks))
 	for id := range s.tasks {
@@ -34,7 +49,13 @@ func (s *Store) Snapshot(w io.Writer) error {
 	}
 	s.mu.RUnlock()
 
-	snap := storeSnapshot{Version: snapshotVersion, Tasks: make(map[string]taskSnapshot, len(taskIDs))}
+	snap := storeSnapshot{
+		Version:   snapshotVersion,
+		Tasks:     make(map[string]taskSnapshot, len(taskIDs)),
+		Jobs:      jobs,
+		Abandoned: abandoned,
+		LastSeq:   lastSeq,
+	}
 	for _, id := range taskIDs {
 		ts, ok := s.Task(id)
 		if !ok {
@@ -60,24 +81,31 @@ func (s *Store) Snapshot(w io.Writer) error {
 
 // LoadStore reconstructs a store from a Snapshot stream.
 func LoadStore(r io.Reader) (*Store, error) {
+	s, _, _, _, err := loadSnapshot(r)
+	return s, err
+}
+
+// loadSnapshot reconstructs a store plus the compaction metadata from a
+// snapshot stream. Version-1 snapshots load with empty metadata.
+func loadSnapshot(r io.Reader) (*Store, []JobMeta, map[string][]string, uint64, error) {
 	var snap storeSnapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("storage: load: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("storage: load: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
+	if snap.Version < 1 || snap.Version > snapshotVersion {
+		return nil, nil, nil, 0, fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
 	}
 	s := NewStore()
 	for id, t := range snap.Tasks {
 		ts, err := s.CreateTask(id)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, 0, err
 		}
 		ts.mu.Lock()
 		for _, ex := range t.Examples {
 			if ex.ID <= 0 {
 				ts.mu.Unlock()
-				return nil, fmt.Errorf("storage: task %q has example with invalid id %d", id, ex.ID)
+				return nil, nil, nil, 0, fmt.Errorf("storage: task %q has example with invalid id %d", id, ex.ID)
 			}
 			cp := ex
 			ts.examples[ex.ID] = &cp
@@ -98,5 +126,5 @@ func LoadStore(r io.Reader) (*Store, error) {
 		}
 		ts.mu.Unlock()
 	}
-	return s, nil
+	return s, snap.Jobs, snap.Abandoned, snap.LastSeq, nil
 }

@@ -55,6 +55,22 @@ func (s *TaskStore) Feed(input, output []float64) int {
 	return id
 }
 
+// PutExample inserts (or overwrites) an example under its existing id,
+// preserving its enabled state — the WAL-replay path, where ids were
+// assigned by a previous process. nextID stays ahead of every inserted id.
+// Overwriting is what makes replay idempotent across the snapshot boundary.
+func (s *TaskStore) PutExample(ex Example) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := ex
+	cp.Input = append([]float64(nil), ex.Input...)
+	cp.Output = append([]float64(nil), ex.Output...)
+	s.examples[ex.ID] = &cp
+	if ex.ID >= s.nextID {
+		s.nextID = ex.ID + 1
+	}
+}
+
 // Refine turns an example on or off — the data-cleaning loop the paper
 // motivates with weak/distant supervision noise. It returns an error for an
 // unknown example id.
@@ -105,6 +121,20 @@ func (s *TaskStore) RecordModel(rec ModelRecord) {
 		cp := rec
 		s.best = &cp
 	}
+}
+
+// HasModel reports whether a run for the named candidate has been recorded
+// (candidates train at most once per task, so the name is a natural key —
+// WAL replay uses this to apply model_recorded events idempotently).
+func (s *TaskStore) HasModel(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, m := range s.models {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Models returns a copy of all recorded training runs in completion order.

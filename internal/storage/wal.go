@@ -1,0 +1,482 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The write-ahead log turns the shared storage into a real durability
+// subsystem: every state mutation of the service (job submitted, example
+// fed or refined, model recorded, candidate abandoned) is appended as one
+// JSONL event before the mutation is acknowledged, and boot-time recovery
+// replays the log on top of the last snapshot. The snapshot/LoadStore pair
+// of persist.go is the compaction path: Compact folds the log into a fresh
+// snapshot and truncates it, bounding replay time (the append-only log +
+// periodic checkpoint layout standard for crash-safe, write-heavy state).
+//
+// Durability lifecycle:
+//
+//	append (per mutation) ──▶ wal.jsonl
+//	compact (admin / shutdown) ──▶ snapshot.json, wal.jsonl truncated
+//	recover (OpenDir at boot) ──▶ snapshot.json + surviving wal.jsonl tail
+//
+// Replay is idempotent: an event that is already reflected in the snapshot
+// (or appears twice after a torn compaction) applies as a no-op, so the
+// "snapshot state vs. log tail" boundary never has to be exact.
+
+// EventType labels one WAL record.
+type EventType string
+
+// The WAL event vocabulary. Lease grants are deliberately not logged: a
+// lease that never completes leaves its arm untried in the recovered state,
+// so the work is re-queued (re-leased) by the first scheduling pass of the
+// next process instead of being lost or double-counted.
+const (
+	EventJobSubmitted       EventType = "job_submitted"
+	EventExampleFed         EventType = "example_fed"
+	EventExampleRefined     EventType = "example_refined"
+	EventModelRecorded      EventType = "model_recorded"
+	EventCandidateAbandoned EventType = "candidate_abandoned"
+)
+
+// Event is one WAL record. Seq is assigned by Append and is strictly
+// increasing across the life of a log directory (compaction records the
+// high-water mark in the snapshot, so replay can skip events the snapshot
+// already covers).
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Type EventType `json:"type"`
+	Job  string    `json:"job,omitempty"`
+
+	// job_submitted
+	Name    string `json:"name,omitempty"`
+	Program string `json:"program,omitempty"`
+
+	// example_fed / example_refined
+	Example int       `json:"example,omitempty"`
+	Input   []float64 `json:"input,omitempty"`
+	Output  []float64 `json:"output,omitempty"`
+	Enabled bool      `json:"enabled,omitempty"`
+
+	// model_recorded
+	Model *ModelRecord `json:"model,omitempty"`
+
+	// candidate_abandoned
+	Candidate string `json:"candidate,omitempty"`
+}
+
+// JobMeta is the durable identity of a submitted job: everything needed to
+// rebuild its candidate surface on recovery (the program is re-parsed and
+// re-matched, which reproduces the same candidates deterministically).
+type JobMeta struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Program string `json:"program"`
+}
+
+// RecoveredState is what OpenDir reconstructs from snapshot + log: the job
+// registry in submission order, the shared store (examples, refine state,
+// model records), and the candidates abandoned per job. The scheduler
+// replays Store model records into its bandits to resume selection.
+type RecoveredState struct {
+	Jobs      []JobMeta
+	Store     *Store
+	Abandoned map[string][]string
+	Events    int // WAL events applied on top of the snapshot
+}
+
+const (
+	walFile      = "wal.jsonl"
+	snapshotFile = "snapshot.json"
+)
+
+// Log is an append-only JSONL write-ahead log over a data directory.
+// Appends are serialized and flushed to the OS before returning, so an
+// acknowledged mutation survives a process crash (not necessarily a power
+// failure: fsync is paid only at compaction and close).
+type Log struct {
+	mu  sync.Mutex
+	dir string
+	f   *os.File
+	w   *bufio.Writer
+	seq uint64
+}
+
+// OpenDir opens (creating if needed) a data directory and recovers its
+// state: the snapshot is loaded if present, then surviving WAL events are
+// replayed on top. A torn final line — the signature of a crash mid-append
+// — is discarded and truncated away; corruption anywhere else is an error.
+// The returned Log appends to the recovered WAL.
+func OpenDir(dir string) (*Log, *RecoveredState, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("storage: creating data dir: %w", err)
+	}
+
+	rec := &RecoveredState{Store: NewStore(), Abandoned: make(map[string][]string)}
+	var lastSeq uint64
+	snapPath := filepath.Join(dir, snapshotFile)
+	if f, err := os.Open(snapPath); err == nil {
+		store, jobs, abandoned, seq, lerr := loadSnapshot(f)
+		f.Close()
+		if lerr != nil {
+			return nil, nil, fmt.Errorf("storage: loading %s: %w", snapPath, lerr)
+		}
+		rec.Store, rec.Jobs = store, jobs
+		for id, names := range abandoned {
+			rec.Abandoned[id] = append([]string(nil), names...)
+		}
+		lastSeq = seq
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("storage: opening snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walFile)
+	maxSeq, err := replayWAL(walPath, lastSeq, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if maxSeq < lastSeq {
+		maxSeq = lastSeq
+	}
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: opening WAL for append: %w", err)
+	}
+	l := &Log{dir: dir, f: f, w: bufio.NewWriter(f), seq: maxSeq}
+	return l, rec, nil
+}
+
+// replayWAL applies the events of a WAL file with Seq > lastSeq to rec,
+// truncating a torn tail. It returns the highest sequence number seen.
+func replayWAL(path string, lastSeq uint64, rec *RecoveredState) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("storage: reading WAL: %w", err)
+	}
+	var maxSeq uint64
+	offset := 0 // end of the last fully applied line
+	applied := 0
+	for pos := 0; pos < len(data); {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		line := data[pos:]
+		terminated := nl >= 0
+		if terminated {
+			line = data[pos : pos+nl]
+		}
+		if len(bytes.TrimSpace(line)) > 0 {
+			var ev Event
+			if uerr := json.Unmarshal(line, &ev); uerr != nil {
+				if !terminated || allBlank(data[pos:]) {
+					break // torn tail from a crash mid-append: discard
+				}
+				return 0, fmt.Errorf("storage: corrupt WAL record at byte %d: %v", pos, uerr)
+			}
+			if ev.Seq > maxSeq {
+				maxSeq = ev.Seq
+			}
+			if ev.Seq > lastSeq {
+				if aerr := applyEvent(ev, rec); aerr != nil {
+					return 0, fmt.Errorf("storage: replaying WAL seq %d: %w", ev.Seq, aerr)
+				}
+				applied++
+			}
+		}
+		if !terminated {
+			break
+		}
+		pos += nl + 1
+		offset = pos
+	}
+	if offset < len(data) {
+		if terr := os.Truncate(path, int64(offset)); terr != nil {
+			return 0, fmt.Errorf("storage: truncating torn WAL tail: %w", terr)
+		}
+	}
+	rec.Events += applied
+	return maxSeq, nil
+}
+
+// allBlank reports whether tail is a single (possibly unterminated) line:
+// i.e. whether everything after the first newline is whitespace.
+func allBlank(tail []byte) bool {
+	nl := bytes.IndexByte(tail, '\n')
+	if nl < 0 {
+		return true
+	}
+	return len(bytes.TrimSpace(tail[nl+1:])) == 0
+}
+
+// applyEvent folds one WAL event into the recovered state. Every case is
+// idempotent: applying an event whose effect is already present is a no-op,
+// which makes replay safe across the snapshot boundary.
+func applyEvent(ev Event, rec *RecoveredState) error {
+	switch ev.Type {
+	case EventJobSubmitted:
+		for _, m := range rec.Jobs {
+			if m.ID == ev.Job {
+				return nil
+			}
+		}
+		rec.Jobs = append(rec.Jobs, JobMeta{ID: ev.Job, Name: ev.Name, Program: ev.Program})
+		if _, ok := rec.Store.Task(ev.Job); !ok {
+			if _, err := rec.Store.CreateTask(ev.Job); err != nil {
+				return err
+			}
+		}
+	case EventExampleFed:
+		ts, err := taskFor(rec.Store, ev.Job)
+		if err != nil {
+			return err
+		}
+		ts.PutExample(Example{ID: ev.Example, Input: ev.Input, Output: ev.Output, Enabled: true})
+	case EventExampleRefined:
+		ts, err := taskFor(rec.Store, ev.Job)
+		if err != nil {
+			return err
+		}
+		if err := ts.Refine(ev.Example, ev.Enabled); err != nil {
+			return err
+		}
+	case EventModelRecorded:
+		if ev.Model == nil {
+			return fmt.Errorf("model_recorded event without a model")
+		}
+		ts, err := taskFor(rec.Store, ev.Job)
+		if err != nil {
+			return err
+		}
+		if !ts.HasModel(ev.Model.Name) {
+			ts.RecordModel(*ev.Model)
+		}
+	case EventCandidateAbandoned:
+		for _, name := range rec.Abandoned[ev.Job] {
+			if name == ev.Candidate {
+				return nil
+			}
+		}
+		rec.Abandoned[ev.Job] = append(rec.Abandoned[ev.Job], ev.Candidate)
+	default:
+		return fmt.Errorf("unknown event type %q", ev.Type)
+	}
+	return nil
+}
+
+// taskFor resolves (creating if necessary) the task store for a job id.
+// Creation covers replay of a log whose job_submitted event predates the
+// snapshot's sequence horizon but whose task was never snapshotted.
+func taskFor(s *Store, id string) (*TaskStore, error) {
+	if ts, ok := s.Task(id); ok {
+		return ts, nil
+	}
+	return s.CreateTask(id)
+}
+
+// Append assigns the next sequence number to ev, writes it as one JSONL
+// record and flushes it to the OS. It is safe for concurrent use.
+func (l *Log) Append(ev Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(ev)
+}
+
+func (l *Log) appendLocked(ev Event) error {
+	if l.f == nil {
+		return fmt.Errorf("storage: append to closed WAL")
+	}
+	l.seq++
+	ev.Seq = l.seq
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("storage: encoding WAL event: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := l.w.Write(data); err != nil {
+		return fmt.Errorf("storage: appending WAL event: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flushing WAL: %w", err)
+	}
+	return nil
+}
+
+// AppendJobSubmitted logs a job submission (id, user-facing name and the
+// normalized program source the candidate surface is rebuilt from).
+func (l *Log) AppendJobSubmitted(jobID, name, program string) error {
+	return l.Append(Event{Type: EventJobSubmitted, Job: jobID, Name: name, Program: program})
+}
+
+// AppendExampleFed logs a fed supervision example under its assigned id.
+func (l *Log) AppendExampleFed(jobID string, exampleID int, input, output []float64) error {
+	return l.Append(Event{Type: EventExampleFed, Job: jobID, Example: exampleID, Input: input, Output: output})
+}
+
+// AppendExampleRefined logs an example's refine toggle.
+func (l *Log) AppendExampleRefined(jobID string, exampleID int, enabled bool) error {
+	return l.Append(Event{Type: EventExampleRefined, Job: jobID, Example: exampleID, Enabled: enabled})
+}
+
+// AppendModelRecorded logs a completed training run (a settled lease).
+func (l *Log) AppendModelRecorded(jobID string, rec ModelRecord) error {
+	m := rec
+	return l.Append(Event{Type: EventModelRecorded, Job: jobID, Model: &m})
+}
+
+// AppendCandidateAbandoned logs a candidate retired after repeated failures.
+func (l *Log) AppendCandidateAbandoned(jobID, candidate string) error {
+	return l.Append(Event{Type: EventCandidateAbandoned, Job: jobID, Candidate: candidate})
+}
+
+// Seq returns the sequence number of the last appended event.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Dir returns the data directory the log lives in.
+func (l *Log) Dir() string { return l.dir }
+
+// Compact checkpoints the given state as the directory's snapshot and
+// drops the WAL prefix it covers. through is the caller's sequence horizon
+// — the log's Seq() read *before* the caller captured the state it passes
+// here — so an event appended while the state was being captured (and thus
+// possibly missing from it) survives in the WAL tail and is replayed on
+// recovery; events the capture provably covers are dropped. Replay
+// idempotency absorbs the overlap. The snapshot is written to a temp file,
+// fsynced and renamed over the old one, so a crash mid-compaction leaves
+// either the old or the new snapshot intact — never a torn one.
+func (l *Log) Compact(jobs []JobMeta, abandoned map[string][]string, store *Store, through uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("storage: compact on closed WAL")
+	}
+	if through > l.seq {
+		through = l.seq
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flushing WAL before compaction: %w", err)
+	}
+
+	tmp := filepath.Join(l.dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: creating snapshot: %w", err)
+	}
+	if err := writeSnapshot(f, store, jobs, abandoned, through); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("storage: installing snapshot: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	return l.rewriteTailLocked(through)
+}
+
+// rewriteTailLocked replaces the WAL with only the events past the
+// compaction horizon, via temp file + rename (a crash in between leaves
+// the old WAL, whose covered prefix replay skips by seq). Callers hold
+// l.mu.
+func (l *Log) rewriteTailLocked(through uint64) error {
+	walPath := filepath.Join(l.dir, walFile)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		return fmt.Errorf("storage: reading WAL for compaction: %w", err)
+	}
+	var tail []byte
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev struct {
+			Seq uint64 `json:"seq"`
+		}
+		if json.Unmarshal(line, &ev) == nil && ev.Seq > through {
+			tail = append(tail, line...)
+			tail = append(tail, '\n')
+		}
+	}
+	tmp := walPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: creating compacted WAL: %w", err)
+	}
+	if _, err := f.Write(tail); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: writing compacted WAL: %w", err)
+	}
+	// The surviving tail events were acknowledged as durable before the
+	// compaction; the rewrite must not weaken that, so it is fsynced
+	// before the rename makes it the log.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: syncing compacted WAL: %w", err)
+	}
+	if err := os.Rename(tmp, walPath); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: installing compacted WAL: %w", err)
+	}
+	old := l.f
+	l.f = f
+	l.w.Reset(f)
+	old.Close()
+	return syncDir(l.dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: opening data dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing data dir: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and fsyncs the log. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	flushErr := l.w.Flush()
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	l.f = nil
+	if flushErr != nil {
+		return fmt.Errorf("storage: flushing WAL on close: %w", flushErr)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("storage: syncing WAL on close: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("storage: closing WAL: %w", closeErr)
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Jobs) != 0 || rec.Events != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	if err := l.AppendJobSubmitted("job-0001", "demo", "{prog}"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendExampleFed("job-0001", 1, []float64{1, 2}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendExampleFed("job-0001", 2, []float64{4, 5}, []float64{6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendExampleRefined("job-0001", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendModelRecorded("job-0001", ModelRecord{Name: "m1", Accuracy: 0.8, Cost: 2, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCandidateAbandoned("job-0001", "m9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(rec2.Jobs) != 1 || rec2.Jobs[0].ID != "job-0001" || rec2.Jobs[0].Program != "{prog}" {
+		t.Fatalf("recovered jobs %+v", rec2.Jobs)
+	}
+	if rec2.Events != 6 {
+		t.Errorf("replayed %d events, want 6", rec2.Events)
+	}
+	ts, ok := rec2.Store.Task("job-0001")
+	if !ok {
+		t.Fatal("recovered store missing task")
+	}
+	exs := ts.Examples()
+	if len(exs) != 2 {
+		t.Fatalf("recovered %d examples, want 2", len(exs))
+	}
+	if exs[0].ID != 1 || exs[0].Enabled || !exs[1].Enabled {
+		t.Errorf("recovered examples %+v", exs)
+	}
+	if ms := ts.Models(); len(ms) != 1 || ms[0].Name != "m1" || ms[0].Round != 1 {
+		t.Errorf("recovered models %+v", ms)
+	}
+	if ab := rec2.Abandoned["job-0001"]; len(ab) != 1 || ab[0] != "m9" {
+		t.Errorf("recovered abandoned %+v", rec2.Abandoned)
+	}
+	// Sequence numbers continue past the recovered history.
+	if err := l2.AppendExampleFed("job-0001", 3, []float64{7}, []float64{8}); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Seq() != 7 {
+		t.Errorf("seq %d after recovery append, want 7", l2.Seq())
+	}
+}
+
+func TestWALTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendJobSubmitted("job-0001", "demo", "{prog}"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendExampleFed("job-0001", 1, []float64{1}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a partial record with no newline.
+	walPath := filepath.Join(dir, walFile)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"type":"example_fed","job":"jo`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if rec.Events != 2 {
+		t.Errorf("replayed %d events, want the 2 intact ones", rec.Events)
+	}
+	// The torn bytes were truncated away: the next append must not fuse
+	// with them into a corrupt record.
+	if err := l2.AppendExampleFed("job-0001", 2, []float64{3}, []float64{4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec3, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := rec3.Store.Task("job-0001")
+	if got := len(ts.Examples()); got != 2 {
+		t.Errorf("after torn-tail recovery + append: %d examples, want 2", got)
+	}
+}
+
+func TestWALCorruptionMidFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendJobSubmitted("job-0001", "demo", "{prog}"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walFile)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := "GARBAGE NOT JSON\n" + string(data)
+	if err := os.WriteFile(walPath, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenDir(dir); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption accepted: %v", err)
+	}
+}
+
+func TestCompactionTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	ts, err := store.CreateTask("job-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendJobSubmitted("job-0001", "demo", "{prog}"); err != nil {
+		t.Fatal(err)
+	}
+	ts.PutExample(Example{ID: 1, Input: []float64{1}, Output: []float64{2}, Enabled: true})
+	if err := l.AppendExampleFed("job-0001", 1, []float64{1}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	ts.RecordModel(ModelRecord{Name: "m1", Accuracy: 0.7, Round: 1})
+	if err := l.AppendModelRecorded("job-0001", ModelRecord{Name: "m1", Accuracy: 0.7, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := []JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}
+	abandoned := map[string][]string{"job-0001": {"m9"}}
+	if err := l.Compact(jobs, abandoned, store, l.Seq()); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(filepath.Join(dir, walFile)); err != nil || info.Size() != 0 {
+		t.Errorf("WAL not truncated after compaction: %v, size %d", err, info.Size())
+	}
+
+	// Post-compaction appends land in the (empty) log with continuing seq.
+	ts.RecordModel(ModelRecord{Name: "m2", Accuracy: 0.9, Round: 2})
+	if err := l.AppendModelRecorded("job-0001", ModelRecord{Name: "m2", Accuracy: 0.9, Round: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Jobs) != 1 || rec.Events != 1 {
+		t.Fatalf("recovered %d jobs, %d replayed events (want 1, 1)", len(rec.Jobs), rec.Events)
+	}
+	rts, ok := rec.Store.Task("job-0001")
+	if !ok {
+		t.Fatal("recovered store missing task")
+	}
+	if ms := rts.Models(); len(ms) != 2 || ms[0].Name != "m1" || ms[1].Name != "m2" {
+		t.Errorf("recovered models %+v", rts.Models())
+	}
+	if len(rts.Examples()) != 1 {
+		t.Errorf("recovered %d examples, want 1", len(rts.Examples()))
+	}
+	if ab := rec.Abandoned["job-0001"]; len(ab) != 1 || ab[0] != "m9" {
+		t.Errorf("recovered abandoned %+v", rec.Abandoned)
+	}
+}
+
+// Replay must be idempotent: an event that is both inside the snapshot and
+// still in the log (the straggler window during compaction) applies once.
+func TestWALReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	ts, err := store.CreateTask("job-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendJobSubmitted("job-0001", "demo", "{prog}"); err != nil {
+		t.Fatal(err)
+	}
+	ts.PutExample(Example{ID: 1, Input: []float64{1}, Output: []float64{2}, Enabled: true})
+	ts.RecordModel(ModelRecord{Name: "m1", Accuracy: 0.7, Round: 1})
+
+	// Compact with state that already includes the example and the model,
+	// then append the very events the snapshot covers — the straggler
+	// scenario.
+	if err := l.Compact([]JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}, nil, store, l.Seq()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendExampleFed("job-0001", 1, []float64{1}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendModelRecorded("job-0001", ModelRecord{Name: "m1", Accuracy: 0.7, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendJobSubmitted("job-0001", "demo", "{prog}"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Jobs) != 1 {
+		t.Errorf("job duplicated: %+v", rec.Jobs)
+	}
+	rts, _ := rec.Store.Task("job-0001")
+	if got := len(rts.Examples()); got != 1 {
+		t.Errorf("%d examples after duplicate replay, want 1", got)
+	}
+	if got := len(rts.Models()); got != 1 {
+		t.Errorf("%d models after duplicate replay, want 1", got)
+	}
+}
+
+// Compacting with a horizon below the newest events must keep those events
+// in the WAL: they may not be reflected in the captured state, and dropping
+// them would lose acknowledged mutations.
+func TestCompactionPreservesEventsPastHorizon(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	if _, err := store.CreateTask("job-0001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendJobSubmitted("job-0001", "demo", "{prog}"); err != nil {
+		t.Fatal(err)
+	}
+	horizon := l.Seq()
+	// A straggler submission: logged after the horizon, missing from the
+	// captured state (jobs below lists only job-0001).
+	if err := l.AppendJobSubmitted("job-0002", "late", "{prog2}"); err != nil {
+		t.Fatal(err)
+	}
+	jobs := []JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}
+	if err := l.Compact(jobs, nil, store, horizon); err != nil {
+		t.Fatal(err)
+	}
+	// The straggler survives compaction and further appends still work.
+	if err := l.AppendExampleFed("job-0002", 1, []float64{1}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Jobs) != 2 || rec.Jobs[1].ID != "job-0002" {
+		t.Fatalf("straggler submission lost by compaction: %+v", rec.Jobs)
+	}
+	ts, ok := rec.Store.Task("job-0002")
+	if !ok || len(ts.Examples()) != 1 {
+		t.Fatalf("straggler example lost by compaction")
+	}
+}
