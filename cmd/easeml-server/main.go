@@ -7,6 +7,7 @@
 //
 //	easeml-server [-addr :9000] [-gpus 24] [-seed 1] [-alpha 0.9]
 //	              [-workers 0] [-batch 0] [-data-dir DIR]
+//	              [-fleet-addr ADDR] [-lease-ttl 10s]
 //
 // With -workers N > 0 the async execution engine starts at boot: N
 // concurrent trainers lease work through the scheduler's two-phase API and
@@ -14,6 +15,14 @@
 // The engine is controlled at runtime via POST /admin/start|stop and
 // observed via GET /admin/metrics. Without workers, rounds are driven
 // explicitly via POST /admin/rounds, serialized across the whole pool.
+//
+// With -fleet-addr the server becomes a fleet coordinator: remote
+// easeml-worker agents register, lease candidates, heartbeat and report
+// results over the /fleet/* protocol, served both on the main address and
+// on the dedicated fleet address. A leased candidate whose worker goes
+// silent for -lease-ttl is re-queued automatically. GET /admin/fleet
+// reports the worker registry (join/leave/dead states, in-flight counts,
+// failure tallies).
 //
 // With -data-dir the service is durable: every mutation (job submitted,
 // example fed/refined, model recorded) is appended to a write-ahead log
@@ -35,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/easeml"
 )
@@ -47,27 +57,41 @@ func main() {
 	workers := flag.Int("workers", 0, "async engine worker count (0 = serialized rounds via /admin/rounds)")
 	batch := flag.Int("batch", 0, "max in-flight leases for the engine (default 2*workers)")
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots; empty = in-memory)")
+	fleetAddr := flag.String("fleet-addr", "", "dedicated listen address for the fleet worker protocol (empty = no fleet)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "fleet lease TTL before silent workers' leases are re-queued (default 10s)")
 	flag.Parse()
 	if *alpha <= 0 || *alpha > 1 {
 		log.Fatalf("-alpha %g outside (0, 1]", *alpha)
 	}
 
 	svc, err := easeml.OpenService(easeml.ServiceConfig{
-		GPUs:    *gpus,
-		Seed:    *seed,
-		Addr:    "http://localhost" + *addr,
-		Alpha:   *alpha,
-		Workers: *workers,
-		Batch:   *batch,
-		DataDir: *dataDir,
+		GPUs:      *gpus,
+		Seed:      *seed,
+		Addr:      "http://localhost" + *addr,
+		Alpha:     *alpha,
+		Workers:   *workers,
+		Batch:     *batch,
+		DataDir:   *dataDir,
+		FleetAddr: *fleetAddr,
+		LeaseTTL:  *leaseTTL,
 	})
 	if err != nil {
 		log.Fatalf("opening service: %v", err)
 	}
 	if *dataDir != "" {
 		r := svc.Recovered
-		fmt.Printf("recovered from %s: %d jobs, %d examples, %d trained models (%d WAL events replayed)\n",
-			*dataDir, r.Jobs, r.Examples, r.Models, r.WALEvents)
+		fmt.Printf("recovered from %s: %d jobs, %d examples, %d trained models (%d WAL events, %d lease expiries replayed)\n",
+			*dataDir, r.Jobs, r.Examples, r.Models, r.WALEvents, r.ExpiredLeases)
+	}
+	if *fleetAddr != "" {
+		// The effective TTL comes back from the coordinator itself, so the
+		// banner can never disagree with the default it applies.
+		ttl := time.Duration(0)
+		if fs, ok := svc.FleetStatus(); ok {
+			ttl = time.Duration(fs.LeaseTTLMS * float64(time.Millisecond))
+		}
+		fmt.Printf("fleet coordinator listening on %s (lease TTL %s); point easeml-worker -coordinator at it\n",
+			svc.FleetAddr(), ttl)
 	}
 
 	shutdown := func() {

@@ -19,9 +19,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -38,24 +40,28 @@ func main() {
 		os.Exit(2)
 	}
 	cl := client.New(*serverURL)
+	// Ctrl-C cancels the in-flight request instead of leaving it to the
+	// client timeout.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch args[0] {
 	case "submit":
-		err = cmdSubmit(cl, args[1:])
+		err = cmdSubmit(ctx, cl, args[1:])
 	case "jobs":
-		err = cmdJobs(cl)
+		err = cmdJobs(ctx, cl)
 	case "status":
-		err = cmdStatus(cl, args[1:])
+		err = cmdStatus(ctx, cl, args[1:])
 	case "feed":
-		err = cmdFeed(cl, args[1:])
+		err = cmdFeed(ctx, cl, args[1:])
 	case "feedimg":
-		err = cmdFeedImg(cl, args[1:])
+		err = cmdFeedImg(ctx, cl, args[1:])
 	case "refine":
-		err = cmdRefine(cl, args[1:])
+		err = cmdRefine(ctx, cl, args[1:])
 	case "infer":
-		err = cmdInfer(cl, args[1:])
+		err = cmdInfer(ctx, cl, args[1:])
 	case "rounds":
-		err = cmdRounds(cl, args[1:])
+		err = cmdRounds(ctx, cl, args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -73,11 +79,11 @@ commands: submit <name> <program> | jobs | status <job> |
           refine <job> <example> <on|off> | infer <job> <in...> | rounds <n>`)
 }
 
-func cmdSubmit(cl *client.Client, args []string) error {
+func cmdSubmit(ctx context.Context, cl *client.Client, args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("submit needs <name> <program>")
 	}
-	resp, err := cl.Submit(args[0], args[1])
+	resp, err := cl.Submit(ctx, args[0], args[1])
 	if err != nil {
 		return err
 	}
@@ -88,8 +94,8 @@ func cmdSubmit(cl *client.Client, args []string) error {
 	return nil
 }
 
-func cmdJobs(cl *client.Client) error {
-	jobs, err := cl.Jobs()
+func cmdJobs(ctx context.Context, cl *client.Client) error {
+	jobs, err := cl.Jobs(ctx)
 	if err != nil {
 		return err
 	}
@@ -99,11 +105,11 @@ func cmdJobs(cl *client.Client) error {
 	return nil
 }
 
-func cmdStatus(cl *client.Client, args []string) error {
+func cmdStatus(ctx context.Context, cl *client.Client, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("status needs <job>")
 	}
-	st, err := cl.Status(args[0])
+	st, err := cl.Status(ctx, args[0])
 	if err != nil {
 		return err
 	}
@@ -118,7 +124,7 @@ func cmdStatus(cl *client.Client, args []string) error {
 	return nil
 }
 
-func cmdFeed(cl *client.Client, args []string) error {
+func cmdFeed(ctx context.Context, cl *client.Client, args []string) error {
 	if len(args) < 4 {
 		return fmt.Errorf("feed needs <job> <in...> : <out...>")
 	}
@@ -140,7 +146,7 @@ func cmdFeed(cl *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	ids, err := cl.Feed(job, [][]float64{in}, [][]float64{out})
+	ids, err := cl.Feed(ctx, job, [][]float64{in}, [][]float64{out})
 	if err != nil {
 		return err
 	}
@@ -150,7 +156,7 @@ func cmdFeed(cl *client.Client, args []string) error {
 
 // cmdFeedImg loads a JPEG/PNG through the default image loader (§2:
 // "loads JPEG images into Tensor[A,B,3]") and feeds it with its label.
-func cmdFeedImg(cl *client.Client, args []string) error {
+func cmdFeedImg(ctx context.Context, cl *client.Client, args []string) error {
 	if len(args) < 3 {
 		return fmt.Errorf("feedimg needs <job> <image> <out...>")
 	}
@@ -167,7 +173,7 @@ func cmdFeedImg(cl *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	ids, err := cl.Feed(args[0], [][]float64{img.Data()}, [][]float64{out})
+	ids, err := cl.Feed(ctx, args[0], [][]float64{img.Data()}, [][]float64{out})
 	if err != nil {
 		return err
 	}
@@ -175,7 +181,7 @@ func cmdFeedImg(cl *client.Client, args []string) error {
 	return nil
 }
 
-func cmdRefine(cl *client.Client, args []string) error {
+func cmdRefine(ctx context.Context, cl *client.Client, args []string) error {
 	if len(args) != 3 {
 		return fmt.Errorf("refine needs <job> <example> <on|off>")
 	}
@@ -192,14 +198,14 @@ func cmdRefine(cl *client.Client, args []string) error {
 	default:
 		return fmt.Errorf("refine state %q: use on or off", args[2])
 	}
-	if err := cl.Refine(args[0], id, enabled); err != nil {
+	if err := cl.Refine(ctx, args[0], id, enabled); err != nil {
 		return err
 	}
 	fmt.Println("ok")
 	return nil
 }
 
-func cmdInfer(cl *client.Client, args []string) error {
+func cmdInfer(ctx context.Context, cl *client.Client, args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("infer needs <job> <in...>")
 	}
@@ -207,7 +213,7 @@ func cmdInfer(cl *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := cl.Infer(args[0], in)
+	resp, err := cl.Infer(ctx, args[0], in)
 	if err != nil {
 		return err
 	}
@@ -215,7 +221,7 @@ func cmdInfer(cl *client.Client, args []string) error {
 	return nil
 }
 
-func cmdRounds(cl *client.Client, args []string) error {
+func cmdRounds(ctx context.Context, cl *client.Client, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("rounds needs <n>")
 	}
@@ -223,7 +229,7 @@ func cmdRounds(cl *client.Client, args []string) error {
 	if err != nil {
 		return fmt.Errorf("round count: %w", err)
 	}
-	resp, err := cl.RunRounds(n)
+	resp, err := cl.RunRounds(ctx, n)
 	if err != nil {
 		return err
 	}

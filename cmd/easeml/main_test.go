@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -19,42 +20,44 @@ func newTestClient(t *testing.T) (*client.Client, string) {
 
 func TestCLICommandsHappyPath(t *testing.T) {
 	cl, _ := newTestClient(t)
-	if err := cmdSubmit(cl, []string{"ts", "{input: {[Tensor[4]], [next]}, output: {[Tensor[2]], []}}"}); err != nil {
+	ctx := context.Background()
+	if err := cmdSubmit(ctx, cl, []string{"ts", "{input: {[Tensor[4]], [next]}, output: {[Tensor[2]], []}}"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdJobs(cl); err != nil {
+	if err := cmdJobs(ctx, cl); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdFeed(cl, []string{"job-0001", "1", "2", "3", "4", ":", "0", "1"}); err != nil {
+	if err := cmdFeed(ctx, cl, []string{"job-0001", "1", "2", "3", "4", ":", "0", "1"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdRefine(cl, []string{"job-0001", "1", "off"}); err != nil {
+	if err := cmdRefine(ctx, cl, []string{"job-0001", "1", "off"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdRounds(cl, []string{"2"}); err != nil {
+	if err := cmdRounds(ctx, cl, []string{"2"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdStatus(cl, []string{"job-0001"}); err != nil {
+	if err := cmdStatus(ctx, cl, []string{"job-0001"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdInfer(cl, []string{"job-0001", "1", "2", "3", "4"}); err != nil {
+	if err := cmdInfer(ctx, cl, []string{"job-0001", "1", "2", "3", "4"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCLIArgumentErrors(t *testing.T) {
 	cl, _ := newTestClient(t)
+	ctx := context.Background()
 	cases := map[string]func() error{
-		"submit arity":    func() error { return cmdSubmit(cl, []string{"only-name"}) },
-		"feed no colon":   func() error { return cmdFeed(cl, []string{"j", "1", "2", "3", "4"}) },
-		"feed bad float":  func() error { return cmdFeed(cl, []string{"j", "x", ":", "1"}) },
-		"refine bad id":   func() error { return cmdRefine(cl, []string{"j", "abc", "on"}) },
-		"refine bad bool": func() error { return cmdRefine(cl, []string{"j", "1", "maybe"}) },
-		"rounds bad n":    func() error { return cmdRounds(cl, []string{"x"}) },
-		"infer arity":     func() error { return cmdInfer(cl, []string{"j"}) },
-		"status arity":    func() error { return cmdStatus(cl, nil) },
-		"feedimg arity":   func() error { return cmdFeedImg(cl, []string{"j"}) },
-		"feedimg missing": func() error { return cmdFeedImg(cl, []string{"j", "/nonexistent.png", "1"}) },
+		"submit arity":    func() error { return cmdSubmit(ctx, cl, []string{"only-name"}) },
+		"feed no colon":   func() error { return cmdFeed(ctx, cl, []string{"j", "1", "2", "3", "4"}) },
+		"feed bad float":  func() error { return cmdFeed(ctx, cl, []string{"j", "x", ":", "1"}) },
+		"refine bad id":   func() error { return cmdRefine(ctx, cl, []string{"j", "abc", "on"}) },
+		"refine bad bool": func() error { return cmdRefine(ctx, cl, []string{"j", "1", "maybe"}) },
+		"rounds bad n":    func() error { return cmdRounds(ctx, cl, []string{"x"}) },
+		"infer arity":     func() error { return cmdInfer(ctx, cl, []string{"j"}) },
+		"status arity":    func() error { return cmdStatus(ctx, cl, nil) },
+		"feedimg arity":   func() error { return cmdFeedImg(ctx, cl, []string{"j"}) },
+		"feedimg missing": func() error { return cmdFeedImg(ctx, cl, []string{"j", "/nonexistent.png", "1"}) },
 	}
 	for name, f := range cases {
 		if err := f(); err == nil {

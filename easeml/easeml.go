@@ -17,7 +17,11 @@
 //     pool instead of one at a time. With ServiceConfig.DataDir set (use
 //     OpenService), every mutation is written ahead to a log and the
 //     whole service state — jobs, examples, trained models — survives a
-//     crash and is recovered at the next boot.
+//     crash and is recovered at the next boot. With ServiceConfig.Fleet
+//     (or FleetAddr) the service coordinates remote easeml-worker agents
+//     over the internal/fleet lease protocol: elastic workers join, train
+//     leased candidates and heartbeat; work on a worker that dies is
+//     re-queued when its lease TTL lapses.
 //
 //   - NewSelection runs the paper's core contribution as a library: given a
 //     (quality, cost) environment and per-model kernel features, it drives
@@ -29,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"time"
 
@@ -37,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dsl"
 	"repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/gp"
 	"repro/internal/server"
 	"repro/internal/storage"
@@ -85,8 +91,11 @@ type Service struct {
 	sched   *server.Scheduler
 	pool    *cluster.Pool
 	trainer *server.SimTrainer
-	engine  *engine.Engine // nil unless Workers > 0
-	log     *storage.Log   // nil unless DataDir is set
+	engine  *engine.Engine     // nil unless Workers > 0
+	log     *storage.Log       // nil unless DataDir is set
+	coord   *fleet.Coordinator // nil unless Fleet/FleetAddr enabled
+	fleetLn net.Listener       // nil unless FleetAddr is set
+	fleetHS *http.Server
 
 	// Recovered summarizes what boot-time recovery restored from DataDir:
 	// zero values for a fresh directory or an in-memory service.
@@ -95,10 +104,11 @@ type Service struct {
 
 // RecoveryInfo reports what OpenService restored from a data directory.
 type RecoveryInfo struct {
-	Jobs      int // jobs resubmitted from the log
-	Models    int // completed training runs replayed into the bandits
-	Examples  int // supervision examples restored
-	WALEvents int // WAL events replayed on top of the snapshot
+	Jobs          int // jobs resubmitted from the log
+	Models        int // completed training runs replayed into the bandits
+	Examples      int // supervision examples restored
+	WALEvents     int // WAL events replayed on top of the snapshot
+	ExpiredLeases int // lease-expiry records in the WAL tail (fleet history)
 }
 
 // ServiceConfig parameterizes NewService. Zero values select the defaults
@@ -135,13 +145,31 @@ type ServiceConfig struct {
 	// Requires OpenService (NewService panics on a DataDir it cannot
 	// open).
 	DataDir string
+	// Fleet enables the distributed-worker coordinator (internal/fleet):
+	// remote easeml-worker agents register, lease candidates, heartbeat
+	// and report results over the /fleet/* endpoints, which are mounted on
+	// Handler alongside the service API. Leases gain a TTL: work on a
+	// worker that goes silent is re-queued by the expiry sweeper.
+	Fleet bool
+	// FleetAddr, when set, additionally serves the fleet protocol on a
+	// dedicated listen address (e.g. ":9001", or "127.0.0.1:0" for an
+	// ephemeral port — read the bound address back with
+	// Service.FleetAddr). Setting it implies Fleet.
+	FleetAddr string
+	// LeaseTTL is the fleet lease time-to-live: how long a leased
+	// candidate survives without a worker heartbeat before it is
+	// re-queued (default 10s). Ignored without Fleet/FleetAddr — the
+	// in-process engine settles its leases synchronously and runs without
+	// a TTL.
+	LeaseTTL time.Duration
 }
 
 // NewService creates a service with a simulated GPU pool and the HYBRID
 // multi-tenant scheduler. It panics when OpenService would fail — which
-// only I/O against ServiceConfig.DataDir can cause, so the zero-friction
-// constructor stays available for in-memory services; durable deployments
-// should call OpenService and handle the error.
+// only I/O can cause: opening ServiceConfig.DataDir, or binding
+// ServiceConfig.FleetAddr. The zero-friction constructor stays available
+// for plain in-memory services; deployments setting either of those
+// fields should call OpenService and handle the error.
 func NewService(cfg ServiceConfig) *Service {
 	s, err := OpenService(cfg)
 	if err != nil {
@@ -183,6 +211,7 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 		s.log = log
 		s.Recovered.Jobs = len(rec.Jobs)
 		s.Recovered.WALEvents = rec.Events
+		s.Recovered.ExpiredLeases = len(rec.Expired)
 		for _, j := range sched.Jobs() {
 			st, serr := sched.Status(j.ID)
 			if serr != nil {
@@ -203,6 +232,26 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 			MaxInFlight: cfg.Batch,
 		})
 	}
+	if cfg.Fleet || cfg.FleetAddr != "" {
+		s.coord = fleet.NewCoordinator(sched, fleet.CoordinatorConfig{
+			LeaseTTL: cfg.LeaseTTL,
+			Seed:     cfg.Seed,
+		})
+		s.coord.Start()
+		if cfg.FleetAddr != "" {
+			ln, err := net.Listen("tcp", cfg.FleetAddr)
+			if err != nil {
+				s.coord.Stop()
+				if s.log != nil {
+					s.log.Close()
+				}
+				return nil, fmt.Errorf("easeml: listening on fleet address %q: %w", cfg.FleetAddr, err)
+			}
+			s.fleetLn = ln
+			s.fleetHS = &http.Server{Handler: s.coord.Handler()}
+			go func() { _ = s.fleetHS.Serve(ln) }()
+		}
+	}
 	return s, nil
 }
 
@@ -210,10 +259,17 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 // bounding boot-time replay. It errors for a service without a DataDir.
 func (s *Service) Compact() error { return s.sched.Compact() }
 
-// Close compacts (when durable) and closes the write-ahead log. The
-// service must be quiesced first (StopEngine); mutations after Close fail.
-// It is a no-op for in-memory services.
+// Close shuts the service's background machinery down: the fleet
+// coordinator's sweeper and listener stop, then (when durable) the WAL is
+// compacted and closed. The service must be quiesced first (StopEngine);
+// mutations after Close fail. It is a no-op for a plain in-memory service.
 func (s *Service) Close() error {
+	if s.coord != nil {
+		s.coord.Stop()
+	}
+	if s.fleetHS != nil {
+		_ = s.fleetHS.Close()
+	}
 	if s.log == nil {
 		return nil
 	}
@@ -275,13 +331,41 @@ func (s *Service) GPUTime() float64 { return s.pool.Now() }
 // Handler exposes the service over HTTP (see internal/server for the
 // endpoint list); internal/client provides the matching Go client. When the
 // service has an engine, the /admin/metrics and /admin/start|stop endpoints
-// control it.
+// control it. With the fleet enabled, the /fleet/* worker protocol is
+// mounted alongside the service API and GET /admin/fleet reports the
+// worker registry.
 func (s *Service) Handler() http.Handler {
 	api := server.NewAPI(s.sched)
 	if s.engine != nil {
 		api.WithEngine(engineControl{s})
 	}
-	return api.Handler()
+	if s.coord == nil {
+		return api.Handler()
+	}
+	api.WithFleet(s.coord)
+	mux := http.NewServeMux()
+	mux.Handle("/", api.Handler())
+	mux.Handle("/fleet/", s.coord.Handler())
+	return mux
+}
+
+// FleetStatus snapshots the fleet's worker registry and lease counters; ok
+// is false when the service runs without a fleet coordinator.
+func (s *Service) FleetStatus() (server.FleetStatus, bool) {
+	if s.coord == nil {
+		return server.FleetStatus{}, false
+	}
+	return s.coord.FleetStatus(), true
+}
+
+// FleetAddr returns the bound address of the dedicated fleet listener
+// (empty without ServiceConfig.FleetAddr). With an ephemeral ":0" address
+// this is how callers learn the actual port.
+func (s *Service) FleetAddr() string {
+	if s.fleetLn == nil {
+		return ""
+	}
+	return s.fleetLn.Addr().String()
 }
 
 // StartEngine launches the async execution engine in the background: the

@@ -6,10 +6,12 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -383,5 +385,93 @@ func TestServiceRecoversFromDataDir(t *testing.T) {
 	defer svc3.Close()
 	if svc3.Recovered.Jobs != 1 || svc3.Recovered.Models != got.Trained {
 		t.Errorf("post-compaction recovery %+v, want %d models", svc3.Recovered, got.Trained)
+	}
+}
+
+// The facade's fleet surface: a service with the coordinator enabled serves
+// the /fleet/* protocol (both on Handler and the dedicated fleet address),
+// remote agents drain the jobs, and FleetStatus / GET /admin/fleet report
+// the registry.
+func TestServiceFleet(t *testing.T) {
+	const prog = "{input: {[Tensor[4]], [next]}, output: {[Tensor[2]], []}}" // 4 candidates
+	svc, err := OpenService(ServiceConfig{
+		GPUs: 4, Seed: 11,
+		FleetAddr: "127.0.0.1:0",
+		LeaseTTL:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.FleetAddr() == "" {
+		t.Fatal("no bound fleet address")
+	}
+	job, err := svc.Submit("fleet", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agent, err := fleet.NewAgent(fleet.AgentConfig{
+		Coordinator:  "http://" + svc.FleetAddr(),
+		Name:         "facade-worker",
+		Devices:      2,
+		PollInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = agent.Run(ctx) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := svc.Status(job.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Trained == st.NumCandidates {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet worker never drained the job: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	fs, ok := svc.FleetStatus()
+	if !ok {
+		t.Fatal("FleetStatus reports no coordinator")
+	}
+	if len(fs.Workers) != 1 || fs.Workers[0].Completed != 4 {
+		t.Errorf("fleet status %+v", fs)
+	}
+
+	// The same registry over HTTP, through the combined service handler.
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/admin/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var adminFS server.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&adminFS); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || adminFS.Left != 1 {
+		t.Errorf("GET /admin/fleet: status %d, body %+v (want one departed worker)", resp.StatusCode, adminFS)
+	}
+	// The worker protocol is mounted on the service handler too.
+	reg, err := http.Post(srv.URL+"/fleet/register", "application/json",
+		strings.NewReader(`{"name":"h","devices":1,"alpha":0.9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Body.Close()
+	if reg.StatusCode != http.StatusOK {
+		t.Errorf("register via service handler: HTTP %d", reg.StatusCode)
 	}
 }

@@ -5,6 +5,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,86 +16,132 @@ import (
 	"repro/internal/server"
 )
 
-// Client talks to one ease.ml server.
+// Client talks to one ease.ml server. Every request method takes a
+// context, so callers own cancellation and deadlines; the underlying
+// http.Client's timeout (default 30s, see WithTimeout) is the backstop for
+// callers passing context.Background().
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	timeout *time.Duration
+}
+
+// Option customizes a Client at construction.
+type Option func(*Client)
+
+// WithTimeout overrides the default 30s transport timeout (0 disables it,
+// leaving deadlines entirely to request contexts). It composes with
+// WithHTTPClient — the provided client is shallow-copied, never mutated.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = &d }
+}
+
+// WithHTTPClient substitutes the transport, e.g. for connection pooling
+// limits, proxies or test doubles.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
 }
 
 // New creates a client for the server at baseURL (e.g.
 // "http://localhost:9000").
-func New(baseURL string) *Client {
-	return &Client{
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
 		base: strings.TrimRight(baseURL, "/"),
 		http: &http.Client{Timeout: 30 * time.Second},
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.timeout != nil {
+		hc := *c.http
+		hc.Timeout = *c.timeout
+		c.http = &hc
+	}
+	return c
 }
 
 // Submit registers a declarative job and returns the server's reply
 // (job id, matched template, generated candidates and code).
-func (c *Client) Submit(name, program string) (server.SubmitResponse, error) {
+func (c *Client) Submit(ctx context.Context, name, program string) (server.SubmitResponse, error) {
 	var resp server.SubmitResponse
-	err := c.post("/jobs", server.SubmitRequest{Name: name, Program: program}, &resp)
+	err := c.post(ctx, "/jobs", server.SubmitRequest{Name: name, Program: program}, &resp)
 	return resp, err
 }
 
 // Jobs lists all job ids on the server.
-func (c *Client) Jobs() ([]string, error) {
+func (c *Client) Jobs(ctx context.Context) ([]string, error) {
 	var resp struct {
 		Jobs []string `json:"jobs"`
 	}
-	err := c.get("/jobs", &resp)
+	err := c.get(ctx, "/jobs", &resp)
 	return resp.Jobs, err
 }
 
 // Feed registers example pairs and returns their ids.
-func (c *Client) Feed(jobID string, inputs, outputs [][]float64) ([]int, error) {
+func (c *Client) Feed(ctx context.Context, jobID string, inputs, outputs [][]float64) ([]int, error) {
 	var resp server.FeedResponse
-	err := c.post("/jobs/"+jobID+"/feed", server.FeedRequest{Inputs: inputs, Outputs: outputs}, &resp)
+	err := c.post(ctx, "/jobs/"+jobID+"/feed", server.FeedRequest{Inputs: inputs, Outputs: outputs}, &resp)
 	return resp.IDs, err
 }
 
 // Refine enables or disables an example.
-func (c *Client) Refine(jobID string, exampleID int, enabled bool) error {
+func (c *Client) Refine(ctx context.Context, jobID string, exampleID int, enabled bool) error {
 	var resp map[string]bool
-	return c.post("/jobs/"+jobID+"/refine", server.RefineRequest{Example: exampleID, Enabled: enabled}, &resp)
+	return c.post(ctx, "/jobs/"+jobID+"/refine", server.RefineRequest{Example: exampleID, Enabled: enabled}, &resp)
 }
 
 // Infer applies the best model so far to one input object.
-func (c *Client) Infer(jobID string, input []float64) (server.InferResponse, error) {
+func (c *Client) Infer(ctx context.Context, jobID string, input []float64) (server.InferResponse, error) {
 	var resp server.InferResponse
-	err := c.post("/jobs/"+jobID+"/infer", server.InferRequest{Input: input}, &resp)
+	err := c.post(ctx, "/jobs/"+jobID+"/infer", server.InferRequest{Input: input}, &resp)
 	return resp, err
 }
 
 // Status reports the job's trained models and current best.
-func (c *Client) Status(jobID string) (server.Status, error) {
+func (c *Client) Status(ctx context.Context, jobID string) (server.Status, error) {
 	var resp server.Status
-	err := c.get("/jobs/"+jobID+"/status", &resp)
+	err := c.get(ctx, "/jobs/"+jobID+"/status", &resp)
 	return resp, err
 }
 
 // RunRounds asks the server to execute n scheduling rounds synchronously.
-func (c *Client) RunRounds(n int) (server.RoundsResponse, error) {
+func (c *Client) RunRounds(ctx context.Context, n int) (server.RoundsResponse, error) {
 	var resp server.RoundsResponse
-	err := c.post("/admin/rounds", server.RoundsRequest{Count: n}, &resp)
+	err := c.post(ctx, "/admin/rounds", server.RoundsRequest{Count: n}, &resp)
 	return resp, err
 }
 
-func (c *Client) post(path string, body, dst any) error {
+// FleetStatus reports the fleet worker registry (GET /admin/fleet); it
+// errors with HTTP 409 on servers running without a fleet coordinator.
+func (c *Client) FleetStatus(ctx context.Context) (server.FleetStatus, error) {
+	var resp server.FleetStatus
+	err := c.get(ctx, "/admin/fleet", &resp)
+	return resp, err
+}
+
+func (c *Client) post(ctx context.Context, path string, body, dst any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("client: encode %s: %w", path, err)
 	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: build POST %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: POST %s: %w", path, err)
 	}
 	return decode(path, resp, dst)
 }
 
-func (c *Client) get(path string, dst any) error {
-	resp, err := c.http.Get(c.base + path)
+func (c *Client) get(ctx context.Context, path string, dst any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("client: build GET %s: %w", path, err)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: GET %s: %w", path, err)
 	}
@@ -108,9 +155,7 @@ func decode(path string, resp *http.Response, dst any) error {
 		return fmt.Errorf("client: read %s: %w", path, err)
 	}
 	if resp.StatusCode >= 400 {
-		var apiErr struct {
-			Error string `json:"error"`
-		}
+		var apiErr server.ErrorBody
 		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
 			return fmt.Errorf("client: %s: %s (HTTP %d)", path, apiErr.Error, resp.StatusCode)
 		}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -35,6 +36,16 @@ import (
 // substitute fakes).
 type Source interface {
 	PickWork(maxInFlight int) ([]*server.Lease, error)
+	// InFlight reports the source-wide outstanding lease count. PickWork's
+	// cap is absolute over that shared table, so the engine adds InFlight
+	// to its own headroom when polling — otherwise leases held by remote
+	// fleet workers would count against the local cap and starve the
+	// engine.
+	InFlight() int
+	// NoteTrainingFailure tallies one failed run for (job, arm) and
+	// returns the running count. The tally lives in the source so local
+	// and fleet executions of the same candidate share one retry budget.
+	NoteTrainingFailure(jobID string, arm int) int
 	Complete(l *server.Lease, accuracy, cost float64) error
 	Release(l *server.Lease) error
 	// Abandon retires a lease's candidate from selection without an
@@ -154,9 +165,9 @@ var ErrInterrupted = errors.New("engine: drain interrupted before the work sourc
 // New, then either Run (blocking, batch) or Start/Stop (server mode).
 // Counters are cumulative across runs.
 type Engine struct {
-	src     Source
-	trainer server.Trainer
-	cfg     Config
+	src  Source
+	exec fleet.Executor
+	cfg  Config
 
 	kick   chan struct{}
 	events chan Event
@@ -176,20 +187,27 @@ type Engine struct {
 	started      time.Time
 	elapsedTotal time.Duration // summed across finished runs
 	workers      []WorkerStats
-	failures     map[string]int // per-(job, arm) Train failure counts
 }
 
-// New creates an engine over a work source and a trainer.
+// New creates an engine over a work source and a trainer. The trainer is
+// wrapped in a fleet.TrainerExecutor: the engine's local workers run
+// through the same Executor interface remote fleet agents use, so "local"
+// is just the fleet member with zero network in between.
 func New(src Source, trainer server.Trainer, cfg Config) *Engine {
+	return NewWithExecutor(src, fleet.TrainerExecutor{Trainer: trainer}, cfg)
+}
+
+// NewWithExecutor creates an engine whose workers execute leases through
+// an arbitrary fleet.Executor.
+func NewWithExecutor(src Source, exec fleet.Executor, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	return &Engine{
-		src:      src,
-		trainer:  trainer,
-		cfg:      cfg,
-		kick:     make(chan struct{}, 1),
-		events:   make(chan Event, cfg.EventBuffer),
-		workers:  make([]WorkerStats, cfg.Workers),
-		failures: make(map[string]int),
+		src:     src,
+		exec:    exec,
+		cfg:     cfg,
+		kick:    make(chan struct{}, 1),
+		events:  make(chan Event, cfg.EventBuffer),
+		workers: make([]WorkerStats, cfg.Workers),
 	}
 }
 
@@ -371,14 +389,36 @@ func (e *Engine) dispatch(ctx context.Context, queue chan<- *server.Lease) (drai
 		// Sample idleness BEFORE polling: a worker settles its lease in the
 		// scheduler before decrementing inFlight, so "nothing was in flight
 		// and the poll still found nothing" proves the source is dry. The
-		// reverse order would race with a release landing between the poll
-		// and the in-flight check, ending a drain with work left behind.
-		idleBefore := e.inFlight.Load() == 0
-		work, err := e.src.PickWork(e.cfg.MaxInFlight)
+		// source-wide count folds in leases held by remote fleet workers —
+		// their untried arms are invisible to PickWork, so a drain must not
+		// declare the source dry while they are outstanding. The reverse
+		// order would race with a release landing between the poll and the
+		// in-flight check, ending a drain with work left behind.
+		local := int(e.inFlight.Load())
+		srcInFlight := e.src.InFlight() // whole table: local + fleet-held
+		idleBefore := local == 0 && srcInFlight == 0
+		var work []*server.Lease
+		var err error
+		want := e.cfg.MaxInFlight - local
+		if want > 0 {
+			// MaxInFlight caps this engine's leases, but PickWork's cap is
+			// absolute over the shared table — offset by the source-wide
+			// count so concurrently held fleet leases don't eat the budget.
+			work, err = e.src.PickWork(srcInFlight + want)
+		}
 		if err != nil {
 			e.errs.Add(1)
 			e.emit(Event{Type: EventError, Worker: -1, Err: err.Error(), Rounds: e.completed.Load()})
 			return false, fmt.Errorf("engine: picking work: %w", err)
+		}
+		if len(work) > want {
+			// A settle that landed between the InFlight sample and the pick
+			// inflated the target; hand the excess straight back so the
+			// local cap holds.
+			for _, l := range work[want:] {
+				_ = e.src.Release(l)
+			}
+			work = work[:want]
 		}
 		for i, l := range work {
 			e.inFlight.Add(1)
@@ -426,7 +466,7 @@ func (e *Engine) worker(ctx context.Context, id int, queue <-chan *server.Lease)
 			continue
 		}
 		start := time.Now()
-		acc, cost, err := e.trainer.Train(l.JobID, l.Candidate)
+		acc, cost, err := e.exec.Execute(ctx, l.JobID, l.Candidate)
 		busy := time.Since(start)
 
 		e.mu.Lock()
@@ -439,7 +479,7 @@ func (e *Engine) worker(ctx context.Context, id int, queue <-chan *server.Lease)
 		if err != nil {
 			e.errs.Add(1)
 			e.emit(Event{Type: EventError, JobID: l.JobID, Candidate: l.Candidate.Name(), Worker: id, Err: err.Error(), Rounds: e.completed.Load()})
-			if e.noteFailure(l) >= e.cfg.MaxRetries {
+			if e.src.NoteTrainingFailure(l.JobID, l.Arm) >= e.cfg.MaxRetries {
 				// Give up: retire the candidate so it stops being re-leased
 				// (livelock guard) — no observation is fabricated, the GP
 				// posterior and model history stay clean.
@@ -473,16 +513,6 @@ func (e *Engine) worker(ctx context.Context, id int, queue <-chan *server.Lease)
 		e.emit(Event{Type: EventComplete, JobID: l.JobID, Candidate: l.Candidate.Name(), Worker: id, Accuracy: acc, Cost: cost, Rounds: rounds})
 		e.Kick()
 	}
-}
-
-// noteFailure records one Train failure for a lease's (job, arm) pair and
-// returns the running count.
-func (e *Engine) noteFailure(l *server.Lease) int {
-	key := fmt.Sprintf("%s#%d", l.JobID, l.Arm)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.failures[key]++
-	return e.failures[key]
 }
 
 // releaseLease settles a lease without a result and wakes the dispatcher.

@@ -1,0 +1,403 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// CoordinatorConfig parameterizes a Coordinator. Zero values select the
+// defaults noted per field.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a lease survives without a heartbeat before the
+	// sweeper reclaims it (default 10s). It is installed on the scheduler
+	// via SetLeaseTTL.
+	LeaseTTL time.Duration
+	// HeartbeatInterval is the cadence advertised to workers (default
+	// LeaseTTL/3, so a worker gets two chances before its leases expire).
+	HeartbeatInterval time.Duration
+	// SweepInterval is the expiry sweeper's period (default
+	// HeartbeatInterval).
+	SweepInterval time.Duration
+	// DeadAfter is the silence after which a worker is shown as dead in the
+	// registry (default 2×LeaseTTL). Purely observational: lease reclaim is
+	// the TTL's job.
+	DeadAfter time.Duration
+	// PollInterval is the idle lease-poll period advertised to workers
+	// (default 250ms).
+	PollInterval time.Duration
+	// Seed is the simulated-training seed advertised at registration so
+	// SimExecutor workers reproduce the coordinator's surfaces (default 1;
+	// must match the service's ServiceConfig.Seed).
+	Seed int64
+	// MaxRetries bounds how often a failing (job, candidate) run is
+	// released for retry before the candidate is abandoned (default 3) —
+	// the same livelock guard the in-process engine applies.
+	MaxRetries int
+	// MaxInFlight caps total outstanding leases across the fleet and the
+	// in-process engine (default 0: no cap beyond available work).
+	MaxInFlight int
+	// Clock overrides the time source (tests); it is installed on the
+	// scheduler too, so lease expiry and the registry agree on now.
+	Clock func() time.Time
+	// Logf, when set, receives coordinator diagnostics (sweeper errors,
+	// worker transitions).
+	Logf func(format string, args ...any)
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.LeaseTTL / 3
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.HeartbeatInterval
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 2 * c.LeaseTTL
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 250 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Coordinator exposes a scheduler's two-phase lease cycle to remote worker
+// agents over HTTP and owns the fleet bookkeeping around it: the worker
+// registry, per-worker lease assignment, heartbeat-driven TTL refresh and
+// the expiry sweeper that re-queues work whose worker went silent. It
+// implements server.FleetControl for the GET /admin/fleet surface.
+type Coordinator struct {
+	sched *server.Scheduler
+	cfg   CoordinatorConfig
+	reg   *registry
+
+	// mu guards the remote-lease table; it also serializes lease grants so
+	// the "current in-flight + wanted" target handed to PickWork is
+	// race-free. (Failure tallies live in the scheduler, shared with the
+	// in-process engine.)
+	mu     sync.Mutex
+	remote map[int]*remoteLease
+
+	expiredTotal atomic.Int64
+
+	runMu sync.Mutex
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// remoteLease pairs an outstanding scheduler lease with its holder.
+type remoteLease struct {
+	lease  *server.Lease
+	worker string
+}
+
+// NewCoordinator wraps a scheduler. It installs the lease TTL (and the
+// test clock, when configured) on the scheduler, so construct the
+// coordinator before serving traffic.
+func NewCoordinator(sched *server.Scheduler, cfg CoordinatorConfig) *Coordinator {
+	// Only a caller-supplied clock is pushed onto the scheduler — the
+	// withDefaults fallback must not clobber a clock installed directly
+	// via sched.SetClock.
+	if cfg.Clock != nil {
+		sched.SetClock(cfg.Clock)
+	}
+	cfg = cfg.withDefaults()
+	sched.SetLeaseTTL(cfg.LeaseTTL)
+	return &Coordinator{
+		sched:  sched,
+		cfg:    cfg,
+		reg:    newRegistry(cfg.DeadAfter, cfg.Clock),
+		remote: make(map[int]*remoteLease),
+	}
+}
+
+// Start launches the background expiry sweeper; Stop halts it. Calling
+// Start twice is a no-op while the sweeper is running.
+func (c *Coordinator) Start() {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.sweepLoop(c.stop, c.done)
+}
+
+// Stop halts the expiry sweeper and waits for it to exit. Leases and the
+// registry are left as they are — a coordinator restart resumes sweeping.
+func (c *Coordinator) Stop() {
+	c.runMu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.runMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (c *Coordinator) sweepLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(c.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			c.Sweep()
+		}
+	}
+}
+
+// Sweep runs one expiry pass: leases whose TTL lapsed are reclaimed (their
+// candidates re-enter selection), attributed to their workers in the
+// registry, and silent workers are marked dead. It returns how many leases
+// expired. The background sweeper calls it on SweepInterval; tests call it
+// directly for deterministic expiry.
+func (c *Coordinator) Sweep() int {
+	expired, err := c.sched.ExpireLeases()
+	if err != nil {
+		c.logf("fleet: logging lease expiry: %v", err)
+	}
+	for _, l := range expired {
+		c.mu.Lock()
+		delete(c.remote, l.ID)
+		c.mu.Unlock()
+		c.expiredTotal.Add(1)
+		c.reg.leaseSettled(l.Worker, l.ID, "expired")
+		c.logf("fleet: lease %d (%s/%s) expired on %s; candidate re-queued", l.ID, l.JobID, l.Candidate.Name(), l.Worker)
+	}
+	c.reg.sweepDead()
+	return len(expired)
+}
+
+// Register adds a worker and returns its id plus the protocol cadence.
+func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
+	devices := req.Devices
+	if devices <= 0 {
+		devices = 1
+	}
+	id := c.reg.register(req.Name, devices, req.Alpha)
+	c.logf("fleet: worker %s (%s, %d devices) joined", id, req.Name, devices)
+	return RegisterResponse{
+		WorkerID:    id,
+		LeaseTTLMS:  float64(c.cfg.LeaseTTL) / float64(time.Millisecond),
+		HeartbeatMS: float64(c.cfg.HeartbeatInterval) / float64(time.Millisecond),
+		PollMS:      float64(c.cfg.PollInterval) / float64(time.Millisecond),
+		Seed:        c.cfg.Seed,
+	}
+}
+
+// Lease grants up to max new leases to a worker (a poll also counts as a
+// heartbeat). It returns ErrUnknownWorker for ids the registry does not
+// know.
+func (c *Coordinator) Lease(workerID string, max int) ([]WireLease, error) {
+	if err := c.reg.heartbeat(workerID); err != nil {
+		return nil, err
+	}
+	if max <= 0 {
+		max = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	target := c.sched.InFlight() + max
+	if c.cfg.MaxInFlight > 0 && target > c.cfg.MaxInFlight {
+		target = c.cfg.MaxInFlight
+	}
+	batch, err := c.sched.PickWork(target)
+	if err != nil {
+		return nil, err
+	}
+	if len(batch) > max {
+		// In-process engine settles land without c.mu, so the table can
+		// shrink between the InFlight read and the pick, inflating the
+		// target; hand the excess back rather than exceed what the worker
+		// asked to run.
+		for _, l := range batch[max:] {
+			_ = c.sched.Release(l)
+		}
+		batch = batch[:max]
+	}
+	wire := make([]WireLease, 0, len(batch))
+	for _, l := range batch {
+		if err := c.sched.AssignLease(l, workerID); err != nil {
+			// Cannot happen for a lease we just picked; hand it back rather
+			// than leak it.
+			_ = c.sched.Release(l)
+			continue
+		}
+		if err := c.reg.leaseAssigned(workerID, l.ID); err != nil {
+			_ = c.sched.Release(l)
+			continue
+		}
+		c.remote[l.ID] = &remoteLease{lease: l, worker: workerID}
+		wire = append(wire, WireLease{LeaseID: l.ID, JobID: l.JobID, Candidate: l.Candidate.Name()})
+	}
+	return wire, nil
+}
+
+// Heartbeat refreshes a worker's liveness and the TTLs of the leases it
+// reports as still executing; it returns the subset still outstanding
+// (a missing id means the lease expired and the run should be aborted).
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	if err := c.reg.heartbeat(req.WorkerID); err != nil {
+		return HeartbeatResponse{}, err
+	}
+	var resp HeartbeatResponse
+	for _, id := range req.LeaseIDs {
+		c.mu.Lock()
+		rl, ok := c.remote[id]
+		c.mu.Unlock()
+		if !ok || rl.worker != req.WorkerID {
+			continue
+		}
+		if err := c.sched.HeartbeatLease(id); err != nil {
+			continue // reclaimed between the map read and the refresh
+		}
+		resp.KnownLeases = append(resp.KnownLeases, id)
+	}
+	return resp, nil
+}
+
+// Complete settles a leased run with the worker's reported outcome:
+// success feeds the observation into the scheduler; failure releases the
+// lease for retry, or abandons the candidate after MaxRetries failures. It
+// returns how the lease settled, or an error wrapping
+// server.ErrLeaseConflict when the report lost a race (double complete,
+// lease expired) — the worker drops those.
+func (c *Coordinator) Complete(req CompleteRequest) (string, error) {
+	c.mu.Lock()
+	rl, ok := c.remote[req.LeaseID]
+	if !ok || rl.worker != req.WorkerID {
+		c.mu.Unlock()
+		return "", fmt.Errorf("fleet: lease %d is not held by %s: %w", req.LeaseID, req.WorkerID, server.ErrLeaseConflict)
+	}
+	delete(c.remote, req.LeaseID) // claim: at most one report settles a lease
+	l := rl.lease
+	c.mu.Unlock()
+
+	// The failure tally is peeked to decide release-vs-abandon and only
+	// recorded once the settle succeeds — a report that loses the race
+	// against lease expiry must not burn retry budget for a run the
+	// scheduler never accounted. The tally lives in the scheduler, shared
+	// with the in-process engine, so a candidate alternating between local
+	// and remote workers still gets exactly MaxRetries attempts.
+	var failures int
+	if req.Error != "" {
+		failures = c.sched.TrainingFailures(l.JobID, l.Arm) + 1
+	}
+	settled := "completed"
+	var err error
+	switch {
+	case req.Error == "":
+		err = c.sched.Complete(l, req.Accuracy, req.Cost)
+	case failures >= c.cfg.MaxRetries:
+		settled = "abandoned"
+		err = c.sched.Abandon(l)
+		c.logf("fleet: %s/%s abandoned after %d failed runs (last: %s)", l.JobID, l.Candidate.Name(), failures, req.Error)
+	default:
+		settled = "released"
+		err = c.sched.Release(l)
+	}
+	if err != nil {
+		if !errors.Is(err, server.ErrLeaseConflict) {
+			// The lease is gone from the scheduler either way (e.g. the job
+			// failed mid-settle); count the run against the worker.
+			c.reg.leaseSettled(req.WorkerID, req.LeaseID, "failed")
+		}
+		return "", err
+	}
+	if req.Error != "" {
+		c.sched.NoteTrainingFailure(l.JobID, l.Arm)
+	}
+	c.reg.leaseSettled(req.WorkerID, req.LeaseID, settled)
+	return settled, nil
+}
+
+// Leave deregisters a worker gracefully: its outstanding leases are
+// released (re-queued) immediately instead of waiting out the TTL.
+func (c *Coordinator) Leave(workerID string) (int, error) {
+	ids, err := c.reg.leave(workerID)
+	if err != nil {
+		return 0, err
+	}
+	released := 0
+	for _, id := range ids {
+		c.mu.Lock()
+		rl, ok := c.remote[id]
+		delete(c.remote, id)
+		c.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if err := c.sched.Release(rl.lease); err == nil {
+			released++
+		}
+	}
+	c.logf("fleet: worker %s left, %d leases re-queued", workerID, released)
+	return released, nil
+}
+
+// JobInfo resolves a job for a worker: the logged program (from which the
+// worker regenerates the candidate surface, like crash recovery does) and
+// the expected candidate names.
+func (c *Coordinator) JobInfo(jobID string) (JobInfo, error) {
+	job, ok := c.sched.Job(jobID)
+	if !ok {
+		return JobInfo{}, fmt.Errorf("fleet: no job %q", jobID)
+	}
+	info := JobInfo{ID: job.ID, Name: job.Name, Program: job.Program.String()}
+	for _, cand := range job.Candidates {
+		info.Candidates = append(info.Candidates, cand.Name())
+	}
+	return info, nil
+}
+
+// FleetStatus implements server.FleetControl for GET /admin/fleet.
+func (c *Coordinator) FleetStatus() server.FleetStatus {
+	st := server.FleetStatus{
+		LeaseTTLMS:    float64(c.cfg.LeaseTTL) / float64(time.Millisecond),
+		HeartbeatMS:   float64(c.cfg.HeartbeatInterval) / float64(time.Millisecond),
+		ExpiredLeases: c.expiredTotal.Load(),
+		Workers:       c.reg.snapshot(),
+	}
+	c.mu.Lock()
+	st.RemoteLeases = len(c.remote)
+	c.mu.Unlock()
+	for _, w := range st.Workers {
+		switch w.State {
+		case WorkerAlive:
+			st.Alive++
+		case WorkerDead:
+			st.Dead++
+		case WorkerLeft:
+			st.Left++
+		}
+	}
+	return st
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,141 @@
+// Package fleet turns the scheduler's two-phase lease API into a real
+// distributed execution layer: a coordinator exposes PickWork/Complete over
+// HTTP, and elastic worker agents (cmd/easeml-worker, or in-process Agents)
+// register with their capabilities, poll for leases, execute them through a
+// pluggable Executor, stream heartbeats and report results. Leases carry a
+// TTL — a worker that dies mid-training goes silent, its leases expire, and
+// the expiry sweeper re-queues the candidates into GP-BUCB selection
+// exactly once — so the fleet survives worker churn without losing or
+// double-counting work.
+//
+//	            register/heartbeat          ┌──────────┐
+//	  ┌──────────────────────────────────── │ agent 0  │──Execute──▶ Executor
+//	  ▼                                     └──────────┘             (trainsim,
+//	coordinator ──lease──▶ agents … ──complete──▶ coordinator          or yours)
+//	  │
+//	  ├── registry: join/leave/dead, per-worker in-flight + failures
+//	  └── sweeper: lease TTL expiry ──▶ re-queue + WAL lease_expired
+//
+// The in-process execution engine (internal/engine) runs its local workers
+// through the same Executor interface, so "local" is just the degenerate
+// fleet member with zero network in between.
+package fleet
+
+// The coordinator's HTTP protocol. All endpoints speak JSON:
+//
+//	POST /fleet/register    RegisterRequest  → RegisterResponse
+//	POST /fleet/lease       LeaseRequest     → LeaseResponse
+//	POST /fleet/heartbeat   HeartbeatRequest → HeartbeatResponse
+//	POST /fleet/complete    CompleteRequest  → CompleteResponse
+//	POST /fleet/leave       LeaveRequest     → LeaveResponse
+//	GET  /fleet/job?id=ID                    → JobInfo
+//
+// Errors reuse the server's {"error": ..., "code": ...} envelope; code
+// "lease_conflict" (409) marks settle races a retrying worker should drop,
+// and "unknown_worker" (409) tells an agent to re-register (the
+// coordinator restarted or evicted it).
+
+// CodeUnknownWorker tags 409 replies for requests naming a worker id the
+// registry does not know; agents respond by re-registering.
+const CodeUnknownWorker = "unknown_worker"
+
+// RegisterRequest announces a worker and its capabilities.
+type RegisterRequest struct {
+	// Name is the operator-facing worker name (e.g. its hostname); ids are
+	// assigned by the coordinator, so names need not be unique.
+	Name string `json:"name"`
+	// Devices is how many candidates the worker trains concurrently.
+	Devices int `json:"devices"`
+	// Alpha is the worker's multi-device scaling exponent — capability
+	// metadata the coordinator surfaces in the registry.
+	Alpha float64 `json:"alpha"`
+}
+
+// RegisterResponse assigns the worker id and the protocol cadence.
+type RegisterResponse struct {
+	WorkerID string `json:"worker_id"`
+	// LeaseTTLMS is how long the coordinator waits for a heartbeat before
+	// reclaiming the worker's leases.
+	LeaseTTLMS float64 `json:"lease_ttl_ms"`
+	// HeartbeatMS is the heartbeat period the worker should use.
+	HeartbeatMS float64 `json:"heartbeat_ms"`
+	// PollMS is the suggested idle poll period for /fleet/lease.
+	PollMS float64 `json:"poll_ms"`
+	// Seed is the coordinator's simulated-training seed: a SimExecutor
+	// built on it reproduces the coordinator's quality surfaces exactly,
+	// so results are identical no matter which worker trains a candidate.
+	Seed int64 `json:"seed"`
+}
+
+// LeaseRequest polls for up to Max new leases.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	Max      int    `json:"max"`
+}
+
+// WireLease is one leased work item on the wire. The candidate is named,
+// not embedded: workers rebuild the full candidate surface from the job's
+// logged program (JobInfo), exactly like crash recovery does.
+type WireLease struct {
+	LeaseID   int    `json:"lease_id"`
+	JobID     string `json:"job_id"`
+	Candidate string `json:"candidate"`
+}
+
+// LeaseResponse returns the granted leases (possibly none).
+type LeaseResponse struct {
+	Leases []WireLease `json:"leases"`
+}
+
+// HeartbeatRequest refreshes the worker's liveness and the TTL of the
+// leases it is still executing.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	LeaseIDs []int  `json:"lease_ids,omitempty"`
+}
+
+// HeartbeatResponse echoes the subset of LeaseIDs still outstanding; a
+// lease missing from KnownLeases was reclaimed (expired) and the worker
+// should abort its run — a late result would only bounce off 409.
+type HeartbeatResponse struct {
+	KnownLeases []int `json:"known_leases,omitempty"`
+}
+
+// CompleteRequest reports the outcome of one leased run. A non-empty Error
+// means the run failed: the coordinator releases the lease for retry, or
+// abandons the candidate once it has failed MaxRetries times.
+type CompleteRequest struct {
+	WorkerID string  `json:"worker_id"`
+	LeaseID  int     `json:"lease_id"`
+	Accuracy float64 `json:"accuracy"`
+	Cost     float64 `json:"cost"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// CompleteResponse reports how the lease settled.
+type CompleteResponse struct {
+	// Settled is "completed", "released" (failed, will retry) or
+	// "abandoned" (failed MaxRetries times, candidate retired).
+	Settled string `json:"settled"`
+}
+
+// LeaveRequest deregisters a worker gracefully: its outstanding leases are
+// released (re-queued) immediately instead of waiting out the TTL.
+type LeaveRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaveResponse reports how many leases the departure re-queued.
+type LeaveResponse struct {
+	Released int `json:"released"`
+}
+
+// JobInfo is the GET /fleet/job reply: the job's logged program, from
+// which a worker regenerates the exact candidate list (same derivation as
+// crash recovery), plus the expected candidate names as a cross-check.
+type JobInfo struct {
+	ID         string   `json:"id"`
+	Name       string   `json:"name"`
+	Program    string   `json:"program"`
+	Candidates []string `json:"candidates"`
+}

@@ -22,14 +22,22 @@ import (
 //	GET  /admin/metrics            scheduler counters + engine metrics
 //	POST /admin/start              start the async execution engine
 //	POST /admin/stop               stop the engine (graceful drain)
+//	GET  /admin/fleet              worker registry + lease/expiry counters
 //
 // The three /admin engine endpoints operate on the optional EngineControl
 // wired in with WithEngine (the easeml facade does this when the service is
 // configured with workers). Without one, /admin/metrics still reports the
-// scheduler counters and start/stop answer 409 Conflict.
+// scheduler counters and start/stop answer 409 Conflict. /admin/fleet
+// likewise reports the optional FleetControl wired in with WithFleet.
+//
+// Errors are JSON envelopes {"error": "...", "code": "..."}; code
+// "lease_conflict" (HTTP 409) marks lease-lifecycle races — a worker
+// double-reporting a result, or reporting after its lease expired — which
+// retrying workers should drop, not escalate.
 type API struct {
 	sched  *Scheduler
 	engine EngineControl
+	fleet  FleetControl
 }
 
 // EngineControl is the engine surface the admin endpoints drive. It is an
@@ -73,6 +81,43 @@ type EngineStatus struct {
 	VirtualSpeedup      float64 `json:"virtual_speedup"`
 }
 
+// FleetWorkerStatus is the per-worker slice of FleetStatus.
+type FleetWorkerStatus struct {
+	ID            string  `json:"id"`
+	Name          string  `json:"name"`
+	Devices       int     `json:"devices"`
+	Alpha         float64 `json:"alpha"`
+	State         string  `json:"state"` // alive | dead | left
+	InFlight      int     `json:"in_flight"`
+	Completed     int64   `json:"completed"`
+	Failures      int64   `json:"failures"`
+	ExpiredLeases int64   `json:"expired_leases"`
+	// LastHeartbeatAgeMS is how long the worker has been silent
+	// (registration counts as contact).
+	LastHeartbeatAgeMS float64 `json:"last_heartbeat_age_ms"`
+}
+
+// FleetStatus is the GET /admin/fleet reply: the worker registry and the
+// coordinator's lease counters.
+type FleetStatus struct {
+	LeaseTTLMS    float64             `json:"lease_ttl_ms"`
+	HeartbeatMS   float64             `json:"heartbeat_ms"`
+	Alive         int                 `json:"alive"`
+	Dead          int                 `json:"dead"`
+	Left          int                 `json:"left"`
+	RemoteLeases  int                 `json:"remote_leases"`
+	ExpiredLeases int64               `json:"expired_leases"`
+	Workers       []FleetWorkerStatus `json:"workers,omitempty"`
+}
+
+// FleetControl is the coordinator surface the admin endpoint reads. It is
+// an interface so the server layer stays independent of internal/fleet
+// (which imports this package for the lease API).
+type FleetControl interface {
+	// FleetStatus snapshots the worker registry and lease counters.
+	FleetStatus() FleetStatus
+}
+
 // NewAPI wraps a scheduler.
 func NewAPI(sched *Scheduler) *API { return &API{sched: sched} }
 
@@ -80,6 +125,13 @@ func NewAPI(sched *Scheduler) *API { return &API{sched: sched} }
 // the API for chaining.
 func (a *API) WithEngine(ctrl EngineControl) *API {
 	a.engine = ctrl
+	return a
+}
+
+// WithFleet attaches a fleet coordinator to the admin surface and returns
+// the API for chaining.
+func (a *API) WithFleet(ctrl FleetControl) *API {
+	a.fleet = ctrl
 	return a
 }
 
@@ -93,6 +145,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("/admin/metrics", a.handleMetrics)
 	mux.HandleFunc("/admin/start", a.handleEngineStart)
 	mux.HandleFunc("/admin/stop", a.handleEngineStop)
+	mux.HandleFunc("/admin/fleet", a.handleFleet)
 	return mux
 }
 
@@ -157,24 +210,24 @@ func (a *API) handleJobs(w http.ResponseWriter, r *http.Request) {
 		for _, j := range a.sched.Jobs() {
 			ids = append(ids, j.ID)
 		}
-		writeJSON(w, http.StatusOK, map[string][]string{"jobs": ids})
+		WriteJSON(w, http.StatusOK, map[string][]string{"jobs": ids})
 	case http.MethodPost:
 		var req SubmitRequest
-		if !readJSON(w, r, &req) {
+		if !ReadJSON(w, r, &req) {
 			return
 		}
 		job, err := a.sched.Submit(req.Name, req.Program)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			WriteError(w, http.StatusBadRequest, err)
 			return
 		}
 		resp := SubmitResponse{ID: job.ID, Template: job.Template, Julia: job.Julia, Python: job.Python}
 		for _, c := range job.Candidates {
 			resp.Candidates = append(resp.Candidates, c.Name())
 		}
-		writeJSON(w, http.StatusCreated, resp)
+		WriteJSON(w, http.StatusCreated, resp)
 	default:
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		WriteError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
 	}
 }
 
@@ -182,29 +235,29 @@ func (a *API) handleJobOp(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
 	parts := strings.SplitN(rest, "/", 2)
 	if len(parts) != 2 || parts[0] == "" {
-		writeError(w, http.StatusNotFound, errors.New("use /jobs/{id}/{op}"))
+		WriteError(w, http.StatusNotFound, errors.New("use /jobs/{id}/{op}"))
 		return
 	}
 	id, op := parts[0], parts[1]
 	switch op {
 	case "status":
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			WriteError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 			return
 		}
 		st, err := a.sched.Status(id)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			WriteError(w, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, st)
+		WriteJSON(w, http.StatusOK, st)
 	case "feed":
 		var req FeedRequest
-		if !requirePost(w, r) || !readJSON(w, r, &req) {
+		if !requirePost(w, r) || !ReadJSON(w, r, &req) {
 			return
 		}
 		if len(req.Inputs) != len(req.Outputs) {
-			writeError(w, http.StatusBadRequest,
+			WriteError(w, http.StatusBadRequest,
 				fmt.Errorf("%d inputs vs %d outputs", len(req.Inputs), len(req.Outputs)))
 			return
 		}
@@ -212,53 +265,71 @@ func (a *API) handleJobOp(w http.ResponseWriter, r *http.Request) {
 		for i := range req.Inputs {
 			exID, err := a.sched.Feed(id, req.Inputs[i], req.Outputs[i])
 			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				WriteError(w, http.StatusBadRequest, err)
 				return
 			}
 			resp.IDs = append(resp.IDs, exID)
 		}
-		writeJSON(w, http.StatusOK, resp)
+		WriteJSON(w, http.StatusOK, resp)
 	case "refine":
 		var req RefineRequest
-		if !requirePost(w, r) || !readJSON(w, r, &req) {
+		if !requirePost(w, r) || !ReadJSON(w, r, &req) {
 			return
 		}
 		if err := a.sched.Refine(id, req.Example, req.Enabled); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			WriteError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	case "infer":
 		var req InferRequest
-		if !requirePost(w, r) || !readJSON(w, r, &req) {
+		if !requirePost(w, r) || !ReadJSON(w, r, &req) {
 			return
 		}
 		out, model, err := a.sched.Infer(id, req.Input)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			WriteError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, InferResponse{Output: out, Model: model})
+		WriteJSON(w, http.StatusOK, InferResponse{Output: out, Model: model})
 	default:
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown operation %q", op))
+		WriteError(w, http.StatusNotFound, fmt.Errorf("unknown operation %q", op))
 	}
 }
 
 func (a *API) handleRounds(w http.ResponseWriter, r *http.Request) {
 	var req RoundsRequest
-	if !requirePost(w, r) || !readJSON(w, r, &req) {
+	if !requirePost(w, r) || !ReadJSON(w, r, &req) {
 		return
 	}
 	if req.Count <= 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("count %d must be positive", req.Count))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("count %d must be positive", req.Count))
 		return
 	}
 	ran, err := a.sched.RunRounds(req.Count)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		// A lease conflict is a settle race (e.g. workers double-reporting),
+		// not a server fault: 409 tells the caller to drop the retry.
+		if errors.Is(err, ErrLeaseConflict) {
+			WriteError(w, http.StatusConflict, err)
+			return
+		}
+		WriteError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RoundsResponse{Ran: ran, Total: a.sched.Rounds()})
+	WriteJSON(w, http.StatusOK, RoundsResponse{Ran: ran, Total: a.sched.Rounds()})
+}
+
+func (a *API) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		WriteError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	if a.fleet == nil {
+		WriteError(w, http.StatusConflict, errors.New("no fleet coordinator configured (run the server with a fleet address)"))
+		return
+	}
+	WriteJSON(w, http.StatusOK, a.fleet.FleetStatus())
 }
 
 // MetricsResponse is the GET /admin/metrics reply.
@@ -271,7 +342,7 @@ type MetricsResponse struct {
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		WriteError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
 	resp := MetricsResponse{
@@ -283,7 +354,7 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := a.engine.Status()
 		resp.Engine = &st
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (a *API) handleEngineStart(w http.ResponseWriter, r *http.Request) {
@@ -291,14 +362,14 @@ func (a *API) handleEngineStart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if a.engine == nil {
-		writeError(w, http.StatusConflict, errors.New("no engine configured (run the server with workers)"))
+		WriteError(w, http.StatusConflict, errors.New("no engine configured (run the server with workers)"))
 		return
 	}
 	if err := a.engine.Start(); err != nil {
-		writeError(w, http.StatusConflict, err)
+		WriteError(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"running": true})
+	WriteJSON(w, http.StatusOK, map[string]bool{"running": true})
 }
 
 func (a *API) handleEngineStop(w http.ResponseWriter, r *http.Request) {
@@ -306,14 +377,14 @@ func (a *API) handleEngineStop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if a.engine == nil {
-		writeError(w, http.StatusConflict, errors.New("no engine configured (run the server with workers)"))
+		WriteError(w, http.StatusConflict, errors.New("no engine configured (run the server with workers)"))
 		return
 	}
 	if err := a.engine.Stop(); err != nil {
-		writeError(w, http.StatusConflict, err)
+		WriteError(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"running": false})
+	WriteJSON(w, http.StatusOK, map[string]bool{"running": false})
 }
 
 func (a *API) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -328,43 +399,66 @@ func (a *API) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		// With a data directory, a snapshot request is a compaction
 		// trigger: fold the write-ahead log into the on-disk snapshot.
 		if !a.sched.Persistent() {
-			writeError(w, http.StatusConflict, errors.New("no data dir configured (run the server with -data-dir)"))
+			WriteError(w, http.StatusConflict, errors.New("no data dir configured (run the server with -data-dir)"))
 			return
 		}
 		if err := a.sched.Compact(); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			WriteError(w, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]bool{"compacted": true})
+		WriteJSON(w, http.StatusOK, map[string]bool{"compacted": true})
 	default:
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		WriteError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
 	}
 }
 
 func requirePost(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		WriteError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return false
 	}
 	return true
 }
 
-func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+// ReadJSON decodes a request body strictly (unknown fields rejected),
+// answering 400 with the standard error envelope on failure. It is shared
+// with the fleet coordinator's handlers so every HTTP surface speaks one
+// envelope.
+func ReadJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
 		return false
 	}
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as the JSON response body under the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// ErrorBody is the JSON error envelope of every non-2xx reply. Code
+// machine-tags the error class so clients can branch without parsing the
+// message; CodeLeaseConflict is the only code so far.
+type ErrorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// CodeLeaseConflict tags HTTP 409 replies caused by ErrLeaseConflict.
+const CodeLeaseConflict = "lease_conflict"
+
+// WriteError writes the standard error envelope, tagging ErrLeaseConflict
+// chains with CodeLeaseConflict. Shared with the fleet handlers, so the
+// conflict mapping cannot drift between the two HTTP surfaces.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	body := ErrorBody{Error: err.Error()}
+	if errors.Is(err, ErrLeaseConflict) {
+		body.Code = CodeLeaseConflict
+	}
+	WriteJSON(w, status, body)
 }

@@ -43,12 +43,26 @@
 // call; the in-memory state may then be ahead of the log (there is no
 // transactional rollback) — treat the process as failing and restart it,
 // at which point recovery reflects exactly the acknowledged operations.
-// Leases are deliberately volatile — an in-flight lease of a crashed
-// process leaves its arm untried in the recovered state and is re-queued
-// by the next process's first scheduling pass.
+// Leases are volatile — an in-flight lease of a crashed process leaves its
+// arm untried in the recovered state and is re-queued by the next process's
+// first scheduling pass. (Lease *expiries* are logged, though: when a fleet
+// worker goes silent and its lease times out, the expiry event is appended
+// so the operational history survives a coordinator crash.)
+//
+// # Lease TTL and expiry
+//
+// With SetLeaseTTL the scheduler supports remote workers that can die
+// mid-training: every lease carries an expiry deadline refreshed by
+// HeartbeatLease, and ExpireLeases (driven by the fleet coordinator's
+// sweeper) removes leases whose holder went silent, making their arms
+// selectable again — the candidate re-enters GP-BUCB selection exactly
+// once, because a late Complete/Release for an expired lease fails with
+// ErrLeaseConflict. A zero TTL (the default, and what the in-process
+// engine uses) means leases never expire.
 package server
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -265,6 +279,20 @@ type Scheduler struct {
 	nextLease int
 	rounds    int
 
+	// leaseTTL makes leases expire when their holder goes silent (0 = never,
+	// the in-process engine's mode); now is the injectable clock expiry runs
+	// on. Both are set before serving traffic and read under coordMu.
+	leaseTTL time.Duration
+	now      func() time.Time
+
+	// failCounts tallies failed training runs per (job, arm). It lives here
+	// — not in the engine or the fleet coordinator — because both execute
+	// against the same scheduler: the abandon-after-MaxRetries livelock
+	// guard must count a candidate's failures across every execution path,
+	// or a candidate alternating between local and remote workers would get
+	// double the retry budget. Guarded by coordMu.
+	failCounts map[string]int
+
 	log *storage.Log // nil: in-memory only
 }
 
@@ -278,13 +306,131 @@ func NewScheduler(trainer Trainer, picker core.UserPicker, serverAddr string) *S
 		serverAddr = "http://localhost:9000"
 	}
 	return &Scheduler{
-		store:   storage.NewStore(),
-		trainer: trainer,
-		picker:  picker,
-		byID:    make(map[string]*Job),
-		server:  serverAddr,
-		leases:  make(map[int]*Lease),
+		store:      storage.NewStore(),
+		trainer:    trainer,
+		picker:     picker,
+		byID:       make(map[string]*Job),
+		server:     serverAddr,
+		leases:     make(map[int]*Lease),
+		failCounts: make(map[string]int),
+		now:        time.Now,
 	}
+}
+
+// NoteTrainingFailure records one failed training run for a (job, arm)
+// pair and returns the running count. The engine and the fleet coordinator
+// both feed it, so the abandon-after-N-failures decision sees every
+// execution path's failures.
+func (sc *Scheduler) NoteTrainingFailure(jobID string, arm int) int {
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	key := failKey(jobID, arm)
+	sc.failCounts[key]++
+	return sc.failCounts[key]
+}
+
+// TrainingFailures returns the recorded failed-run count for a (job, arm)
+// pair — a peek for callers that must decide release-vs-abandon before
+// settling (and only count the failure once the settle succeeds).
+func (sc *Scheduler) TrainingFailures(jobID string, arm int) int {
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	return sc.failCounts[failKey(jobID, arm)]
+}
+
+func failKey(jobID string, arm int) string { return fmt.Sprintf("%s#%d", jobID, arm) }
+
+// SetLeaseTTL makes every subsequently picked lease expire unless its
+// holder heartbeats within d (0 restores never-expiring leases). Set it
+// before serving remote workers; the in-process engine settles its leases
+// synchronously and runs without a TTL.
+func (sc *Scheduler) SetLeaseTTL(d time.Duration) {
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	sc.leaseTTL = d
+}
+
+// LeaseTTL returns the configured lease TTL (0 = leases never expire).
+func (sc *Scheduler) LeaseTTL() time.Duration {
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	return sc.leaseTTL
+}
+
+// SetClock replaces the clock lease expiry runs on — tests drive expiry
+// deterministically instead of sleeping. Set before serving traffic.
+func (sc *Scheduler) SetClock(now func() time.Time) {
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	sc.now = now
+}
+
+// AssignLease records which worker holds an outstanding lease, so expiry
+// can attribute the reclaimed work. It errors (ErrLeaseConflict) on a lease
+// that is not outstanding or already settling.
+func (sc *Scheduler) AssignLease(l *Lease, worker string) error {
+	if l == nil {
+		return fmt.Errorf("server: nil lease")
+	}
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	stored, ok := sc.leases[l.ID]
+	if !ok || stored != l || stored.settling {
+		return fmt.Errorf("server: assigning lease %d (%s/%s): %w", l.ID, l.JobID, l.Candidate.Name(), ErrLeaseConflict)
+	}
+	stored.Worker = worker
+	return nil
+}
+
+// HeartbeatLease refreshes an outstanding lease's expiry deadline. It
+// errors (ErrLeaseConflict) on an unknown lease id — the holder learns its
+// lease was reclaimed and should abort the run.
+func (sc *Scheduler) HeartbeatLease(id int) error {
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	stored, ok := sc.leases[id]
+	if !ok {
+		return fmt.Errorf("server: heartbeat for lease %d: %w", id, ErrLeaseConflict)
+	}
+	now := sc.now()
+	stored.LastHeartbeat = now
+	if sc.leaseTTL > 0 {
+		stored.Expires = now.Add(sc.leaseTTL)
+	}
+	return nil
+}
+
+// ExpireLeases reclaims every worker-assigned lease whose deadline has
+// passed: the lease leaves the table, so its arm re-enters GP-BUCB
+// selection — exactly once, because any late Complete/Release for it now
+// fails with ErrLeaseConflict. Leases mid-settlement are left alone (their
+// result is landing), as are unassigned leases — the in-process engine
+// settles its leases synchronously and has no heartbeat to keep them
+// alive, so expiry must never reclaim under a local worker mid-training.
+// With a WAL attached each expiry is logged, so the operational history
+// survives a crash. It returns the expired leases for registry
+// bookkeeping.
+func (sc *Scheduler) ExpireLeases() ([]*Lease, error) {
+	sc.coordMu.Lock()
+	var expired []*Lease
+	if sc.leaseTTL > 0 {
+		now := sc.now()
+		for id, l := range sc.leases {
+			if !l.settling && l.Worker != "" && !l.Expires.IsZero() && l.Expires.Before(now) {
+				delete(sc.leases, id)
+				expired = append(expired, l)
+			}
+		}
+	}
+	sc.coordMu.Unlock()
+	if sc.log != nil {
+		for _, l := range expired {
+			if err := sc.log.AppendLeaseExpired(l.JobID, l.Candidate.Name(), l.Worker); err != nil {
+				return expired, fmt.Errorf("server: logging expiry of %s/%s: %w", l.JobID, l.Candidate.Name(), err)
+			}
+		}
+	}
+	return expired, nil
 }
 
 // Trainer returns the trainer the scheduler was built with, so an execution
@@ -439,6 +585,13 @@ func (sc *Scheduler) Rounds() int {
 	return sc.rounds
 }
 
+// ErrLeaseConflict marks lease-lifecycle conflicts: settling or releasing a
+// lease that is no longer outstanding (double Complete, Complete after
+// Release or after expiry) or one whose settlement is already in progress
+// (workers racing on retries). HTTP surfaces map it to 409 Conflict so a
+// retrying worker can tell "my result lost a race" from a server fault.
+var ErrLeaseConflict = errors.New("lease conflict")
+
 // Lease is one unit of leased work: a (job, candidate) pair the scheduler
 // has picked but whose result has not been reported yet. A lease's arm is
 // excluded from further selection until Complete or Release is called with
@@ -451,6 +604,18 @@ type Lease struct {
 	// UCB is the (hallucinated-posterior) upper confidence bound the arm was
 	// selected at; Complete feeds it into the σ̃ recurrence.
 	UCB float64
+
+	// Worker is the fleet worker the lease is assigned to (empty for the
+	// in-process engine); AssignLease sets it. Guarded by coordMu while the
+	// lease is outstanding.
+	Worker string
+	// Expires is the deadline after which ExpireLeases reclaims the lease;
+	// zero means the lease never expires. Stamped at pick time when a TTL
+	// is configured and refreshed by HeartbeatLease. Guarded by coordMu.
+	Expires time.Time
+	// LastHeartbeat is the last time the lease holder was heard from (pick
+	// time, then every HeartbeatLease). Guarded by coordMu.
+	LastHeartbeat time.Time
 
 	// settling marks a lease whose Complete/Abandon is in progress: the
 	// lease stays in the table — keeping its arm excluded from selection —
@@ -579,6 +744,11 @@ func (sc *Scheduler) pickNextLocked(jobs []*Job, inFlight map[string][]int, shad
 	inFlight[job.ID] = append(inFlight[job.ID], arm)
 	sc.nextLease++
 	l := &Lease{ID: sc.nextLease, JobID: job.ID, Arm: arm, Candidate: job.Candidates[arm], UCB: ucb}
+	if sc.leaseTTL > 0 {
+		now := sc.now()
+		l.LastHeartbeat = now
+		l.Expires = now.Add(sc.leaseTTL)
+	}
 	sc.leases[l.ID] = l
 	return l, nil
 }
@@ -595,10 +765,10 @@ func (sc *Scheduler) beginSettle(l *Lease) error {
 	defer sc.coordMu.Unlock()
 	stored, ok := sc.leases[l.ID]
 	if !ok || stored != l {
-		return fmt.Errorf("server: lease %d (%s/%s) is not outstanding", l.ID, l.JobID, l.Candidate.Name())
+		return fmt.Errorf("server: lease %d (%s/%s) is not outstanding: %w", l.ID, l.JobID, l.Candidate.Name(), ErrLeaseConflict)
 	}
 	if stored.settling {
-		return fmt.Errorf("server: lease %d (%s/%s) is already being settled", l.ID, l.JobID, l.Candidate.Name())
+		return fmt.Errorf("server: lease %d (%s/%s) is already being settled: %w", l.ID, l.JobID, l.Candidate.Name(), ErrLeaseConflict)
 	}
 	stored.settling = true
 	return nil
@@ -637,7 +807,7 @@ func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
 	if job.tenant.Bandit.Tried(l.Arm) {
 		job.mu.Unlock()
 		sc.endSettle(l)
-		return fmt.Errorf("server: lease %d arm %d of %s already observed", l.ID, l.Arm, l.JobID)
+		return fmt.Errorf("server: lease %d arm %d of %s already observed: %w", l.ID, l.Arm, l.JobID, ErrLeaseConflict)
 	}
 	if err := job.tenant.Bandit.Observe(l.Arm, accuracy); err != nil {
 		sc.failJobLocked(job, err)
@@ -724,10 +894,10 @@ func (sc *Scheduler) Release(l *Lease) error {
 	defer sc.coordMu.Unlock()
 	stored, ok := sc.leases[l.ID]
 	if !ok || stored != l {
-		return fmt.Errorf("server: lease %d (%s/%s) is not outstanding", l.ID, l.JobID, l.Candidate.Name())
+		return fmt.Errorf("server: lease %d (%s/%s) is not outstanding: %w", l.ID, l.JobID, l.Candidate.Name(), ErrLeaseConflict)
 	}
 	if stored.settling {
-		return fmt.Errorf("server: lease %d (%s/%s) is being settled", l.ID, l.JobID, l.Candidate.Name())
+		return fmt.Errorf("server: lease %d (%s/%s) is being settled: %w", l.ID, l.JobID, l.Candidate.Name(), ErrLeaseConflict)
 	}
 	delete(sc.leases, l.ID)
 	return nil

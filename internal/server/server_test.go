@@ -2,6 +2,9 @@ package server_test
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -194,40 +197,41 @@ func TestHTTPEndToEnd(t *testing.T) {
 	srv := httptest.NewServer(server.NewAPI(sc).Handler())
 	defer srv.Close()
 	cl := client.New(srv.URL)
+	ctx := context.Background()
 
-	sub, err := cl.Submit("dogs", imgProgram)
+	sub, err := cl.Submit(ctx, "dogs", imgProgram)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sub.Template != "image-classification" || len(sub.Candidates) != 35 {
 		t.Fatalf("submit response %+v", sub)
 	}
-	jobs, err := cl.Jobs()
+	jobs, err := cl.Jobs(ctx)
 	if err != nil || len(jobs) != 1 || jobs[0] != sub.ID {
 		t.Fatalf("jobs = %v, err %v", jobs, err)
 	}
 
 	in := make([]float64, 8*8*3)
-	ids, err := cl.Feed(sub.ID, [][]float64{in}, [][]float64{{1, 0}})
+	ids, err := cl.Feed(ctx, sub.ID, [][]float64{in}, [][]float64{{1, 0}})
 	if err != nil || len(ids) != 1 {
 		t.Fatalf("feed: ids=%v err=%v", ids, err)
 	}
-	if err := cl.Refine(sub.ID, ids[0], false); err != nil {
+	if err := cl.Refine(ctx, sub.ID, ids[0], false); err != nil {
 		t.Fatal(err)
 	}
 
-	rr, err := cl.RunRounds(3)
+	rr, err := cl.RunRounds(ctx, 3)
 	if err != nil || rr.Ran != 3 {
 		t.Fatalf("rounds: %+v err=%v", rr, err)
 	}
-	st, err := cl.Status(sub.ID)
+	st, err := cl.Status(ctx, sub.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Trained != 3 || st.Best == nil || st.Enabled != 0 || st.Examples != 1 {
 		t.Fatalf("status %+v", st)
 	}
-	inf, err := cl.Infer(sub.ID, in)
+	inf, err := cl.Infer(ctx, sub.ID, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,20 +245,21 @@ func TestHTTPErrors(t *testing.T) {
 	srv := httptest.NewServer(server.NewAPI(sc).Handler())
 	defer srv.Close()
 	cl := client.New(srv.URL)
+	ctx := context.Background()
 
-	if _, err := cl.Submit("bad", "nope"); err == nil {
+	if _, err := cl.Submit(ctx, "bad", "nope"); err == nil {
 		t.Error("bad program accepted over HTTP")
 	}
-	if _, err := cl.Status("missing"); err == nil {
+	if _, err := cl.Status(ctx, "missing"); err == nil {
 		t.Error("missing job status should error")
 	}
-	if _, err := cl.Feed("missing", [][]float64{{1}}, [][]float64{{1}}); err == nil {
+	if _, err := cl.Feed(ctx, "missing", [][]float64{{1}}, [][]float64{{1}}); err == nil {
 		t.Error("feed to missing job should error")
 	}
-	if _, err := cl.RunRounds(-1); err == nil {
+	if _, err := cl.RunRounds(ctx, -1); err == nil {
 		t.Error("negative round count accepted")
 	}
-	if _, err := cl.Feed("missing", [][]float64{{1}, {2}}, [][]float64{{1}}); err == nil {
+	if _, err := cl.Feed(ctx, "missing", [][]float64{{1}, {2}}, [][]float64{{1}}); err == nil {
 		t.Error("mismatched feed arity accepted")
 	}
 }
@@ -300,14 +305,15 @@ func TestSnapshotEndpoint(t *testing.T) {
 	defer srv.Close()
 
 	cl := client.New(srv.URL)
-	sub, err := cl.Submit("snap", tsProgram)
+	ctx := context.Background()
+	sub, err := cl.Submit(ctx, "snap", tsProgram)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Feed(sub.ID, [][]float64{{1, 2, 3, 4}}, [][]float64{{0, 1}}); err != nil {
+	if _, err := cl.Feed(ctx, sub.ID, [][]float64{{1, 2, 3, 4}}, [][]float64{{0, 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.RunRounds(2); err != nil {
+	if _, err := cl.RunRounds(ctx, 2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -425,5 +431,204 @@ func TestRestoreRejectsUnknownJob(t *testing.T) {
 	fresh := server.NewScheduler(server.NewSimTrainer(cluster.NewPool(2, 0.9), 1), nil, "")
 	if err := fresh.Restore(&buf); err == nil {
 		t.Error("restore without resubmitted jobs accepted")
+	}
+}
+
+// fakeEngine is a minimal EngineControl for exercising the admin endpoints
+// without a real engine.
+type fakeEngine struct{ running bool }
+
+func (f *fakeEngine) Start() error {
+	if f.running {
+		return errors.New("engine: already running")
+	}
+	f.running = true
+	return nil
+}
+
+func (f *fakeEngine) Stop() error {
+	if !f.running {
+		return errors.New("engine: not running")
+	}
+	f.running = false
+	return nil
+}
+
+func (f *fakeEngine) Status() server.EngineStatus {
+	return server.EngineStatus{Running: f.running, Workers: 3}
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	sc := newScheduler(t)
+	if _, err := sc.Submit("a", tsProgram); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.RunRounds(2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without an engine the endpoint still reports the scheduler counters.
+	srv := httptest.NewServer(server.NewAPI(sc).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m server.MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || m.Jobs != 1 || m.Rounds != 2 || m.Engine != nil {
+		t.Errorf("metrics without engine: status %d, %+v", resp.StatusCode, m)
+	}
+	// Wrong method is rejected.
+	post, err := http.Post(srv.URL+"/admin/metrics", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST metrics returned %d, want 405", post.StatusCode)
+	}
+
+	// With an engine the reply grows the engine block.
+	srv2 := httptest.NewServer(server.NewAPI(sc).WithEngine(&fakeEngine{running: true}).Handler())
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 server.MetricsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&m2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if m2.Engine == nil || !m2.Engine.Running || m2.Engine.Workers != 3 {
+		t.Errorf("metrics with engine: %+v", m2.Engine)
+	}
+}
+
+func TestAdminStartStopEndpoints(t *testing.T) {
+	sc := newScheduler(t)
+	post := func(srvURL, path string) int {
+		t.Helper()
+		resp, err := http.Post(srvURL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Without an engine, start/stop answer 409 (nothing to control).
+	bare := httptest.NewServer(server.NewAPI(sc).Handler())
+	defer bare.Close()
+	if got := post(bare.URL, "/admin/start"); got != http.StatusConflict {
+		t.Errorf("start without engine: %d, want 409", got)
+	}
+	if got := post(bare.URL, "/admin/stop"); got != http.StatusConflict {
+		t.Errorf("stop without engine: %d, want 409", got)
+	}
+	getResp, err := http.Get(bare.URL + "/admin/start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET start: %d, want 405", getResp.StatusCode)
+	}
+
+	// With an engine: start once, double-start conflicts, stop mirrors it.
+	eng := &fakeEngine{}
+	srv := httptest.NewServer(server.NewAPI(sc).WithEngine(eng).Handler())
+	defer srv.Close()
+	if got := post(srv.URL, "/admin/start"); got != http.StatusOK {
+		t.Errorf("start: %d, want 200", got)
+	}
+	if got := post(srv.URL, "/admin/start"); got != http.StatusConflict {
+		t.Errorf("double start: %d, want 409", got)
+	}
+	if got := post(srv.URL, "/admin/stop"); got != http.StatusOK {
+		t.Errorf("stop: %d, want 200", got)
+	}
+	if got := post(srv.URL, "/admin/stop"); got != http.StatusConflict {
+		t.Errorf("double stop: %d, want 409", got)
+	}
+	if eng.running {
+		t.Error("engine still running after stop")
+	}
+}
+
+// fakeFleet is a canned FleetControl for the admin surface.
+type fakeFleet struct{}
+
+func (fakeFleet) FleetStatus() server.FleetStatus {
+	return server.FleetStatus{Alive: 2, Workers: []server.FleetWorkerStatus{
+		{ID: "worker-0001", State: "alive"}, {ID: "worker-0002", State: "alive"},
+	}}
+}
+
+func TestAdminFleetEndpoint(t *testing.T) {
+	sc := newScheduler(t)
+	bare := httptest.NewServer(server.NewAPI(sc).Handler())
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/admin/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || body.Error == "" {
+		t.Errorf("fleet without coordinator: status %d, body %+v", resp.StatusCode, body)
+	}
+
+	srv := httptest.NewServer(server.NewAPI(sc).WithFleet(fakeFleet{}).Handler())
+	defer srv.Close()
+	resp2, err := http.Get(srv.URL + "/admin/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs server.FleetStatus
+	if err := json.NewDecoder(resp2.Body).Decode(&fs); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || fs.Alive != 2 || len(fs.Workers) != 2 {
+		t.Errorf("fleet status: %d %+v", resp2.StatusCode, fs)
+	}
+}
+
+// Lease-lifecycle races are typed: double Complete, Release-after-settle
+// and stale assignment all wrap ErrLeaseConflict, the signal HTTP surfaces
+// map to 409 for retrying workers.
+func TestLeaseConflictsAreTyped(t *testing.T) {
+	sc := newScheduler(t)
+	if _, err := sc.Submit("a", tsProgram); err != nil {
+		t.Fatal(err)
+	}
+	work, err := sc.PickWork(1)
+	if err != nil || len(work) != 1 {
+		t.Fatalf("PickWork: %v %v", work, err)
+	}
+	if err := sc.Complete(work[0], 0.7, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Complete(work[0], 0.7, 5); !errors.Is(err, server.ErrLeaseConflict) {
+		t.Errorf("double Complete: %v, want ErrLeaseConflict", err)
+	}
+	if err := sc.Release(work[0]); !errors.Is(err, server.ErrLeaseConflict) {
+		t.Errorf("Release after Complete: %v, want ErrLeaseConflict", err)
+	}
+	if err := sc.AssignLease(work[0], "w"); !errors.Is(err, server.ErrLeaseConflict) {
+		t.Errorf("AssignLease after Complete: %v, want ErrLeaseConflict", err)
+	}
+	if err := sc.HeartbeatLease(work[0].ID); !errors.Is(err, server.ErrLeaseConflict) {
+		t.Errorf("HeartbeatLease after Complete: %v, want ErrLeaseConflict", err)
 	}
 }

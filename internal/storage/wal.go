@@ -35,13 +35,17 @@ type EventType string
 // The WAL event vocabulary. Lease grants are deliberately not logged: a
 // lease that never completes leaves its arm untried in the recovered state,
 // so the work is re-queued (re-leased) by the first scheduling pass of the
-// next process instead of being lost or double-counted.
+// next process instead of being lost or double-counted. Lease *expiries*
+// are logged, though — they are operational history (which worker went
+// silent on which candidate), not state the re-queue depends on, so
+// compaction folds them away rather than into the snapshot.
 const (
 	EventJobSubmitted       EventType = "job_submitted"
 	EventExampleFed         EventType = "example_fed"
 	EventExampleRefined     EventType = "example_refined"
 	EventModelRecorded      EventType = "model_recorded"
 	EventCandidateAbandoned EventType = "candidate_abandoned"
+	EventLeaseExpired       EventType = "lease_expired"
 )
 
 // Event is one WAL record. Seq is assigned by Append and is strictly
@@ -66,8 +70,22 @@ type Event struct {
 	// model_recorded
 	Model *ModelRecord `json:"model,omitempty"`
 
-	// candidate_abandoned
+	// candidate_abandoned / lease_expired
 	Candidate string `json:"candidate,omitempty"`
+
+	// lease_expired: the fleet worker that went silent (empty for an
+	// unassigned lease).
+	Worker string `json:"worker,omitempty"`
+}
+
+// ExpiredLease is one recovered lease-expiry record: a candidate whose
+// remote worker went silent before reporting a result. The arm itself is
+// simply untried in the recovered state (the re-queue needs no replay);
+// the record preserves the operational history across a crash.
+type ExpiredLease struct {
+	Job       string
+	Candidate string
+	Worker    string
 }
 
 // JobMeta is the durable identity of a submitted job: everything needed to
@@ -87,7 +105,8 @@ type RecoveredState struct {
 	Jobs      []JobMeta
 	Store     *Store
 	Abandoned map[string][]string
-	Events    int // WAL events applied on top of the snapshot
+	Expired   []ExpiredLease // lease expiries in the surviving WAL tail
+	Events    int            // WAL events applied on top of the snapshot
 }
 
 const (
@@ -264,6 +283,10 @@ func applyEvent(ev Event, rec *RecoveredState) error {
 			}
 		}
 		rec.Abandoned[ev.Job] = append(rec.Abandoned[ev.Job], ev.Candidate)
+	case EventLeaseExpired:
+		// Pure history: each event has a unique seq, so replay past the
+		// snapshot horizon applies it at most once; no dedup needed.
+		rec.Expired = append(rec.Expired, ExpiredLease{Job: ev.Job, Candidate: ev.Candidate, Worker: ev.Worker})
 	default:
 		return fmt.Errorf("unknown event type %q", ev.Type)
 	}
@@ -333,6 +356,12 @@ func (l *Log) AppendModelRecorded(jobID string, rec ModelRecord) error {
 // AppendCandidateAbandoned logs a candidate retired after repeated failures.
 func (l *Log) AppendCandidateAbandoned(jobID, candidate string) error {
 	return l.Append(Event{Type: EventCandidateAbandoned, Job: jobID, Candidate: candidate})
+}
+
+// AppendLeaseExpired logs a lease reclaimed from a silent worker; the arm
+// re-enters selection in memory, so only the history needs the log.
+func (l *Log) AppendLeaseExpired(jobID, candidate, worker string) error {
+	return l.Append(Event{Type: EventLeaseExpired, Job: jobID, Candidate: candidate, Worker: worker})
 }
 
 // Seq returns the sequence number of the last appended event.

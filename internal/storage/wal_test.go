@@ -314,3 +314,56 @@ func TestCompactionPreservesEventsPastHorizon(t *testing.T) {
 		t.Fatalf("straggler example lost by compaction")
 	}
 }
+
+// Lease-expiry events survive crash recovery via the WAL; compaction folds
+// them away (they are operational history — the re-queue effect is the
+// untried arm itself, which needs no replay).
+func TestLeaseExpiredEventsRecoverAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendJobSubmitted("job-0001", "demo", "{prog}"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendLeaseExpired("job-0001", "GRU", "worker-0002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendLeaseExpired("job-0001", "LSTM", "worker-0002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // crash boundary
+		t.Fatal(err)
+	}
+
+	l2, rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Expired) != 2 {
+		t.Fatalf("recovered %d expiries, want 2: %+v", len(rec.Expired), rec.Expired)
+	}
+	if rec.Expired[0] != (ExpiredLease{Job: "job-0001", Candidate: "GRU", Worker: "worker-0002"}) {
+		t.Errorf("first expiry %+v", rec.Expired[0])
+	}
+
+	jobs := []JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}
+	if err := l2.Compact(jobs, nil, rec.Store, l2.Seq()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, rec2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if len(rec2.Jobs) != 1 {
+		t.Errorf("post-compaction recovery lost the job: %+v", rec2.Jobs)
+	}
+	if len(rec2.Expired) != 0 {
+		t.Errorf("compaction preserved %d expiry records, want 0", len(rec2.Expired))
+	}
+}
