@@ -18,7 +18,11 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -112,6 +116,103 @@ func BenchmarkEngine(b *testing.B) {
 			b.ReportMetric(virtualSpeedup, "virtual-speedup")
 			b.ReportMetric(float64(serialWall)/float64(engineWall), "wall-speedup")
 			b.ReportMetric(utilization, "utilization")
+		})
+	}
+}
+
+// schedBenchResult is one row of BENCH_scheduler.json.
+type schedBenchResult struct {
+	Tenants      int     `json:"tenants"`
+	Rounds       int     `json:"rounds"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	NsPerRound   float64 `json:"ns_per_round"`
+}
+
+var (
+	schedBenchMu      sync.Mutex
+	schedBenchResults = map[int]schedBenchResult{}
+)
+
+// writeSchedBench persists the accumulated multi-tenant scheduler
+// throughput rows to BENCH_scheduler.json — the machine-readable perf
+// trajectory CI uploads as an artifact. Rewritten after every
+// sub-benchmark, so a filtered -bench run still leaves a valid file.
+func writeSchedBench(b *testing.B) {
+	schedBenchMu.Lock()
+	defer schedBenchMu.Unlock()
+	rows := make([]schedBenchResult, 0, len(schedBenchResults))
+	for _, r := range schedBenchResults {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Tenants < rows[j].Tenants })
+	doc := struct {
+		Benchmark string             `json:"benchmark"`
+		Picker    string             `json:"picker"`
+		Results   []schedBenchResult `json:"results"`
+	}{
+		Benchmark: "BenchmarkSchedulerMultiTenant",
+		Picker:    "class-weighted(hybrid)",
+		Results:   rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_scheduler.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSchedulerMultiTenant measures end-to-end scheduling throughput
+// — pick, train (instant simulated run), observe, record — as the tenant
+// count scales from 1 to 64 under the default HYBRID picker wrapped in
+// class-weighted fair sharing (tenants cycle through guaranteed /
+// standard / best-effort). Every tenant submits one job; the serialized
+// loop drains the whole job set. rounds/s is the headline metric; the
+// results land in BENCH_scheduler.json to seed the perf trajectory.
+func BenchmarkSchedulerMultiTenant(b *testing.B) {
+	const program = "{input: {[Tensor[6]], [next]}, output: {[Tensor[2]], []}}"
+	classes := []string{"guaranteed", "standard", "best-effort"}
+	for _, tenants := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			totalRounds := 0
+			var busy time.Duration
+			for i := 0; i < b.N; i++ {
+				quotas := make(map[string]easeml.TenantQuota, tenants)
+				names := make([]string, tenants)
+				for u := 0; u < tenants; u++ {
+					names[u] = fmt.Sprintf("tenant-%03d", u)
+					quotas[names[u]] = easeml.TenantQuota{Class: classes[u%len(classes)]}
+				}
+				svc := easeml.NewService(easeml.ServiceConfig{Seed: 17, Quotas: quotas})
+				for _, name := range names {
+					if _, err := svc.Submit(name, program); err != nil {
+						b.Fatal(err)
+					}
+				}
+				start := time.Now()
+				ran, err := svc.RunRounds(1 << 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				busy += time.Since(start)
+				totalRounds += ran
+			}
+			if totalRounds == 0 || busy <= 0 {
+				b.Fatal("benchmark ran no rounds")
+			}
+			perSec := float64(totalRounds) / busy.Seconds()
+			b.ReportMetric(perSec, "rounds/s")
+			b.ReportMetric(float64(busy.Nanoseconds())/float64(totalRounds), "ns/round")
+			schedBenchMu.Lock()
+			schedBenchResults[tenants] = schedBenchResult{
+				Tenants:      tenants,
+				Rounds:       totalRounds,
+				RoundsPerSec: perSec,
+				NsPerRound:   float64(busy.Nanoseconds()) / float64(totalRounds),
+			}
+			schedBenchMu.Unlock()
+			writeSchedBench(b)
 		})
 	}
 }

@@ -8,6 +8,7 @@
 //	easeml-server [-addr :9000] [-gpus 24] [-seed 1] [-alpha 0.9]
 //	              [-workers 0] [-batch 0] [-data-dir DIR]
 //	              [-fleet-addr ADDR] [-lease-ttl 10s]
+//	              [-quota-config FILE] [-max-inflight 0]
 //
 // With -workers N > 0 the async execution engine starts at boot: N
 // concurrent trainers lease work through the scheduler's two-phase API and
@@ -30,6 +31,26 @@
 // examples and trained models from the directory's snapshot + WAL, then
 // resumes training — work that was in flight at the crash is re-queued.
 // POST /admin/snapshot compacts the log into the snapshot at runtime.
+//
+// With -quota-config the server enforces tenant admission control: the
+// JSON file declares per-tenant service classes (guaranteed / standard /
+// best-effort — weighted fair sharing across classes), concurrent-job
+// caps, Submit/Feed rate limits and GPU cost budgets:
+//
+//	{
+//	  "default_class": "standard",
+//	  "tenants": {
+//	    "alice": {"class": "guaranteed", "max_jobs": 4, "rate_per_sec": 10, "budget": 500},
+//	    "carol": {"class": "best-effort", "budget": 40}
+//	  }
+//	}
+//
+// Over-quota requests answer 429 {"error", "code": "quota_exceeded"};
+// budget-exhausted tenants drain gracefully; GET/POST /admin/quotas read
+// and update live quota state. With a fleet, -max-inflight caps the total
+// outstanding leases — when saturated, guaranteed-class work preempts an
+// outstanding best-effort lease (the displaced candidate is re-queued
+// exactly once and the preemption is WAL-logged).
 //
 // SIGINT/SIGTERM drain the engine gracefully before exit: running trainings
 // finish, queued leases are handed back, and (with -data-dir) the log is
@@ -59,22 +80,40 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots; empty = in-memory)")
 	fleetAddr := flag.String("fleet-addr", "", "dedicated listen address for the fleet worker protocol (empty = no fleet)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "fleet lease TTL before silent workers' leases are re-queued (default 10s)")
+	quotaConfig := flag.String("quota-config", "", "JSON tenant quota file enabling admission control (classes, caps, rate limits, budgets)")
+	maxInFlight := flag.Int("max-inflight", 0, "cap on total outstanding fleet leases; saturated guaranteed work preempts best-effort (0 = no cap)")
 	flag.Parse()
 	if *alpha <= 0 || *alpha > 1 {
 		log.Fatalf("-alpha %g outside (0, 1]", *alpha)
 	}
 
-	svc, err := easeml.OpenService(easeml.ServiceConfig{
-		GPUs:      *gpus,
-		Seed:      *seed,
-		Addr:      "http://localhost" + *addr,
-		Alpha:     *alpha,
-		Workers:   *workers,
-		Batch:     *batch,
-		DataDir:   *dataDir,
-		FleetAddr: *fleetAddr,
-		LeaseTTL:  *leaseTTL,
-	})
+	cfg := easeml.ServiceConfig{
+		GPUs:             *gpus,
+		Seed:             *seed,
+		Addr:             "http://localhost" + *addr,
+		Alpha:            *alpha,
+		Workers:          *workers,
+		Batch:            *batch,
+		DataDir:          *dataDir,
+		FleetAddr:        *fleetAddr,
+		LeaseTTL:         *leaseTTL,
+		FleetMaxInFlight: *maxInFlight,
+	}
+	if *quotaConfig != "" {
+		quotas, err := easeml.LoadQuotaFile(*quotaConfig)
+		if err != nil {
+			log.Fatalf("loading quota config: %v", err)
+		}
+		cfg.Quotas = quotas.Tenants
+		cfg.DefaultClass = quotas.DefaultClass
+		if cfg.DefaultClass == "" {
+			cfg.DefaultClass = "standard" // enable admission even for a tenants-only file
+		}
+		fmt.Printf("admission control enabled: %d tenant quotas, default class %q\n",
+			len(cfg.Quotas), cfg.DefaultClass)
+	}
+
+	svc, err := easeml.OpenService(cfg)
 	if err != nil {
 		log.Fatalf("opening service: %v", err)
 	}

@@ -1,0 +1,294 @@
+package easeml
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/fleet"
+	"repro/internal/server"
+	"repro/internal/templates"
+)
+
+const admTSProgram = "{input: {[Tensor[4]], [next]}, output: {[Tensor[2]], []}}"
+
+// postJSON posts v and decodes the JSON reply into out (nil to discard),
+// returning the status code.
+func postJSON(t *testing.T, url string, v any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding reply of %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// resolveForExecutor rebuilds a job's candidate surface from its logged
+// program — exactly what a worker agent does — and registers it with the
+// executor.
+func resolveForExecutor(t *testing.T, exec *fleet.SimExecutor, baseURL, jobID string) map[string]templates.Candidate {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/fleet/job?id=" + jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info fleet.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := dsl.Parse(info.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, _, err := templates.Generate(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RegisterJob(jobID, cands); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]templates.Candidate, len(cands))
+	for _, c := range cands {
+		byName[c.Name()] = c
+	}
+	return byName
+}
+
+// The PR's acceptance scenario, end to end through the public facade: a
+// guaranteed tenant, a second guaranteed tenant arriving late, and a
+// best-effort tenant sharing one service.
+//
+//   - The guaranteed tenant's model trajectory is identical with and
+//     without the best-effort tenant present.
+//   - The best-effort tenant loses one lease to priority preemption and is
+//     then budget-capped; both events are WAL-visible and survive a crash.
+//   - An over-quota Feed answers HTTP 429 {"error","code":"quota_exceeded"}.
+func TestThreeTenantAdmissionScenario(t *testing.T) {
+	const seed = 42
+
+	// Reference run: alice alone (no best-effort tenant anywhere).
+	solo := NewService(ServiceConfig{Seed: seed, Quotas: map[string]TenantQuota{
+		"alice": {Class: "guaranteed"},
+	}})
+	soloJob, err := solo.Submit("alice", admTSProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solo.RunRounds(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	soloStatus, err := solo.Status(soloJob.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloStatus.Trained == 0 {
+		t.Fatal("reference run trained nothing")
+	}
+
+	// Shared run: same seed, same data, plus carol (best-effort) and a
+	// late guaranteed tenant driving preemption.
+	dir := t.TempDir()
+	quotas := map[string]TenantQuota{
+		"alice":  {Class: "guaranteed"},
+		"alice2": {Class: "guaranteed"},
+		"carol":  {Class: "best-effort", RatePerSec: 0.001}, // one-token bucket: the submit spends it
+	}
+	svc, err := OpenService(ServiceConfig{
+		Seed: seed, DataDir: dir, Fleet: true, FleetMaxInFlight: 2, Quotas: quotas,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceJob, err := svc.Submit("alice", admTSProgram) // job-0001: same id as the solo run
+	if err != nil {
+		t.Fatal(err)
+	}
+	carolJob, err := svc.Submit("carol", admTSProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain alice while carol trickles along at best-effort weight.
+	for i := 0; i < 1000; i++ {
+		st, err := svc.Status(aliceJob.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Trained == st.NumCandidates {
+			break
+		}
+		if _, err := svc.RunRounds(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	carolMid, err := svc.Status(carolJob.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carolMid.Trained >= carolMid.NumCandidates {
+		t.Fatalf("best-effort tenant finished (%d/%d) before the scenario needs leases",
+			carolMid.Trained, carolMid.NumCandidates)
+	}
+
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	exec := fleet.NewSimExecutor(seed)
+
+	// A remote worker takes carol's remaining work, saturating the cap.
+	var reg fleet.RegisterResponse
+	if code := postJSON(t, srv.URL+"/fleet/register", fleet.RegisterRequest{Name: "w", Devices: 2}, &reg); code != 200 {
+		t.Fatalf("register status %d", code)
+	}
+	var granted fleet.LeaseResponse
+	if code := postJSON(t, srv.URL+"/fleet/lease", fleet.LeaseRequest{WorkerID: reg.WorkerID, Max: 2}, &granted); code != 200 {
+		t.Fatalf("lease status %d", code)
+	}
+	if len(granted.Leases) != 2 {
+		t.Fatalf("granted %d leases, want 2", len(granted.Leases))
+	}
+	for _, wl := range granted.Leases {
+		if wl.JobID != carolJob.Name {
+			t.Fatalf("lease %+v is not carol's", wl)
+		}
+	}
+
+	// A guaranteed tenant arrives; the saturated next poll preempts
+	// carol's newest lease and hands the slot to guaranteed work.
+	alice2Job, err := svc.Submit("alice2", admTSProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regrant fleet.LeaseResponse
+	if code := postJSON(t, srv.URL+"/fleet/lease", fleet.LeaseRequest{WorkerID: reg.WorkerID, Max: 1}, &regrant); code != 200 {
+		t.Fatalf("re-lease status %d", code)
+	}
+	if len(regrant.Leases) != 1 || regrant.Leases[0].JobID != alice2Job.Name {
+		t.Fatalf("post-preemption grant %+v, want alice2 work", regrant.Leases)
+	}
+	preemptedID := granted.Leases[1].LeaseID
+
+	// The late report for the preempted lease bounces off 409.
+	var envelope server.ErrorBody
+	code := postJSON(t, srv.URL+"/fleet/complete", fleet.CompleteRequest{
+		WorkerID: reg.WorkerID, LeaseID: preemptedID, Accuracy: 0.5, Cost: 1,
+	}, &envelope)
+	if code != http.StatusConflict || envelope.Code != server.CodeLeaseConflict {
+		t.Fatalf("late report: status %d envelope %+v", code, envelope)
+	}
+
+	// Cap carol's budget just under her next completion, live.
+	carolNow, err := svc.Status(carolJob.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := postJSON(t, srv.URL+"/admin/quotas", map[string]any{
+		"tenant": "carol", "class": "best-effort", "rate_per_sec": 0.001,
+		"budget": carolNow.CostUsed + 1e-9,
+	}, nil); code != 200 {
+		t.Fatalf("set quota status %d", code)
+	}
+
+	// The worker reports its two surviving runs truthfully (same seed ⇒
+	// bit-identical results to the in-process trainer).
+	ctx := context.Background()
+	for _, wl := range []fleet.WireLease{granted.Leases[0], regrant.Leases[0]} {
+		byName := resolveForExecutor(t, exec, srv.URL, wl.JobID)
+		cand, ok := byName[wl.Candidate]
+		if !ok {
+			t.Fatalf("cannot resolve %s/%s", wl.JobID, wl.Candidate)
+		}
+		acc, cost, err := exec.Execute(ctx, wl.JobID, cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var comp fleet.CompleteResponse
+		if code := postJSON(t, srv.URL+"/fleet/complete", fleet.CompleteRequest{
+			WorkerID: reg.WorkerID, LeaseID: wl.LeaseID, Accuracy: acc, Cost: cost,
+		}, &comp); code != 200 || comp.Settled != "completed" {
+			t.Fatalf("complete %s/%s: status %d settled %q", wl.JobID, wl.Candidate, code, comp.Settled)
+		}
+	}
+
+	// Carol is over budget now: drained, remaining candidates retired.
+	carolAfter, err := svc.Status(carolJob.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !carolAfter.BudgetExhausted {
+		t.Fatal("carol not budget-exhausted after the capped completion")
+	}
+	if carolAfter.Trained >= carolAfter.NumCandidates {
+		t.Fatal("budget exhaustion retired nothing")
+	}
+
+	// Over-quota Feed: structured 429.
+	envelope = server.ErrorBody{}
+	code = postJSON(t, srv.URL+"/jobs/"+carolJob.Name+"/feed", server.FeedRequest{
+		Inputs:  [][]float64{{1, 2, 3, 4}},
+		Outputs: [][]float64{{0, 1}},
+	}, &envelope)
+	if code != http.StatusTooManyRequests || envelope.Code != server.CodeQuotaExceeded {
+		t.Fatalf("over-quota feed: status %d envelope %+v, want 429 %s", code, envelope, server.CodeQuotaExceeded)
+	}
+
+	// Finish the remaining guaranteed work, then crash without Close.
+	if _, err := svc.RunRounds(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, err := OpenService(ServiceConfig{
+		Seed: seed, DataDir: dir, Fleet: true, FleetMaxInFlight: 2, Quotas: quotas,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if svc2.Recovered.PreemptedLeases != 1 {
+		t.Errorf("recovered %d preemption records, want 1", svc2.Recovered.PreemptedLeases)
+	}
+	if svc2.Recovered.BudgetExhausted != 1 {
+		t.Errorf("recovered %d budget-exhausted jobs, want 1", svc2.Recovered.BudgetExhausted)
+	}
+	carolRec, err := svc2.Status(carolJob.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !carolRec.BudgetExhausted || carolRec.Trained != carolAfter.Trained {
+		t.Fatalf("recovery disagrees on carol: %+v vs trained %d", carolRec, carolAfter.Trained)
+	}
+	if ran, err := svc2.RunRounds(1 << 20); err != nil || ran != 0 {
+		t.Fatalf("recovered service trained %d more rounds (err %v); drained tenants must stay drained", ran, err)
+	}
+
+	// The guaranteed tenant's trajectory is identical with and without the
+	// best-effort tenant: same models, same accuracies, same order.
+	aliceShared, err := svc2.Status(aliceJob.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aliceShared.Models) != len(soloStatus.Models) {
+		t.Fatalf("alice trained %d models shared vs %d solo", len(aliceShared.Models), len(soloStatus.Models))
+	}
+	for i := range soloStatus.Models {
+		a, b := soloStatus.Models[i], aliceShared.Models[i]
+		if a.Name != b.Name || a.Accuracy != b.Accuracy {
+			t.Errorf("alice model %d diverged: solo %s@%g vs shared %s@%g",
+				i, a.Name, a.Accuracy, b.Name, b.Accuracy)
+		}
+	}
+}

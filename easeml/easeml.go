@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cluster"
 	"repro/internal/codegen"
 	"repro/internal/core"
@@ -91,10 +92,11 @@ type Service struct {
 	sched   *server.Scheduler
 	pool    *cluster.Pool
 	trainer *server.SimTrainer
-	engine  *engine.Engine     // nil unless Workers > 0
-	log     *storage.Log       // nil unless DataDir is set
-	coord   *fleet.Coordinator // nil unless Fleet/FleetAddr enabled
-	fleetLn net.Listener       // nil unless FleetAddr is set
+	engine  *engine.Engine        // nil unless Workers > 0
+	log     *storage.Log          // nil unless DataDir is set
+	coord   *fleet.Coordinator    // nil unless Fleet/FleetAddr enabled
+	adm     *admission.Controller // nil unless Quotas/DefaultClass set
+	fleetLn net.Listener          // nil unless FleetAddr is set
 	fleetHS *http.Server
 
 	// Recovered summarizes what boot-time recovery restored from DataDir:
@@ -104,11 +106,13 @@ type Service struct {
 
 // RecoveryInfo reports what OpenService restored from a data directory.
 type RecoveryInfo struct {
-	Jobs          int // jobs resubmitted from the log
-	Models        int // completed training runs replayed into the bandits
-	Examples      int // supervision examples restored
-	WALEvents     int // WAL events replayed on top of the snapshot
-	ExpiredLeases int // lease-expiry records in the WAL tail (fleet history)
+	Jobs            int // jobs resubmitted from the log
+	Models          int // completed training runs replayed into the bandits
+	Examples        int // supervision examples restored
+	WALEvents       int // WAL events replayed on top of the snapshot
+	ExpiredLeases   int // lease-expiry records in the WAL tail (fleet history)
+	PreemptedLeases int // lease-preemption records in the WAL tail (fleet history)
+	BudgetExhausted int // jobs recovered in the drained, budget-exhausted state
 }
 
 // ServiceConfig parameterizes NewService. Zero values select the defaults
@@ -162,14 +166,80 @@ type ServiceConfig struct {
 	// in-process engine settles its leases synchronously and runs without
 	// a TTL.
 	LeaseTTL time.Duration
+	// FleetMaxInFlight caps the total outstanding leases the fleet
+	// coordinator grants (0 = no cap). When the cap is saturated and a
+	// guaranteed-class tenant has selectable work, the coordinator
+	// preempts an outstanding best-effort lease to make room.
+	FleetMaxInFlight int
+	// Quotas enables tenant admission control: per-tenant service classes
+	// (guaranteed / standard / best-effort weighted fair sharing),
+	// concurrent-job caps, Submit/Feed rate limits and GPU cost budgets.
+	// Tenant identity is the name jobs are submitted under. Over-quota
+	// operations fail with HTTP 429 {"error", "code": "quota_exceeded"};
+	// budget-exhausted tenants have their jobs drained gracefully (WAL
+	// logged, so recovery agrees). Leave nil (with DefaultClass empty) to
+	// admit everything at standard priority.
+	Quotas map[string]TenantQuota
+	// DefaultClass is the class of tenants without a Quotas entry
+	// ("standard" when empty). Setting it (or Quotas) enables admission
+	// control.
+	DefaultClass string
+}
+
+// TenantQuota declares one tenant's admission envelope. Zero fields mean
+// "unlimited"; the zero TenantQuota admits everything at standard
+// priority. The JSON tags are the -quota-config file schema.
+type TenantQuota struct {
+	// Class is "guaranteed", "standard" or "best-effort" (default
+	// standard). Guaranteed tenants get the largest fair-share weight and
+	// may preempt best-effort leases; best-effort leases are preemptible.
+	Class string `json:"class,omitempty"`
+	// MaxJobs caps the tenant's concurrently unfinished jobs.
+	MaxJobs int `json:"max_jobs,omitempty"`
+	// RatePerSec rate-limits the tenant's Submit/Feed operations through a
+	// token bucket of capacity Burst (default max(1, ⌈RatePerSec⌉)).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      int     `json:"burst,omitempty"`
+	// Budget bounds the total GPU cost the tenant's jobs may pay; once
+	// exhausted the jobs drain gracefully (remaining candidates retired).
+	Budget float64 `json:"budget,omitempty"`
+}
+
+// QuotaFile is the JSON schema of an easeml-server -quota-config file.
+type QuotaFile struct {
+	DefaultClass string                 `json:"default_class,omitempty"`
+	Tenants      map[string]TenantQuota `json:"tenants,omitempty"`
+}
+
+// LoadQuotaFile reads and validates a -quota-config JSON file.
+func LoadQuotaFile(path string) (QuotaFile, error) {
+	cfg, err := admission.LoadConfig(path)
+	if err != nil {
+		return QuotaFile{}, err
+	}
+	out := QuotaFile{DefaultClass: string(cfg.DefaultClass)}
+	if len(cfg.Tenants) > 0 {
+		out.Tenants = make(map[string]TenantQuota, len(cfg.Tenants))
+		for tenant, q := range cfg.Tenants {
+			out.Tenants[tenant] = TenantQuota{
+				Class:      string(q.Class),
+				MaxJobs:    q.MaxJobs,
+				RatePerSec: q.RatePerSec,
+				Burst:      q.Burst,
+				Budget:     q.Budget,
+			}
+		}
+	}
+	return out, nil
 }
 
 // NewService creates a service with a simulated GPU pool and the HYBRID
-// multi-tenant scheduler. It panics when OpenService would fail — which
-// only I/O can cause: opening ServiceConfig.DataDir, or binding
-// ServiceConfig.FleetAddr. The zero-friction constructor stays available
-// for plain in-memory services; deployments setting either of those
-// fields should call OpenService and handle the error.
+// multi-tenant scheduler. It panics when OpenService would fail — I/O
+// (opening ServiceConfig.DataDir, binding ServiceConfig.FleetAddr) or an
+// invalid ServiceConfig.Quotas declaration (unknown class, negative
+// bound). The zero-friction constructor stays available for in-memory
+// services with statically known-good quotas; deployments setting those
+// fields from user input should call OpenService and handle the error.
 func NewService(cfg ServiceConfig) *Service {
 	s, err := OpenService(cfg)
 	if err != nil {
@@ -199,6 +269,29 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 	trainer.Delay = cfg.TrainDelay
 	sched := server.NewScheduler(trainer, nil, cfg.Addr)
 	s := &Service{sched: sched, pool: pool, trainer: trainer}
+	if len(cfg.Quotas) > 0 || cfg.DefaultClass != "" {
+		// Admission is installed before recovery, so recovered jobs pick up
+		// their tenant's class and re-register with the controller.
+		admCfg := admission.Config{DefaultClass: admission.Class(cfg.DefaultClass)}
+		if len(cfg.Quotas) > 0 {
+			admCfg.Tenants = make(map[string]admission.Quota, len(cfg.Quotas))
+			for tenant, q := range cfg.Quotas {
+				admCfg.Tenants[tenant] = admission.Quota{
+					Class:      admission.Class(q.Class),
+					MaxJobs:    q.MaxJobs,
+					RatePerSec: q.RatePerSec,
+					Burst:      q.Burst,
+					Budget:     q.Budget,
+				}
+			}
+		}
+		ctrl, err := admission.NewController(admCfg)
+		if err != nil {
+			return nil, fmt.Errorf("easeml: quota configuration: %w", err)
+		}
+		sched.SetAdmission(ctrl)
+		s.adm = ctrl
+	}
 	if cfg.DataDir != "" {
 		log, rec, err := storage.OpenDir(cfg.DataDir)
 		if err != nil {
@@ -212,6 +305,8 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 		s.Recovered.Jobs = len(rec.Jobs)
 		s.Recovered.WALEvents = rec.Events
 		s.Recovered.ExpiredLeases = len(rec.Expired)
+		s.Recovered.PreemptedLeases = len(rec.Preempted)
+		s.Recovered.BudgetExhausted = len(rec.BudgetExhausted)
 		for _, j := range sched.Jobs() {
 			st, serr := sched.Status(j.ID)
 			if serr != nil {
@@ -234,8 +329,9 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 	}
 	if cfg.Fleet || cfg.FleetAddr != "" {
 		s.coord = fleet.NewCoordinator(sched, fleet.CoordinatorConfig{
-			LeaseTTL: cfg.LeaseTTL,
-			Seed:     cfg.Seed,
+			LeaseTTL:    cfg.LeaseTTL,
+			Seed:        cfg.Seed,
+			MaxInFlight: cfg.FleetMaxInFlight,
 		})
 		s.coord.Start()
 		if cfg.FleetAddr != "" {
@@ -338,6 +434,9 @@ func (s *Service) Handler() http.Handler {
 	api := server.NewAPI(s.sched)
 	if s.engine != nil {
 		api.WithEngine(engineControl{s})
+	}
+	if s.adm != nil {
+		api.WithAdmission(s.adm)
 	}
 	if s.coord == nil {
 		return api.Handler()

@@ -1,23 +1,52 @@
-// Multi-tenant resource sharing: 20 synthetic tenants with very different
+// Multi-tenant resource sharing, in two acts.
+//
+// Act 1 — scheduling policies: 20 synthetic tenants with very different
 // headroom compete for one training pipeline. The example contrasts every
-// scheduling policy of the paper (FCFS, ROUNDROBIN, RANDOM, GREEDY, HYBRID)
-// on the same Appendix-B synthetic workload and prints how each allocates
-// serves and what global satisfaction (total regret) results — the §4.1
-// problem in miniature.
+// scheduling policy of the paper (FCFS, ROUNDROBIN, RANDOM, GREEDY,
+// HYBRID) on the same Appendix-B synthetic workload and prints how each
+// allocates serves and what global satisfaction (total regret) results —
+// the §4.1 problem in miniature.
+//
+// Act 2 — admission control: three live tenants share one durable
+// service. alice is guaranteed, carol is best-effort with a tight rate
+// limit and a GPU budget. The demo shows weighted fair sharing, a
+// guaranteed tenant preempting a best-effort lease when the pool
+// saturates (late report → 409 lease_conflict), carol's budget running
+// out (jobs drained, WAL-logged), an over-quota Feed answering HTTP 429
+// {"code":"quota_exceeded"}, a crash + recovery that agrees with all of
+// it — and the proof of isolation: alice's model trajectory is
+// bit-identical to a run where carol never existed.
 //
 // Run with: go run ./examples/multitenant
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
 
 	"repro/easeml"
+	"repro/internal/dsl"
+	"repro/internal/fleet"
 	"repro/internal/synth"
+	"repro/internal/templates"
 )
 
 func main() {
+	comparePolicies()
+	admissionDemo()
+}
+
+// ---------------------------------------------------------------------------
+// Act 1: the paper's scheduling policies side by side.
+
+func comparePolicies() {
 	// Appendix-B generator: two baseline groups (easy tasks near 0.75, hard
 	// ones near 0.25), correlated models, modest noise.
 	rng := rand.New(rand.NewSource(99))
@@ -80,4 +109,202 @@ func main() {
 
 	fmt.Println("\nFCFS starves every tenant behind the first (min serves 0);")
 	fmt.Println("HYBRID matches GREEDY early and ROUNDROBIN late — the paper's §4.4 design.")
+}
+
+// ---------------------------------------------------------------------------
+// Act 2: quotas, classes, budgets and preemption on a live service.
+
+const demoProgram = "{input: {[Tensor[4]], [next]}, output: {[Tensor[2]], []}}"
+
+func postJSON(url string, v any, out any) (int, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func admissionDemo() {
+	const seed = 42
+	fmt.Println("\n--- admission control: guaranteed vs best-effort ---")
+
+	// Reference: alice alone. Her trajectory here is the isolation yardstick.
+	solo := easeml.NewService(easeml.ServiceConfig{Seed: seed, Quotas: map[string]easeml.TenantQuota{
+		"alice": {Class: "guaranteed"},
+	}})
+	soloJob, err := solo.Submit("alice", demoProgram)
+	check(err)
+	_, err = solo.RunRounds(1 << 20)
+	check(err)
+	soloStatus, err := solo.Status(soloJob.Name)
+	check(err)
+
+	// The shared, durable service: alice (guaranteed) + carol (best-effort,
+	// rate-limited; her budget arrives live, below).
+	dir, err := os.MkdirTemp("", "easeml-multitenant-*")
+	check(err)
+	defer os.RemoveAll(dir)
+	quotas := map[string]easeml.TenantQuota{
+		"alice":  {Class: "guaranteed"},
+		"alice2": {Class: "guaranteed"},
+		"carol":  {Class: "best-effort", RatePerSec: 0.001}, // the submit spends her one token
+	}
+	svc, err := easeml.OpenService(easeml.ServiceConfig{
+		Seed: seed, DataDir: dir, Fleet: true, FleetMaxInFlight: 2, Quotas: quotas,
+	})
+	check(err)
+	aliceJob, err := svc.Submit("alice", demoProgram)
+	check(err)
+	carolJob, err := svc.Submit("carol", demoProgram)
+	check(err)
+
+	// Weighted fair sharing (guaranteed:best-effort = 4:1) drains alice
+	// while carol trickles.
+	for {
+		st, err := svc.Status(aliceJob.Name)
+		check(err)
+		if st.Trained == st.NumCandidates {
+			break
+		}
+		_, err = svc.RunRounds(1)
+		check(err)
+	}
+	carolMid, err := svc.Status(carolJob.Name)
+	check(err)
+	fmt.Printf("fair sharing: alice drained %d/%d while carol reached %d/%d\n",
+		soloStatus.NumCandidates, soloStatus.NumCandidates, carolMid.Trained, carolMid.NumCandidates)
+
+	// A remote worker saturates the 2-lease pool with carol's work…
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	var reg fleet.RegisterResponse
+	mustStatus(postJSON(srv.URL+"/fleet/register", fleet.RegisterRequest{Name: "w0", Devices: 2}, &reg))(200)
+	var granted fleet.LeaseResponse
+	mustStatus(postJSON(srv.URL+"/fleet/lease", fleet.LeaseRequest{WorkerID: reg.WorkerID, Max: 2}, &granted))(200)
+	fmt.Printf("worker holds %d best-effort leases; pool saturated (cap 2)\n", len(granted.Leases))
+
+	// …then guaranteed work arrives: the next poll preempts carol's newest
+	// lease and hands the slot to the guaranteed tenant.
+	alice2Job, err := svc.Submit("alice2", demoProgram)
+	check(err)
+	var regrant fleet.LeaseResponse
+	mustStatus(postJSON(srv.URL+"/fleet/lease", fleet.LeaseRequest{WorkerID: reg.WorkerID, Max: 1}, &regrant))(200)
+	fmt.Printf("preemption: freed slot granted to %s (%s)\n", regrant.Leases[0].JobID, regrant.Leases[0].Candidate)
+
+	// The displaced run's late report bounces off the expiry-path 409.
+	var envelope struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	code, err := postJSON(srv.URL+"/fleet/complete", fleet.CompleteRequest{
+		WorkerID: reg.WorkerID, LeaseID: granted.Leases[1].LeaseID, Accuracy: 0.9, Cost: 1,
+	}, &envelope)
+	check(err)
+	fmt.Printf("late report for the preempted lease: HTTP %d code=%q\n", code, envelope.Code)
+
+	// Cap carol's budget live, just under her next completion.
+	carolNow, err := svc.Status(carolJob.Name)
+	check(err)
+	mustStatus(postJSON(srv.URL+"/admin/quotas", map[string]any{
+		"tenant": "carol", "class": "best-effort", "rate_per_sec": 0.001,
+		"budget": carolNow.CostUsed + 1e-9,
+	}, nil))(200)
+
+	// The worker reports its surviving runs truthfully (same seed ⇒ results
+	// identical to the in-process trainer), which trips carol's budget.
+	exec := fleet.NewSimExecutor(seed)
+	for _, wl := range []fleet.WireLease{granted.Leases[0], regrant.Leases[0]} {
+		var info fleet.JobInfo
+		resp, err := http.Get(srv.URL + "/fleet/job?id=" + wl.JobID)
+		check(err)
+		check(json.NewDecoder(resp.Body).Decode(&info))
+		resp.Body.Close()
+		prog, err := dsl.Parse(info.Program)
+		check(err)
+		cands, _, err := templates.Generate(prog, nil)
+		check(err)
+		check(exec.RegisterJob(wl.JobID, cands))
+		var cand templates.Candidate
+		for _, c := range cands {
+			if c.Name() == wl.Candidate {
+				cand = c
+			}
+		}
+		acc, cost, err := exec.Execute(context.Background(), wl.JobID, cand)
+		check(err)
+		mustStatus(postJSON(srv.URL+"/fleet/complete", fleet.CompleteRequest{
+			WorkerID: reg.WorkerID, LeaseID: wl.LeaseID, Accuracy: acc, Cost: cost,
+		}, nil))(200)
+	}
+	carolAfter, err := svc.Status(carolJob.Name)
+	check(err)
+	fmt.Printf("budget: carol exhausted=%v after %.1f GPU-units; %d/%d candidates trained, rest retired\n",
+		carolAfter.BudgetExhausted, carolAfter.CostUsed, carolAfter.Trained, carolAfter.NumCandidates)
+
+	// Over-quota Feed: the structured 429.
+	code, err = postJSON(srv.URL+"/jobs/"+carolJob.Name+"/feed", map[string]any{
+		"inputs": [][]float64{{1, 2, 3, 4}}, "outputs": [][]float64{{0, 1}},
+	}, &envelope)
+	check(err)
+	fmt.Printf("over-quota feed: HTTP %d code=%q\n", code, envelope.Code)
+
+	// Drain the remaining guaranteed work, then crash without a clean
+	// shutdown and recover from the WAL.
+	_, err = svc.RunRounds(1 << 20)
+	check(err)
+	svc2, err := easeml.OpenService(easeml.ServiceConfig{
+		Seed: seed, DataDir: dir, Fleet: true, FleetMaxInFlight: 2, Quotas: quotas,
+	})
+	check(err)
+	defer svc2.Close()
+	fmt.Printf("crash recovery: %d jobs, %d preemption records, %d budget-drained jobs recovered\n",
+		svc2.Recovered.Jobs, svc2.Recovered.PreemptedLeases, svc2.Recovered.BudgetExhausted)
+	carolRec, err := svc2.Status(carolJob.Name)
+	check(err)
+	fmt.Printf("recovery agrees: carol exhausted=%v trained=%d\n", carolRec.BudgetExhausted, carolRec.Trained)
+
+	// The isolation proof: alice's trajectory is identical with and
+	// without carol.
+	aliceShared, err := svc2.Status(aliceJob.Name)
+	check(err)
+	identical := len(aliceShared.Models) == len(soloStatus.Models)
+	for i := 0; identical && i < len(soloStatus.Models); i++ {
+		identical = soloStatus.Models[i].Name == aliceShared.Models[i].Name &&
+			soloStatus.Models[i].Accuracy == aliceShared.Models[i].Accuracy
+	}
+	fmt.Printf("isolation: alice's %d-model trajectory identical with and without carol: %v\n",
+		len(aliceShared.Models), identical)
+	if !identical {
+		log.Fatal("guaranteed tenant was disturbed by a best-effort tenant")
+	}
+	_ = alice2Job
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// mustStatus turns a (status, err) pair into an assertion on the expected
+// HTTP status.
+func mustStatus(status int, err error) func(want int) {
+	return func(want int) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if status != want {
+			log.Fatalf("HTTP status %d, want %d", status, want)
+		}
+	}
 }

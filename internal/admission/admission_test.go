@@ -1,0 +1,203 @@
+package admission
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseClassAndWeights(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Class
+		ok   bool
+	}{
+		{"", ClassStandard, true},
+		{"guaranteed", ClassGuaranteed, true},
+		{"standard", ClassStandard, true},
+		{"best-effort", ClassBestEffort, true},
+		{"platinum", "", false},
+	} {
+		got, err := ParseClass(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseClass(%q) err = %v", tc.in, err)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseClass(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if !(ClassGuaranteed.Weight() > ClassStandard.Weight() && ClassStandard.Weight() > ClassBestEffort.Weight()) {
+		t.Errorf("class weights not strictly ordered: %g %g %g",
+			ClassGuaranteed.Weight(), ClassStandard.Weight(), ClassBestEffort.Weight())
+	}
+	if !ClassGuaranteed.MayPreempt() || ClassStandard.MayPreempt() || ClassBestEffort.MayPreempt() {
+		t.Error("only guaranteed may preempt")
+	}
+	if ClassGuaranteed.Preemptible() || ClassStandard.Preemptible() || !ClassBestEffort.Preemptible() {
+		t.Error("only best-effort is preemptible")
+	}
+}
+
+func newTestController(t *testing.T, cfg Config) (*Controller, *time.Time) {
+	t.Helper()
+	ctrl, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	ctrl.SetClock(func() time.Time { return now })
+	return ctrl, &now
+}
+
+func TestMaxJobsCap(t *testing.T) {
+	ctrl, _ := newTestController(t, Config{Tenants: map[string]Quota{
+		"alice": {MaxJobs: 2},
+	}})
+	if err := ctrl.AdmitJob("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.AdmitJob("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.AdmitJob("alice"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("third job admitted under cap 2: %v", err)
+	}
+	// Uncapped tenants never bounce.
+	for i := 0; i < 10; i++ {
+		if err := ctrl.AdmitJob("bob"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A finished job frees a slot.
+	ctrl.JobDone("alice")
+	if err := ctrl.AdmitJob("alice"); err != nil {
+		t.Fatalf("slot not freed by JobDone: %v", err)
+	}
+}
+
+func TestRateLimitTokenBucket(t *testing.T) {
+	ctrl, now := newTestController(t, Config{Tenants: map[string]Quota{
+		"alice": {RatePerSec: 2, Burst: 2},
+	}})
+	if err := ctrl.AdmitOp("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.AdmitOp("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.AdmitOp("alice"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("burst 2 admitted a third op: %v", err)
+	}
+	// Half a second refills one token at 2/s.
+	*now = now.Add(500 * time.Millisecond)
+	if err := ctrl.AdmitOp("alice"); err != nil {
+		t.Fatalf("token not refilled: %v", err)
+	}
+	if err := ctrl.AdmitOp("alice"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatal("second op admitted after single-token refill")
+	}
+	// The bucket never exceeds its burst no matter how long the idle gap.
+	*now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if err := ctrl.AdmitOp("alice"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctrl.AdmitOp("alice"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatal("bucket exceeded burst after idle gap")
+	}
+}
+
+func TestAdmitJobConsumesRateToken(t *testing.T) {
+	ctrl, _ := newTestController(t, Config{Tenants: map[string]Quota{
+		"alice": {RatePerSec: 1, Burst: 1},
+	}})
+	if err := ctrl.AdmitJob("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.AdmitOp("alice"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatal("Submit and Feed must share one bucket")
+	}
+}
+
+func TestDefaultClassAndNoteJob(t *testing.T) {
+	ctrl, _ := newTestController(t, Config{DefaultClass: ClassBestEffort, Tenants: map[string]Quota{
+		"alice": {Class: ClassGuaranteed, MaxJobs: 1},
+	}})
+	if got := ctrl.ClassOf("alice"); got != ClassGuaranteed {
+		t.Errorf("alice class %q", got)
+	}
+	if got := ctrl.ClassOf("stranger"); got != ClassBestEffort {
+		t.Errorf("stranger class %q, want default best-effort", got)
+	}
+	// Recovery registers jobs without gating, even past the cap.
+	ctrl.NoteJob("alice")
+	ctrl.NoteJob("alice")
+	if err := ctrl.AdmitJob("alice"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatal("cap must still gate fresh submissions after recovery")
+	}
+}
+
+func TestSetQuotaLive(t *testing.T) {
+	ctrl, _ := newTestController(t, Config{})
+	if ctrl.Budget("alice") != 0 {
+		t.Fatal("fresh tenant has a budget")
+	}
+	if err := ctrl.SetQuota("alice", Quota{Class: ClassBestEffort, Budget: 12.5, MaxJobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.Budget("alice"); got != 12.5 {
+		t.Errorf("budget %g", got)
+	}
+	if got := ctrl.ClassOf("alice"); got != ClassBestEffort {
+		t.Errorf("class %q", got)
+	}
+	if err := ctrl.SetQuota("alice", Quota{Budget: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if err := ctrl.SetQuota("", Quota{}); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+	snap := ctrl.Snapshot()
+	if len(snap) != 1 || snap[0].Tenant != "alice" || !snap[0].Declared || snap[0].Budget != 12.5 {
+		t.Errorf("snapshot %+v", snap)
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "quotas.json")
+	src := `{
+	  "default_class": "standard",
+	  "tenants": {
+	    "alice": {"class": "guaranteed", "max_jobs": 4, "rate_per_sec": 10, "budget": 500},
+	    "carol": {"class": "best-effort", "budget": 40}
+	  }
+	}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tenants["alice"].Class != ClassGuaranteed || cfg.Tenants["alice"].Budget != 500 {
+		t.Errorf("alice quota %+v", cfg.Tenants["alice"])
+	}
+	if cfg.Tenants["carol"].Class != ClassBestEffort {
+		t.Errorf("carol quota %+v", cfg.Tenants["carol"])
+	}
+
+	if err := os.WriteFile(path, []byte(`{"tenants": {"x": {"class": "gold"}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(path); err == nil {
+		t.Fatal("bad class accepted")
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

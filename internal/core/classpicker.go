@@ -1,0 +1,128 @@
+package core
+
+import "fmt"
+
+// ClassWeightedPicker wraps any UserPicker with weighted fair sharing
+// across tenant *classes* — the priority layer the server's admission
+// subsystem puts on top of the paper's user-picking policies. Tenants carry
+// a Class label and a Weight (see Tenant); the wrapper decides which class
+// is served next by smooth weighted round-robin over the classes that
+// currently have active tenants, then delegates the within-class choice to
+// the inner policy (HYBRID by default), masking every other class for the
+// duration of that one inner pick so stateful pickers keep stable tenant
+// indices.
+//
+// Smooth weighted round-robin is starvation-free by construction: every
+// class with active tenants accumulates credit every round, so a class of
+// weight w is served at least once every ⌈W/w⌉ picks (W = total active
+// weight) no matter how large the other classes' weights are — best-effort
+// tenants are throttled, never starved.
+type ClassWeightedPicker struct {
+	// Inner picks within the chosen class; required.
+	Inner UserPicker
+
+	// credit is the smooth-WRR accumulator per class. Classes keep their
+	// credit while inactive (it is bounded by one round's worth), so a
+	// briefly-exhausted class rejoins where it left off.
+	credit map[string]float64
+}
+
+// NewClassWeightedPicker wraps an inner picker (nil defaults to HYBRID).
+func NewClassWeightedPicker(inner UserPicker) *ClassWeightedPicker {
+	if inner == nil {
+		inner = NewHybridPicker()
+	}
+	return &ClassWeightedPicker{Inner: inner, credit: make(map[string]float64)}
+}
+
+// Name implements UserPicker.
+func (p *ClassWeightedPicker) Name() string {
+	return fmt.Sprintf("class-weighted(%s)", p.Inner.Name())
+}
+
+// classKey normalizes a tenant's class label ("" reads as "standard").
+func classKey(t *Tenant) string {
+	if t.Class == "" {
+		return "standard"
+	}
+	return t.Class
+}
+
+// classWeight returns a tenant's effective weight (0 reads as 1).
+func classWeight(t *Tenant) float64 {
+	if t.Weight > 0 {
+		return t.Weight
+	}
+	return 1
+}
+
+// Pick implements UserPicker: choose a class by smooth weighted
+// round-robin over classes with active tenants, then let the inner picker
+// choose among that class's tenants.
+func (p *ClassWeightedPicker) Pick(tenants []*Tenant) int {
+	if p.credit == nil {
+		p.credit = make(map[string]float64)
+	}
+	// Collect the active classes and their weights (a class's weight is the
+	// maximum of its members', so one mis-tagged tenant cannot zero a
+	// class).
+	weights := make(map[string]float64)
+	var order []string // first-seen order, for deterministic tie-breaks
+	for _, t := range tenants {
+		if !t.Active() {
+			continue
+		}
+		key := classKey(t)
+		if _, seen := weights[key]; !seen {
+			order = append(order, key)
+		}
+		if w := classWeight(t); w > weights[key] {
+			weights[key] = w
+		}
+	}
+	if len(order) == 0 {
+		return -1
+	}
+	if len(order) == 1 {
+		// Single class (the no-admission deployment): the wrapper is
+		// transparent — no credit bookkeeping, identical inner behaviour.
+		return p.Inner.Pick(tenants)
+	}
+	var total float64
+	for _, key := range order {
+		total += weights[key]
+	}
+	chosen := ""
+	best := 0.0
+	for _, key := range order {
+		p.credit[key] += weights[key]
+		if chosen == "" || p.credit[key] > best {
+			chosen = key
+			best = p.credit[key]
+		}
+	}
+	p.credit[chosen] -= total
+
+	// Restrict the inner picker to the chosen class by masking the rest;
+	// the slice (and every index) stays stable for stateful inner pickers.
+	for _, t := range tenants {
+		if classKey(t) != chosen {
+			t.SetMasked(true)
+		}
+	}
+	idx := p.Inner.Pick(tenants)
+	for _, t := range tenants {
+		t.SetMasked(false)
+	}
+	if idx < 0 {
+		// Defensive: the chosen class had an active tenant, but a faulty
+		// inner picker may still decline; fall back to any active tenant
+		// rather than stall scheduling.
+		for i, t := range tenants {
+			if t.Active() {
+				return i
+			}
+		}
+	}
+	return idx
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bandit"
+	"repro/internal/gp"
+)
+
+// newClassTenant builds a tenant with k untried arms and the given class.
+func newClassTenant(id int, class string, weight float64, k int) *Tenant {
+	process := gp.NewFromFeatures(gp.RBF{Variance: 0.05, LengthScale: 0.3}, lineFeatures(k), 1e-4)
+	costs := make([]float64, k)
+	for i := range costs {
+		costs[i] = 1
+	}
+	b := bandit.New(process, bandit.Config{Costs: costs})
+	t := NewTenant(id, "tenant", b)
+	t.Class = class
+	t.Weight = weight
+	return t
+}
+
+// serveCounts runs n picks, observing a fixed reward for each chosen tenant
+// so arms deplete realistically, and tallies serves per tenant.
+func serveCounts(t *testing.T, p UserPicker, tenants []*Tenant, n int) []int {
+	t.Helper()
+	counts := make([]int, len(tenants))
+	for round := 0; round < n; round++ {
+		idx := p.Pick(tenants)
+		if idx < 0 {
+			break
+		}
+		ten := tenants[idx]
+		arm, ucb := ten.Bandit.SelectArm()
+		if arm < 0 {
+			t.Fatalf("round %d: picker chose exhausted tenant %d", round, idx)
+		}
+		if err := ten.Bandit.Observe(arm, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		ten.RecordObservation(ucb, 0.5)
+		counts[idx]++
+	}
+	return counts
+}
+
+// Weighted fair sharing: with one tenant per class and plenty of arms, the
+// serve ratio over a full WRR cycle tracks the class weights 4:2:1.
+func TestClassWeightedPickerSharesByWeight(t *testing.T) {
+	tenants := []*Tenant{
+		newClassTenant(0, "guaranteed", 4, 60),
+		newClassTenant(1, "standard", 2, 60),
+		newClassTenant(2, "best-effort", 1, 60),
+	}
+	p := NewClassWeightedPicker(&RoundRobinPicker{})
+	counts := serveCounts(t, p, tenants, 70) // ten full weight-7 cycles
+	if counts[0] != 40 || counts[1] != 20 || counts[2] != 10 {
+		t.Errorf("serves %v, want 40/20/10 under weights 4:2:1", counts)
+	}
+}
+
+// Starvation freedom: the best-effort tenant is served at least once per
+// ⌈W/w⌉ = 7 picks even while heavier classes stay active.
+func TestClassWeightedPickerStarvationFree(t *testing.T) {
+	tenants := []*Tenant{
+		newClassTenant(0, "guaranteed", 4, 200),
+		newClassTenant(1, "best-effort", 1, 200),
+	}
+	p := NewClassWeightedPicker(&RoundRobinPicker{})
+	sinceBE := 0
+	for round := 0; round < 100; round++ {
+		idx := p.Pick(tenants)
+		if idx < 0 {
+			t.Fatal("picker stalled with active tenants")
+		}
+		ten := tenants[idx]
+		arm, ucb := ten.Bandit.SelectArm()
+		if err := ten.Bandit.Observe(arm, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		ten.RecordObservation(ucb, 0.5)
+		if idx == 1 {
+			sinceBE = 0
+		} else {
+			sinceBE++
+			if sinceBE > 5 { // ⌈5/1⌉ picks is the smooth-WRR bound for W=5
+				t.Fatalf("best-effort tenant starved for %d picks at round %d", sinceBE, round)
+			}
+		}
+	}
+}
+
+// With a single class the wrapper is transparent: it must reproduce the
+// inner picker's choices exactly, round for round.
+func TestClassWeightedPickerSingleClassTransparent(t *testing.T) {
+	mk := func() []*Tenant {
+		return []*Tenant{
+			newClassTenant(0, "", 0, 5),
+			newClassTenant(1, "", 0, 5),
+			newClassTenant(2, "", 0, 5),
+		}
+	}
+	plain := mk()
+	wrapped := mk()
+	inner := &RoundRobinPicker{}
+	outer := NewClassWeightedPicker(&RoundRobinPicker{})
+	for round := 0; round < 15; round++ {
+		a := inner.Pick(plain)
+		b := outer.Pick(wrapped)
+		if a != b {
+			t.Fatalf("round %d: wrapper chose %d, inner %d", round, b, a)
+		}
+		if a < 0 {
+			break
+		}
+		for _, tenants := range [][]*Tenant{plain, wrapped} {
+			ten := tenants[a]
+			arm, ucb := ten.Bandit.SelectArm()
+			if err := ten.Bandit.Observe(arm, 0.5); err != nil {
+				t.Fatal(err)
+			}
+			ten.RecordObservation(ucb, 0.5)
+		}
+	}
+}
+
+// A class whose tenants exhaust drops out; the remaining classes keep
+// being served and the picker drains everything.
+func TestClassWeightedPickerDrainsAcrossClasses(t *testing.T) {
+	tenants := []*Tenant{
+		newClassTenant(0, "guaranteed", 4, 2),
+		newClassTenant(1, "best-effort", 1, 6),
+	}
+	p := NewClassWeightedPicker(&RoundRobinPicker{})
+	counts := serveCounts(t, p, tenants, 100)
+	if counts[0] != 2 || counts[1] != 6 {
+		t.Errorf("serves %v, want full drain 2/6", counts)
+	}
+	if p.Pick(tenants) != -1 {
+		t.Error("picker did not report exhaustion")
+	}
+	for _, ten := range tenants {
+		if ten.masked {
+			t.Error("tenant left masked after picking")
+		}
+	}
+}
+
+// Masking must be invisible outside the Pick call.
+func TestSetMaskedHidesTenant(t *testing.T) {
+	ten := newClassTenant(0, "standard", 1, 3)
+	if !ten.Active() {
+		t.Fatal("fresh tenant inactive")
+	}
+	ten.SetMasked(true)
+	if ten.Active() {
+		t.Error("masked tenant still active")
+	}
+	ten.SetMasked(false)
+	if !ten.Active() {
+		t.Error("unmasking did not restore activity")
+	}
+}

@@ -14,6 +14,16 @@ type Tenant struct {
 	Name   string
 	Bandit *bandit.GPUCB
 
+	// Class is the tenant's admission service class (e.g. "guaranteed",
+	// "standard", "best-effort"); empty means standard. It groups tenants
+	// for ClassWeightedPicker's weighted fair sharing and drives the
+	// server's preemption rules.
+	Class string
+	// Weight is the tenant's fair-sharing weight within the class-weighted
+	// picker (0 is treated as 1). All tenants of a class normally share the
+	// class's weight.
+	Weight float64
+
 	// empBound is the running empirical confidence bound
 	// min{B_t(a_t), min_{t'<t}(y_{t'} + σ̃_{t'})}. Because y+σ̃ equals the
 	// bound at the time it was formed, the historical minimum collapses to
@@ -30,6 +40,12 @@ type Tenant struct {
 	// server scheduler's two-phase API); those arms are untried but not
 	// selectable, so Active subtracts them. Always 0 in replay simulations.
 	leased int
+
+	// masked temporarily hides the tenant from Active so a wrapping picker
+	// (ClassWeightedPicker) can restrict an inner picker to one class while
+	// keeping the tenant slice — and therefore every stateful picker's
+	// indices — stable. Only ever set around an inner Pick call.
+	masked bool
 }
 
 // NewTenant wraps a bandit as a tenant.
@@ -44,11 +60,17 @@ func (t *Tenant) Served() bool { return t.served }
 // leased out to in-flight work.
 func (t *Tenant) SetLeased(n int) { t.leased = n }
 
+// SetMasked hides (or reveals) the tenant from Active. Pickers that
+// partition the tenant set — ClassWeightedPicker restricting its inner
+// picker to one class — mask the others for the duration of one inner Pick.
+func (t *Tenant) SetMasked(m bool) { t.masked = m }
+
 // Active reports whether the tenant has at least one untried arm that is
 // not leased out — i.e. whether a user picker may select it. With no
-// leases this is exactly !Bandit.Exhausted().
+// leases this is exactly !Bandit.Exhausted(). A masked tenant is never
+// active.
 func (t *Tenant) Active() bool {
-	return t.Bandit.NumArms()-t.Bandit.NumTried()-t.leased > 0
+	return !t.masked && t.Bandit.NumArms()-t.Bandit.NumTried()-t.leased > 0
 }
 
 // SigmaTilde returns the empirical variance σ̃ of Algorithm 2 line 6.

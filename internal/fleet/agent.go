@@ -469,11 +469,19 @@ func (a *Agent) heartbeatLoop(ctx context.Context) {
 		for _, id := range resp.KnownLeases {
 			known[id] = true
 		}
+		preempted := make(map[int]bool, len(resp.Preempted))
+		for _, id := range resp.Preempted {
+			preempted[id] = true
+		}
 		a.mu.Lock()
 		for _, id := range ids {
 			if !known[id] {
 				if cancel, ok := a.running[id]; ok {
-					a.logf("fleet agent %s: lease %d reclaimed; aborting run", a.cfg.Name, id)
+					if preempted[id] {
+						a.logf("fleet agent %s: lease %d preempted for higher-priority work; aborting run", a.cfg.Name, id)
+					} else {
+						a.logf("fleet agent %s: lease %d reclaimed; aborting run", a.cfg.Name, id)
+					}
 					cancel()
 				}
 			}

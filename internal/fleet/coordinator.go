@@ -93,8 +93,15 @@ type Coordinator struct {
 	// in-process engine.)
 	mu     sync.Mutex
 	remote map[int]*remoteLease
+	// preempted queues lease ids reclaimed by priority preemption per
+	// worker, delivered (and cleared) on the worker's next heartbeat so the
+	// agent aborts the run immediately instead of discovering the loss via
+	// the missing KnownLeases entry. Guarded by mu; Sweep drops queues of
+	// workers that are no longer alive.
+	preempted map[string][]int
 
-	expiredTotal atomic.Int64
+	expiredTotal   atomic.Int64
+	preemptedTotal atomic.Int64
 
 	runMu sync.Mutex
 	stop  chan struct{}
@@ -120,10 +127,11 @@ func NewCoordinator(sched *server.Scheduler, cfg CoordinatorConfig) *Coordinator
 	cfg = cfg.withDefaults()
 	sched.SetLeaseTTL(cfg.LeaseTTL)
 	return &Coordinator{
-		sched:  sched,
-		cfg:    cfg,
-		reg:    newRegistry(cfg.DeadAfter, cfg.Clock),
-		remote: make(map[int]*remoteLease),
+		sched:     sched,
+		cfg:       cfg,
+		reg:       newRegistry(cfg.DeadAfter, cfg.Clock),
+		remote:    make(map[int]*remoteLease),
+		preempted: make(map[string][]int),
 	}
 }
 
@@ -187,6 +195,22 @@ func (c *Coordinator) Sweep() int {
 		c.logf("fleet: lease %d (%s/%s) expired on %s; candidate re-queued", l.ID, l.JobID, l.Candidate.Name(), l.Worker)
 	}
 	c.reg.sweepDead()
+	// Drop queued preemption notices for workers that are no longer alive
+	// (dead, departed, or evicted): nobody will heartbeat them away, and a
+	// reclaimed lease is already conflict-guarded server-side.
+	alive := make(map[string]bool)
+	for _, w := range c.reg.snapshot() {
+		if w.State == WorkerAlive {
+			alive[w.ID] = true
+		}
+	}
+	c.mu.Lock()
+	for id := range c.preempted {
+		if !alive[id] {
+			delete(c.preempted, id)
+		}
+	}
+	c.mu.Unlock()
 	return len(expired)
 }
 
@@ -222,6 +246,12 @@ func (c *Coordinator) Lease(workerID string, max int) ([]WireLease, error) {
 	target := c.sched.InFlight() + max
 	if c.cfg.MaxInFlight > 0 && target > c.cfg.MaxInFlight {
 		target = c.cfg.MaxInFlight
+		// The in-flight cap binds: before picking, let priority preemption
+		// reclaim a best-effort slot if a guaranteed tenant is starved, so
+		// saturation cannot lock high-priority work out of the pool.
+		if c.sched.InFlight() >= target {
+			c.preemptLocked()
+		}
 	}
 	batch, err := c.sched.PickWork(target)
 	if err != nil {
@@ -255,14 +285,56 @@ func (c *Coordinator) Lease(workerID string, max int) ([]WireLease, error) {
 	return wire, nil
 }
 
+// preemptLocked runs one priority-preemption pass against the scheduler:
+// when a guaranteed tenant has selectable work, the newest outstanding
+// best-effort lease is reclaimed through the expiry mechanics (its
+// candidate re-enters selection exactly once; the holder's late report
+// bounces off 409). The preempted id is queued for the holder's next
+// heartbeat so its agent aborts the run immediately. Callers hold c.mu.
+func (c *Coordinator) preemptLocked() {
+	victim, err := c.sched.PreemptForPriority()
+	if err != nil {
+		// The lease is reclaimed either way; only the WAL history append
+		// failed.
+		c.logf("fleet: logging preemption: %v", err)
+	}
+	if victim == nil {
+		return
+	}
+	delete(c.remote, victim.ID)
+	c.preempted[victim.Worker] = append(c.preempted[victim.Worker], victim.ID)
+	c.preemptedTotal.Add(1)
+	c.reg.leaseSettled(victim.Worker, victim.ID, "preempted")
+	c.logf("fleet: lease %d (%s/%s) preempted on %s for guaranteed work; candidate re-queued",
+		victim.ID, victim.JobID, victim.Candidate.Name(), victim.Worker)
+}
+
+// Preempt runs one priority-preemption pass directly (tests, and
+// operators draining best-effort load by hand); it reports whether a lease
+// was preempted. The lease-poll path runs the same pass automatically
+// whenever the in-flight cap is saturated.
+func (c *Coordinator) Preempt() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.preemptedTotal.Load()
+	c.preemptLocked()
+	return c.preemptedTotal.Load() > before
+}
+
 // Heartbeat refreshes a worker's liveness and the TTLs of the leases it
 // reports as still executing; it returns the subset still outstanding
-// (a missing id means the lease expired and the run should be aborted).
+// (a missing id means the lease expired and the run should be aborted)
+// plus the ids preempted since the last heartbeat (abort immediately —
+// the capacity is already promised to higher-priority work).
 func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
 	if err := c.reg.heartbeat(req.WorkerID); err != nil {
 		return HeartbeatResponse{}, err
 	}
 	var resp HeartbeatResponse
+	c.mu.Lock()
+	resp.Preempted = c.preempted[req.WorkerID]
+	delete(c.preempted, req.WorkerID)
+	c.mu.Unlock()
 	for _, id := range req.LeaseIDs {
 		c.mu.Lock()
 		rl, ok := c.remote[id]
@@ -375,10 +447,11 @@ func (c *Coordinator) JobInfo(jobID string) (JobInfo, error) {
 // FleetStatus implements server.FleetControl for GET /admin/fleet.
 func (c *Coordinator) FleetStatus() server.FleetStatus {
 	st := server.FleetStatus{
-		LeaseTTLMS:    float64(c.cfg.LeaseTTL) / float64(time.Millisecond),
-		HeartbeatMS:   float64(c.cfg.HeartbeatInterval) / float64(time.Millisecond),
-		ExpiredLeases: c.expiredTotal.Load(),
-		Workers:       c.reg.snapshot(),
+		LeaseTTLMS:      float64(c.cfg.LeaseTTL) / float64(time.Millisecond),
+		HeartbeatMS:     float64(c.cfg.HeartbeatInterval) / float64(time.Millisecond),
+		ExpiredLeases:   c.expiredTotal.Load(),
+		PreemptedLeases: c.preemptedTotal.Load(),
+		Workers:         c.reg.snapshot(),
 	}
 	c.mu.Lock()
 	st.RemoteLeases = len(c.remote)

@@ -97,8 +97,13 @@ type HeartbeatRequest struct {
 // HeartbeatResponse echoes the subset of LeaseIDs still outstanding; a
 // lease missing from KnownLeases was reclaimed (expired) and the worker
 // should abort its run — a late result would only bounce off 409.
+// Preempted lists leases reclaimed by priority preemption since the last
+// heartbeat: the explicit abort signal, so agents can distinguish "your
+// run was displaced by guaranteed work" from an expiry and kill the run
+// without waiting to notice the missing KnownLeases entry.
 type HeartbeatResponse struct {
 	KnownLeases []int `json:"known_leases,omitempty"`
+	Preempted   []int `json:"preempted,omitempty"`
 }
 
 // CompleteRequest reports the outcome of one leased run. A non-empty Error

@@ -41,6 +41,7 @@ type workerEntry struct {
 	completed  int64
 	failures   int64
 	expired    int64
+	preempted  int64
 }
 
 // registry tracks the fleet's workers: join/leave/dead transitions, per-
@@ -140,6 +141,8 @@ func (r *registry) leaseSettled(id string, leaseID int, outcome string) {
 		w.completed++
 	case "expired":
 		w.expired++
+	case "preempted": // reclaimed for priority work: no fault of the worker
+		w.preempted++
 	default: // released, abandoned: a failed run either way
 		w.failures++
 	}
@@ -199,6 +202,7 @@ func (r *registry) snapshot() []server.FleetWorkerStatus {
 			ID: w.id, Name: w.name, Devices: w.devices, Alpha: w.alpha,
 			State: w.state, InFlight: len(w.inFlight),
 			Completed: w.completed, Failures: w.failures, ExpiredLeases: w.expired,
+			PreemptedLeases:    w.preempted,
 			LastHeartbeatAgeMS: float64(now.Sub(w.lastBeat)) / float64(time.Millisecond),
 		}
 		out = append(out, st)

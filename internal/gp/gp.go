@@ -157,26 +157,57 @@ func (g *GP) Var(k int) float64 {
 func (g *GP) Std(k int) float64 { return math.Sqrt(g.Var(k)) }
 
 // Posterior returns the posterior mean and standard deviation for every arm
-// in one pass. It is equivalent to calling Mean and Std per arm but shares
-// the factorization work.
+// in one pass. It is equivalent to calling Mean and Std per arm but batches
+// the work: the t×K cross-covariance block is materialized once, the means
+// fall out of one alpha sweep, and all K forward solves for the variances
+// go through a single pass over the Cholesky factor
+// (linalg.ForwardSolveBatch) instead of K separate O(t²) solves with their
+// K temporary vectors. Same O(K·t²) flops, but one factor traversal and two
+// allocations total — this is the hot path of every UCB selection.
 func (g *GP) Posterior() (mu, sigma []float64) {
 	k := g.NumArms()
 	mu = make([]float64, k)
 	sigma = make([]float64, k)
-	if len(g.arms) == 0 {
+	t := len(g.arms)
+	if t == 0 {
 		for i := 0; i < k; i++ {
 			sigma[i] = math.Sqrt(g.prior.At(i, i))
 		}
 		return mu, sigma
 	}
-	for i := 0; i < k; i++ {
-		kv := g.kvec(i)
-		mu[i] = linalg.Dot(kv, g.alpha)
-		v := g.prior.At(i, i) - g.chol.QuadForm(kv)
-		if v < 0 {
-			v = 0
+	// B is the t×K cross-covariance block, row-major: row i is
+	// [Σ(a_i, 0), …, Σ(a_i, K−1)] — column j is kvec(j).
+	b := make([]float64, t*k)
+	for i, a := range g.arms {
+		row := b[i*k : (i+1)*k]
+		for j := 0; j < k; j++ {
+			row[j] = g.prior.At(a, j)
 		}
-		sigma[i] = math.Sqrt(v)
+	}
+	// µ(j) = kvec(j)·alpha, accumulated row-wise over B.
+	for i := 0; i < t; i++ {
+		ai := g.alpha[i]
+		row := b[i*k : (i+1)*k]
+		for j, v := range row {
+			mu[j] += ai * v
+		}
+	}
+	// σ²(j) = Σ(j,j) − ‖L⁻¹·kvec(j)‖², all K solves in one factor pass.
+	z := g.chol.ForwardSolveBatch(b, k)
+	for j := 0; j < k; j++ {
+		sigma[j] = g.prior.At(j, j)
+	}
+	for i := 0; i < t; i++ {
+		row := z[i*k : (i+1)*k]
+		for j, v := range row {
+			sigma[j] -= v * v
+		}
+	}
+	for j := 0; j < k; j++ {
+		if sigma[j] < 0 {
+			sigma[j] = 0 // floating-point round-off, same clamp as Var
+		}
+		sigma[j] = math.Sqrt(sigma[j])
 	}
 	return mu, sigma
 }

@@ -384,3 +384,65 @@ func TestObserveIndefinitePriorReturnsError(t *testing.T) {
 		t.Error("retry of the indefinite observation should keep failing")
 	}
 }
+
+// The batched Posterior must agree with the per-arm Mean/Var path to
+// floating-point identity at every step of a realistic observation
+// sequence — the one-L⁻¹-pass rewrite changes the memory walk, not the
+// math.
+func TestPosteriorMatchesPerArmMeanVar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		k := 8 + rng.Intn(25)
+		features := make([][]float64, k)
+		for j := range features {
+			features[j] = []float64{rng.Float64(), rng.Float64()}
+		}
+		g := NewFromFeatures(RBF{Variance: 0.05, LengthScale: 0.5}, features, 1e-4)
+		order := rng.Perm(k)
+		for step, arm := range order {
+			if err := g.Observe(arm, rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+			mu, sigma := g.Posterior()
+			if len(mu) != k || len(sigma) != k {
+				t.Fatalf("posterior shape %d/%d for %d arms", len(mu), len(sigma), k)
+			}
+			for j := 0; j < k; j++ {
+				if dm := math.Abs(mu[j] - g.Mean(j)); dm > 1e-10 {
+					t.Fatalf("trial %d step %d arm %d: batched mean %g vs Mean %g (Δ %g)",
+						trial, step, j, mu[j], g.Mean(j), dm)
+				}
+				if ds := math.Abs(sigma[j] - g.Std(j)); ds > 1e-10 {
+					t.Fatalf("trial %d step %d arm %d: batched std %g vs Std %g (Δ %g)",
+						trial, step, j, sigma[j], g.Std(j), ds)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkPosterior measures the full-posterior pass at a realistic
+// (K arms, t observations) operating point — the inner loop of every
+// GP-UCB selection.
+func BenchmarkPosterior(b *testing.B) {
+	const k, obs = 35, 30
+	rng := rand.New(rand.NewSource(3))
+	features := make([][]float64, k)
+	for j := range features {
+		features[j] = []float64{rng.Float64(), rng.Float64()}
+	}
+	g := NewFromFeatures(RBF{Variance: 0.05, LengthScale: 0.5}, features, 1e-4)
+	for _, arm := range rng.Perm(k)[:obs] {
+		if err := g.Observe(arm, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu, sigma := g.Posterior()
+		if len(mu) != k || len(sigma) != k {
+			b.Fatal("bad shape")
+		}
+	}
+}

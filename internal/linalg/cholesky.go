@@ -172,3 +172,44 @@ func (c *Cholesky) QuadForm(b []float64) float64 {
 	}
 	return s
 }
+
+// ForwardSolveBatch solves L·Z = B for many right-hand sides in one pass
+// over the factor. B is row-major with one column per right-hand side —
+// b[i*cols+j] is element i of rhs j — and the result uses the same layout.
+// Walking L's rows once with the columns adjacent in the inner loop is
+// what makes batched GP posteriors cheap: per-column ForwardSolve calls
+// would traverse the factor (and allocate) once per column, while here the
+// inner loop is a contiguous AXPY across all columns.
+func (c *Cholesky) ForwardSolveBatch(b []float64, cols int) []float64 {
+	n := c.Size()
+	if cols <= 0 {
+		panic(fmt.Sprintf("linalg: ForwardSolveBatch with %d columns", cols))
+	}
+	if len(b) != n*cols {
+		panic(fmt.Sprintf("linalg: ForwardSolveBatch length %d does not match %d×%d", len(b), n, cols))
+	}
+	z := make([]float64, len(b))
+	copy(z, b)
+	for i := 0; i < n; i++ {
+		row := c.rows[i]
+		zi := z[i*cols : (i+1)*cols]
+		for k := 0; k < i; k++ {
+			coef := row[k]
+			if coef == 0 {
+				continue
+			}
+			zk := z[k*cols : (k+1)*cols]
+			for j, v := range zk {
+				zi[j] -= coef * v
+			}
+		}
+		// Divide (not multiply by a reciprocal): bit-identical to the
+		// per-column ForwardSolve, so batched and scalar posteriors agree
+		// exactly.
+		piv := row[i]
+		for j := range zi {
+			zi[j] /= piv
+		}
+	}
+	return z
+}

@@ -411,3 +411,51 @@ func BenchmarkSolveVec50(b *testing.B) {
 		ch.SolveVec(v)
 	}
 }
+
+// ForwardSolveBatch must agree with per-column ForwardSolve exactly.
+func TestForwardSolveBatchMatchesPerColumn(t *testing.T) {
+	// A symmetric positive definite matrix with non-trivial off-diagonals.
+	a := NewMatrixFromRows([][]float64{
+		{4, 2, 0.6, 1},
+		{2, 5, 1.2, 0.4},
+		{0.6, 1.2, 3, 0.2},
+		{1, 0.4, 0.2, 2},
+	})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, cols := 4, 3
+	cols64 := []([]float64){
+		{1, 0, 0, 0},
+		{0.5, -2, 3, 7},
+		{1e-3, 4, -5, 0.25},
+	}
+	b := make([]float64, n*cols)
+	for j, col := range cols64 {
+		for i := 0; i < n; i++ {
+			b[i*cols+j] = col[i]
+		}
+	}
+	z := ch.ForwardSolveBatch(b, cols)
+	for j, col := range cols64 {
+		want := ch.ForwardSolve(col)
+		for i := 0; i < n; i++ {
+			if got := z[i*cols+j]; got != want[i] {
+				t.Errorf("column %d element %d: batch %g vs solve %g", j, i, got, want[i])
+			}
+		}
+	}
+	// Shape violations are programming errors.
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { ch.ForwardSolveBatch(b, 0) })
+	mustPanic(func() { ch.ForwardSolveBatch(b[:5], cols) })
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"repro/internal/admission"
 )
 
 // API wraps a Scheduler with the HTTP surface of the ease.ml service:
@@ -23,21 +25,27 @@ import (
 //	POST /admin/start              start the async execution engine
 //	POST /admin/stop               stop the engine (graceful drain)
 //	GET  /admin/fleet              worker registry + lease/expiry counters
+//	GET  /admin/quotas             tenant admission state (classes, caps, budgets)
+//	POST /admin/quotas             install or replace one tenant's quota live
 //
 // The three /admin engine endpoints operate on the optional EngineControl
 // wired in with WithEngine (the easeml facade does this when the service is
 // configured with workers). Without one, /admin/metrics still reports the
 // scheduler counters and start/stop answer 409 Conflict. /admin/fleet
-// likewise reports the optional FleetControl wired in with WithFleet.
+// likewise reports the optional FleetControl wired in with WithFleet, and
+// /admin/quotas the admission controller wired in with WithAdmission.
 //
 // Errors are JSON envelopes {"error": "...", "code": "..."}; code
 // "lease_conflict" (HTTP 409) marks lease-lifecycle races — a worker
 // double-reporting a result, or reporting after its lease expired — which
-// retrying workers should drop, not escalate.
+// retrying workers should drop, not escalate. Code "quota_exceeded"
+// (HTTP 429) marks admission rejections — a tenant over its rate limit or
+// concurrent-job cap — which clients should back off from.
 type API struct {
 	sched  *Scheduler
 	engine EngineControl
 	fleet  FleetControl
+	adm    *admission.Controller
 }
 
 // EngineControl is the engine surface the admin endpoints drive. It is an
@@ -92,6 +100,9 @@ type FleetWorkerStatus struct {
 	Completed     int64   `json:"completed"`
 	Failures      int64   `json:"failures"`
 	ExpiredLeases int64   `json:"expired_leases"`
+	// PreemptedLeases counts leases reclaimed from this worker by priority
+	// preemption (guaranteed work displacing best-effort runs).
+	PreemptedLeases int64 `json:"preempted_leases"`
 	// LastHeartbeatAgeMS is how long the worker has been silent
 	// (registration counts as contact).
 	LastHeartbeatAgeMS float64 `json:"last_heartbeat_age_ms"`
@@ -100,14 +111,17 @@ type FleetWorkerStatus struct {
 // FleetStatus is the GET /admin/fleet reply: the worker registry and the
 // coordinator's lease counters.
 type FleetStatus struct {
-	LeaseTTLMS    float64             `json:"lease_ttl_ms"`
-	HeartbeatMS   float64             `json:"heartbeat_ms"`
-	Alive         int                 `json:"alive"`
-	Dead          int                 `json:"dead"`
-	Left          int                 `json:"left"`
-	RemoteLeases  int                 `json:"remote_leases"`
-	ExpiredLeases int64               `json:"expired_leases"`
-	Workers       []FleetWorkerStatus `json:"workers,omitempty"`
+	LeaseTTLMS    float64 `json:"lease_ttl_ms"`
+	HeartbeatMS   float64 `json:"heartbeat_ms"`
+	Alive         int     `json:"alive"`
+	Dead          int     `json:"dead"`
+	Left          int     `json:"left"`
+	RemoteLeases  int     `json:"remote_leases"`
+	ExpiredLeases int64   `json:"expired_leases"`
+	// PreemptedLeases counts leases reclaimed fleet-wide by priority
+	// preemption.
+	PreemptedLeases int64               `json:"preempted_leases"`
+	Workers         []FleetWorkerStatus `json:"workers,omitempty"`
 }
 
 // FleetControl is the coordinator surface the admin endpoint reads. It is
@@ -135,6 +149,14 @@ func (a *API) WithFleet(ctrl FleetControl) *API {
 	return a
 }
 
+// WithAdmission attaches an admission controller to the admin surface
+// (GET/POST /admin/quotas) and returns the API for chaining. The same
+// controller must be installed on the scheduler via SetAdmission.
+func (a *API) WithAdmission(ctrl *admission.Controller) *API {
+	a.adm = ctrl
+	return a
+}
+
 // Handler returns the HTTP handler for the service.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -146,6 +168,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("/admin/start", a.handleEngineStart)
 	mux.HandleFunc("/admin/stop", a.handleEngineStop)
 	mux.HandleFunc("/admin/fleet", a.handleFleet)
+	mux.HandleFunc("/admin/quotas", a.handleQuotas)
 	return mux
 }
 
@@ -218,7 +241,7 @@ func (a *API) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		job, err := a.sched.Submit(req.Name, req.Program)
 		if err != nil {
-			WriteError(w, http.StatusBadRequest, err)
+			WriteError(w, userErrStatus(err), err)
 			return
 		}
 		resp := SubmitResponse{ID: job.ID, Template: job.Template, Julia: job.Julia, Python: job.Python}
@@ -265,7 +288,7 @@ func (a *API) handleJobOp(w http.ResponseWriter, r *http.Request) {
 		for i := range req.Inputs {
 			exID, err := a.sched.Feed(id, req.Inputs[i], req.Outputs[i])
 			if err != nil {
-				WriteError(w, http.StatusBadRequest, err)
+				WriteError(w, userErrStatus(err), err)
 				return
 			}
 			resp.IDs = append(resp.IDs, exID)
@@ -318,6 +341,70 @@ func (a *API) handleRounds(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	WriteJSON(w, http.StatusOK, RoundsResponse{Ran: ran, Total: a.sched.Rounds()})
+}
+
+// QuotaStatus is one tenant's row in the GET /admin/quotas reply: the
+// declared quota plus the scheduler's live usage.
+type QuotaStatus struct {
+	admission.TenantStatus
+	// CostUsed is the total GPU cost the tenant's jobs have paid — the
+	// quantity Budget is enforced against.
+	CostUsed float64 `json:"cost_used"`
+	// BudgetExhausted marks tenants whose jobs were drained because the
+	// budget ran out.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
+}
+
+// QuotasResponse is the GET /admin/quotas reply.
+type QuotasResponse struct {
+	DefaultClass admission.Class `json:"default_class"`
+	Tenants      []QuotaStatus   `json:"tenants"`
+}
+
+// SetQuotaRequest is the POST /admin/quotas payload: one tenant's new
+// quota, applied live (class changes affect jobs submitted from then on;
+// rate, cap and budget changes apply immediately).
+type SetQuotaRequest struct {
+	Tenant string `json:"tenant"`
+	admission.Quota
+}
+
+func (a *API) handleQuotas(w http.ResponseWriter, r *http.Request) {
+	if a.adm == nil {
+		WriteError(w, http.StatusConflict, errors.New("no admission controller configured (run the server with -quota-config)"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		costs := a.sched.TenantCosts()
+		exhausted := make(map[string]bool)
+		for _, job := range a.sched.Jobs() {
+			if a.sched.BudgetExhausted(job.ID) {
+				exhausted[job.Name] = true
+			}
+		}
+		resp := QuotasResponse{DefaultClass: a.adm.DefaultClass()}
+		for _, ts := range a.adm.Snapshot() {
+			resp.Tenants = append(resp.Tenants, QuotaStatus{
+				TenantStatus:    ts,
+				CostUsed:        costs[ts.Tenant],
+				BudgetExhausted: exhausted[ts.Tenant],
+			})
+		}
+		WriteJSON(w, http.StatusOK, resp)
+	case http.MethodPost:
+		var req SetQuotaRequest
+		if !ReadJSON(w, r, &req) {
+			return
+		}
+		if err := a.adm.SetQuota(req.Tenant, req.Quota); err != nil {
+			WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	default:
+		WriteError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+	}
 }
 
 func (a *API) handleFleet(w http.ResponseWriter, r *http.Request) {
@@ -443,7 +530,7 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 
 // ErrorBody is the JSON error envelope of every non-2xx reply. Code
 // machine-tags the error class so clients can branch without parsing the
-// message; CodeLeaseConflict is the only code so far.
+// message; CodeLeaseConflict and CodeQuotaExceeded are the codes so far.
 type ErrorBody struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
@@ -452,13 +539,31 @@ type ErrorBody struct {
 // CodeLeaseConflict tags HTTP 409 replies caused by ErrLeaseConflict.
 const CodeLeaseConflict = "lease_conflict"
 
+// CodeQuotaExceeded tags HTTP 429 replies caused by
+// admission.ErrQuotaExceeded (rate limit, concurrent-job cap, budget).
+const CodeQuotaExceeded = "quota_exceeded"
+
+// userErrStatus maps a user-facing mutation error onto its HTTP status:
+// admission rejections are 429 Too Many Requests, everything else is the
+// caller's fault (400).
+func userErrStatus(err error) int {
+	if errors.Is(err, admission.ErrQuotaExceeded) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusBadRequest
+}
+
 // WriteError writes the standard error envelope, tagging ErrLeaseConflict
-// chains with CodeLeaseConflict. Shared with the fleet handlers, so the
-// conflict mapping cannot drift between the two HTTP surfaces.
+// chains with CodeLeaseConflict and admission.ErrQuotaExceeded chains with
+// CodeQuotaExceeded. Shared with the fleet handlers, so the conflict
+// mapping cannot drift between the two HTTP surfaces.
 func WriteError(w http.ResponseWriter, status int, err error) {
 	body := ErrorBody{Error: err.Error()}
-	if errors.Is(err, ErrLeaseConflict) {
+	switch {
+	case errors.Is(err, ErrLeaseConflict):
 		body.Code = CodeLeaseConflict
+	case errors.Is(err, admission.ErrQuotaExceeded):
+		body.Code = CodeQuotaExceeded
 	}
 	WriteJSON(w, status, body)
 }

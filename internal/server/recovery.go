@@ -62,6 +62,28 @@ func (sc *Scheduler) Recover(rec *storage.RecoveredState, log *storage.Log) erro
 			if err == nil {
 				err = sc.retireAbandonedLocked(job, rec.Abandoned[job.ID])
 			}
+			if err == nil && rec.BudgetExhausted[job.ID] {
+				// The previous process drained this job on budget
+				// exhaustion; a recovered process must agree rather than
+				// resume training it. Remaining arms are re-retired — the
+				// replayed observations already restored the cumulative
+				// cost, so status and the WAL tell one story.
+				job.budgetExhausted = true
+				for arm := 0; arm < job.tenant.Bandit.NumArms(); arm++ {
+					job.tenant.Bandit.Retire(arm)
+				}
+			}
+			if err == nil && sc.adm != nil {
+				// Re-register surviving jobs with the admission controller
+				// (without gating: they were admitted by a previous
+				// process). Finished jobs only mark themselves notified, so
+				// they never free a slot they no longer hold.
+				if job.failed != "" || job.budgetExhausted || job.tenant.Bandit.Exhausted() {
+					job.doneNotified = true
+				} else {
+					sc.adm.NoteJob(job.Name)
+				}
+			}
 			job.mu.Unlock()
 			if err != nil {
 				return err
@@ -123,13 +145,17 @@ func (sc *Scheduler) Compact() error {
 	jobs := sc.Jobs()
 	metas := make([]storage.JobMeta, len(jobs))
 	abandoned := make(map[string][]string)
+	var budgetExhausted []string
 	for i, job := range jobs {
 		metas[i] = storage.JobMeta{ID: job.ID, Name: job.Name, Program: job.Program.String()}
 		job.mu.Lock()
 		if len(job.abandoned) > 0 {
 			abandoned[job.ID] = append([]string(nil), job.abandoned...)
 		}
+		if job.budgetExhausted {
+			budgetExhausted = append(budgetExhausted, job.ID)
+		}
 		job.mu.Unlock()
 	}
-	return sc.log.Compact(metas, abandoned, sc.store, through)
+	return sc.log.Compact(metas, abandoned, budgetExhausted, sc.store, through)
 }

@@ -70,6 +70,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/bandit"
 	"repro/internal/cluster"
 	"repro/internal/codegen"
@@ -236,7 +237,9 @@ func clamp(v, lo, hi float64) float64 {
 	return math.Max(lo, math.Min(hi, v))
 }
 
-// Job is one submitted ease.ml task.
+// Job is one submitted ease.ml task. The submitting user's name (Name) is
+// the job's tenant identity for admission control: quotas, rate limits and
+// budgets aggregate over all jobs sharing a name.
 type Job struct {
 	ID         string
 	Name       string
@@ -246,13 +249,26 @@ type Job struct {
 	Julia      string
 	Python     string
 
+	// Class is the tenant's admission service class, fixed at submission
+	// (standard when no admission controller is configured). It drives
+	// weighted fair sharing and the preemption rules.
+	Class admission.Class
+
 	// mu is the per-job lock: it guards the tenant (bandit posterior and
-	// σ̃ recurrence), the failure flag and the abandoned list. See the
-	// package comment for the lock order.
+	// σ̃ recurrence), the failure flag, the abandoned list and the budget /
+	// done markers. See the package comment for the lock order.
 	mu        sync.Mutex
 	tenant    *core.Tenant
 	failed    string   // non-empty: the job is failed and excluded from scheduling
 	abandoned []string // candidate names retired after repeated training failures
+	// budgetExhausted marks a job drained because its tenant's GPU budget
+	// ran out: every untried arm was retired and late lease settlements
+	// bounce off ErrLeaseConflict.
+	budgetExhausted bool
+	// doneNotified dedupes the admission controller's JobDone callback: a
+	// job frees its concurrent-job slot exactly once, whether it drained,
+	// failed or was budget-exhausted.
+	doneNotified bool
 
 	store *storage.TaskStore
 }
@@ -292,6 +308,11 @@ type Scheduler struct {
 	// or a candidate alternating between local and remote workers would get
 	// double the retry budget. Guarded by coordMu.
 	failCounts map[string]int
+
+	// adm is the optional admission controller (SetAdmission): quota,
+	// rate-limit and budget decisions for every tenant. Set before serving
+	// traffic; nil means everything is admitted at standard priority.
+	adm *admission.Controller
 
 	log *storage.Log // nil: in-memory only
 }
@@ -445,12 +466,41 @@ func (sc *Scheduler) SetLog(l *storage.Log) { sc.log = l }
 // Persistent reports whether a write-ahead log is attached.
 func (sc *Scheduler) Persistent() bool { return sc.log != nil }
 
-// Submit parses and registers a new job: the program is validated, matched
-// against the Figure 4 templates, candidates are generated (including
-// normalization variants for image-shaped inputs), code is generated, and a
-// GP-UCB tenant is created for the scheduler. With a WAL attached the
-// submission is logged before it becomes visible.
+// Submit parses and registers a new job: the submission passes tenant
+// admission (rate limit and concurrent-job cap, when a controller is
+// configured), the program is validated, matched against the Figure 4
+// templates, candidates are generated (including normalization variants
+// for image-shaped inputs), code is generated, and a GP-UCB tenant is
+// created for the scheduler. With a WAL attached the submission is logged
+// before it becomes visible. Over-quota submissions fail with an error
+// wrapping admission.ErrQuotaExceeded (HTTP 429).
 func (sc *Scheduler) Submit(name, programSrc string) (*Job, error) {
+	// Admission before the expensive build: a tenant over its rate limit
+	// must not be able to burn candidate generation and cost estimation.
+	// The job slot is refunded on any later failure.
+	if sc.adm != nil {
+		// A budget-exhausted tenant cannot buy more training by submitting
+		// fresh jobs: Budget bounds the tenant's *total* cost, and
+		// enforceBudget only drains at completion time — without this gate
+		// each new job would train up to the in-flight concurrency worth of
+		// candidates before the drain caught up.
+		if budget := sc.adm.Budget(name); budget > 0 && sc.TenantCost(name) >= budget {
+			return nil, fmt.Errorf("server: submitting for tenant %q: GPU budget %g exhausted: %w",
+				name, budget, admission.ErrQuotaExceeded)
+		}
+		if err := sc.adm.AdmitJob(name); err != nil {
+			return nil, fmt.Errorf("server: submitting for tenant %q: %w", name, err)
+		}
+	}
+	job, err := sc.submitAdmitted(name, programSrc)
+	if err != nil && sc.adm != nil {
+		sc.adm.JobDone(name) // refund the slot of a submission that never published
+	}
+	return job, err
+}
+
+// submitAdmitted is Submit past the admission gate.
+func (sc *Scheduler) submitAdmitted(name, programSrc string) (*Job, error) {
 	prog, err := dsl.Parse(programSrc)
 	if err != nil {
 		return nil, err
@@ -527,6 +577,13 @@ func (sc *Scheduler) buildJob(id, name string, prog dsl.Program) (*Job, error) {
 		BetaArms:  32 * len(cands), // headroom for jobs arriving later
 		Mean0:     0.6,
 	})
+	class := admission.ClassStandard
+	if sc.adm != nil {
+		class = sc.adm.ClassOf(name)
+	}
+	tenant := core.NewTenant(0, id, b) // index assigned at publish
+	tenant.Class = string(class)
+	tenant.Weight = class.Weight()
 	return &Job{
 		ID:         id,
 		Name:       name,
@@ -535,7 +592,8 @@ func (sc *Scheduler) buildJob(id, name string, prog dsl.Program) (*Job, error) {
 		Candidates: cands,
 		Julia:      codegen.JuliaTypes(prog),
 		Python:     codegen.PythonLibrary(id, sc.server, prog),
-		tenant:     core.NewTenant(0, id, b), // index assigned at publish
+		Class:      class,
+		tenant:     tenant,
 		store:      ts,
 	}, nil
 }
@@ -804,6 +862,15 @@ func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
 		sc.endSettle(l)
 		return fmt.Errorf("server: job %s is failed (%s); dropping result for %s", l.JobID, job.failed, l.Candidate.Name())
 	}
+	if job.budgetExhausted {
+		// Graceful drain: the tenant's budget ran out while this run was in
+		// flight. The arm is already retired; the late result bounces off
+		// the same conflict surface as an expired lease, so workers drop it.
+		job.mu.Unlock()
+		sc.endSettle(l)
+		return fmt.Errorf("server: job %s drained on budget exhaustion; dropping result for %s: %w",
+			l.JobID, l.Candidate.Name(), ErrLeaseConflict)
+	}
 	if job.tenant.Bandit.Tried(l.Arm) {
 		job.mu.Unlock()
 		sc.endSettle(l)
@@ -816,6 +883,9 @@ func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
 		return fmt.Errorf("server: job %s failed: %w", l.JobID, err)
 	}
 	job.tenant.RecordObservation(l.UCB, accuracy)
+	if job.tenant.Bandit.Exhausted() {
+		sc.markJobDoneLocked(job) // every candidate tried: the job drained
+	}
 	job.mu.Unlock()
 
 	// The arm is Tried now, so the lease can be dropped without the arm
@@ -839,6 +909,12 @@ func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
 			return fmt.Errorf("server: logging result for %s/%s: %w", l.JobID, rec.Name, err)
 		}
 	}
+	// The observation paid its arm's cost into the bandit; check the
+	// tenant's budget after the result is durable, so a budget-drained job
+	// never loses an acknowledged model record.
+	if err := sc.enforceBudget(job.Name); err != nil {
+		return fmt.Errorf("server: completing %s/%s: %w", l.JobID, rec.Name, err)
+	}
 	return nil
 }
 
@@ -850,6 +926,21 @@ func (sc *Scheduler) failJobLocked(job *Job, cause error) {
 	job.failed = cause.Error()
 	for arm := 0; arm < job.tenant.Bandit.NumArms(); arm++ {
 		job.tenant.Bandit.Retire(arm) // no-op for tried arms
+	}
+	sc.markJobDoneLocked(job)
+}
+
+// markJobDoneLocked releases the job's admission slot exactly once — the
+// job will never train another candidate (drained, failed, or
+// budget-exhausted). Callers hold job.mu; the admission controller's
+// mutex is a leaf, so calling into it under the job lock is safe.
+func (sc *Scheduler) markJobDoneLocked(job *Job) {
+	if job.doneNotified {
+		return
+	}
+	job.doneNotified = true
+	if sc.adm != nil {
+		sc.adm.JobDone(job.Name)
 	}
 }
 
@@ -872,6 +963,9 @@ func (sc *Scheduler) Abandon(l *Lease) error {
 	if fresh {
 		job.tenant.Bandit.Retire(l.Arm)
 		job.abandoned = append(job.abandoned, l.Candidate.Name())
+		if job.tenant.Bandit.Exhausted() {
+			sc.markJobDoneLocked(job)
+		}
 	}
 	job.mu.Unlock()
 	sc.endSettle(l) // the arm is retired (Tried) now, never re-selectable
@@ -947,11 +1041,19 @@ func (sc *Scheduler) RunRounds(n int) (int, error) {
 
 // Feed stores a supervision example for a job (durably, when a WAL is
 // attached). It takes no scheduler-wide lock: schema validation reads
-// immutable job fields and the example lands in the per-task store.
+// immutable job fields and the example lands in the per-task store. With
+// an admission controller configured, the tenant's rate limit applies;
+// over-quota feeds fail with an error wrapping admission.ErrQuotaExceeded
+// (HTTP 429).
 func (sc *Scheduler) Feed(jobID string, input, output []float64) (int, error) {
 	job, ok := sc.Job(jobID)
 	if !ok {
 		return 0, fmt.Errorf("server: no job %q", jobID)
+	}
+	if sc.adm != nil {
+		if err := sc.adm.AdmitOp(job.Name); err != nil {
+			return 0, fmt.Errorf("server: feeding %q: %w", jobID, err)
+		}
 	}
 	if want := job.Program.Input.TotalElements(); len(input) != want {
 		return 0, fmt.Errorf("server: input has %d elements, schema wants %d", len(input), want)
@@ -1018,17 +1120,23 @@ func (sc *Scheduler) Infer(jobID string, input []float64) ([]float64, string, er
 
 // Status summarizes a job for the status endpoint.
 type Status struct {
-	ID            string                `json:"id"`
-	Name          string                `json:"name"`
-	Template      string                `json:"template"`
-	NumCandidates int                   `json:"num_candidates"`
-	Trained       int                   `json:"trained"`
-	Examples      int                   `json:"examples"`
-	Enabled       int                   `json:"enabled"`
-	Failed        string                `json:"failed,omitempty"` // non-empty: job retired with this cause
-	Abandoned     []string              `json:"abandoned,omitempty"`
-	Best          *storage.ModelRecord  `json:"best,omitempty"`
-	Models        []storage.ModelRecord `json:"models"`
+	ID            string `json:"id"`
+	Name          string `json:"name"`
+	Template      string `json:"template"`
+	Class         string `json:"class,omitempty"` // admission service class
+	NumCandidates int    `json:"num_candidates"`
+	Trained       int    `json:"trained"`
+	Examples      int    `json:"examples"`
+	Enabled       int    `json:"enabled"`
+	// CostUsed is the total GPU cost this job's bandit has paid.
+	CostUsed float64 `json:"cost_used"`
+	// BudgetExhausted marks a job drained because its tenant's budget ran
+	// out; remaining candidates were retired.
+	BudgetExhausted bool                  `json:"budget_exhausted,omitempty"`
+	Failed          string                `json:"failed,omitempty"` // non-empty: job retired with this cause
+	Abandoned       []string              `json:"abandoned,omitempty"`
+	Best            *storage.ModelRecord  `json:"best,omitempty"`
+	Models          []storage.ModelRecord `json:"models"`
 }
 
 // Snapshot checkpoints the shared storage (fed examples, refine state and
@@ -1144,6 +1252,7 @@ func (sc *Scheduler) Status(jobID string) (Status, error) {
 		ID:            job.ID,
 		Name:          job.Name,
 		Template:      job.Template,
+		Class:         string(job.Class),
 		NumCandidates: len(job.Candidates),
 		Models:        job.store.Models(),
 		Examples:      len(job.store.Examples()),
@@ -1152,6 +1261,8 @@ func (sc *Scheduler) Status(jobID string) (Status, error) {
 	job.mu.Lock()
 	st.Failed = job.failed
 	st.Abandoned = append([]string(nil), job.abandoned...)
+	st.CostUsed = job.tenant.Bandit.CumulativeCost()
+	st.BudgetExhausted = job.budgetExhausted
 	job.mu.Unlock()
 	st.Trained = len(st.Models)
 	if best, ok := job.store.Best(); ok {

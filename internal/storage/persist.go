@@ -16,13 +16,18 @@ import (
 
 // storeSnapshot is the JSON wire format of a Store. Version 1 carried tasks
 // only; version 2 adds the WAL-compaction metadata (jobs, abandoned,
-// last_seq). Both versions load.
+// last_seq); version 3 adds the budget-exhausted job set. All versions
+// load.
 type storeSnapshot struct {
 	Version   int                     `json:"version"`
 	Tasks     map[string]taskSnapshot `json:"tasks"`
 	Jobs      []JobMeta               `json:"jobs,omitempty"`
 	Abandoned map[string][]string     `json:"abandoned,omitempty"`
-	LastSeq   uint64                  `json:"last_seq,omitempty"`
+	// BudgetExhausted lists jobs drained by tenant budget exhaustion;
+	// compaction must fold the WAL's budget_exhausted events in here or a
+	// compacted-then-restarted process would resume training them.
+	BudgetExhausted []string `json:"budget_exhausted,omitempty"`
+	LastSeq         uint64   `json:"last_seq,omitempty"`
 }
 
 type taskSnapshot struct {
@@ -31,17 +36,17 @@ type taskSnapshot struct {
 	Models   []ModelRecord `json:"models"`
 }
 
-const snapshotVersion = 2
+const snapshotVersion = 3
 
 // Snapshot serializes the whole store as JSON (tasks only — the legacy
 // checkpoint surface of GET /admin/snapshot). The WAL compaction path uses
 // writeSnapshot, which adds the job registry and sequence horizon.
 func (s *Store) Snapshot(w io.Writer) error {
-	return writeSnapshot(w, s, nil, nil, 0)
+	return writeSnapshot(w, s, nil, nil, nil, 0)
 }
 
 // writeSnapshot serializes the store plus compaction metadata.
-func writeSnapshot(w io.Writer, s *Store, jobs []JobMeta, abandoned map[string][]string, lastSeq uint64) error {
+func writeSnapshot(w io.Writer, s *Store, jobs []JobMeta, abandoned map[string][]string, budgetExhausted []string, lastSeq uint64) error {
 	s.mu.RLock()
 	taskIDs := make([]string, 0, len(s.tasks))
 	for id := range s.tasks {
@@ -50,11 +55,12 @@ func writeSnapshot(w io.Writer, s *Store, jobs []JobMeta, abandoned map[string][
 	s.mu.RUnlock()
 
 	snap := storeSnapshot{
-		Version:   snapshotVersion,
-		Tasks:     make(map[string]taskSnapshot, len(taskIDs)),
-		Jobs:      jobs,
-		Abandoned: abandoned,
-		LastSeq:   lastSeq,
+		Version:         snapshotVersion,
+		Tasks:           make(map[string]taskSnapshot, len(taskIDs)),
+		Jobs:            jobs,
+		Abandoned:       abandoned,
+		BudgetExhausted: budgetExhausted,
+		LastSeq:         lastSeq,
 	}
 	for _, id := range taskIDs {
 		ts, ok := s.Task(id)
@@ -81,31 +87,31 @@ func writeSnapshot(w io.Writer, s *Store, jobs []JobMeta, abandoned map[string][
 
 // LoadStore reconstructs a store from a Snapshot stream.
 func LoadStore(r io.Reader) (*Store, error) {
-	s, _, _, _, err := loadSnapshot(r)
+	s, _, _, _, _, err := loadSnapshot(r)
 	return s, err
 }
 
 // loadSnapshot reconstructs a store plus the compaction metadata from a
 // snapshot stream. Version-1 snapshots load with empty metadata.
-func loadSnapshot(r io.Reader) (*Store, []JobMeta, map[string][]string, uint64, error) {
+func loadSnapshot(r io.Reader) (*Store, []JobMeta, map[string][]string, []string, uint64, error) {
 	var snap storeSnapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, nil, nil, 0, fmt.Errorf("storage: load: %w", err)
+		return nil, nil, nil, nil, 0, fmt.Errorf("storage: load: %w", err)
 	}
 	if snap.Version < 1 || snap.Version > snapshotVersion {
-		return nil, nil, nil, 0, fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
+		return nil, nil, nil, nil, 0, fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
 	}
 	s := NewStore()
 	for id, t := range snap.Tasks {
 		ts, err := s.CreateTask(id)
 		if err != nil {
-			return nil, nil, nil, 0, err
+			return nil, nil, nil, nil, 0, err
 		}
 		ts.mu.Lock()
 		for _, ex := range t.Examples {
 			if ex.ID <= 0 {
 				ts.mu.Unlock()
-				return nil, nil, nil, 0, fmt.Errorf("storage: task %q has example with invalid id %d", id, ex.ID)
+				return nil, nil, nil, nil, 0, fmt.Errorf("storage: task %q has example with invalid id %d", id, ex.ID)
 			}
 			cp := ex
 			ts.examples[ex.ID] = &cp
@@ -126,5 +132,5 @@ func loadSnapshot(r io.Reader) (*Store, []JobMeta, map[string][]string, uint64, 
 		}
 		ts.mu.Unlock()
 	}
-	return s, snap.Jobs, snap.Abandoned, snap.LastSeq, nil
+	return s, snap.Jobs, snap.Abandoned, snap.BudgetExhausted, snap.LastSeq, nil
 }

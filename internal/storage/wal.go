@@ -46,6 +46,17 @@ const (
 	EventModelRecorded      EventType = "model_recorded"
 	EventCandidateAbandoned EventType = "candidate_abandoned"
 	EventLeaseExpired       EventType = "lease_expired"
+	// EventLeasePreempted records a lease reclaimed to make room for
+	// higher-priority work. Like expiries it is operational history, not
+	// state: the candidate is simply untried in the recovered state and
+	// re-enters selection, so compaction folds it away.
+	EventLeasePreempted EventType = "lease_preempted"
+	// EventBudgetExhausted records a job drained because its tenant's GPU
+	// cost budget ran out. Unlike lease events this IS state recovery
+	// depends on: the job's remaining candidates were retired, and a
+	// recovered process must agree instead of resuming training. Compaction
+	// folds it into the snapshot.
+	EventBudgetExhausted EventType = "budget_exhausted"
 )
 
 // Event is one WAL record. Seq is assigned by Append and is strictly
@@ -70,12 +81,21 @@ type Event struct {
 	// model_recorded
 	Model *ModelRecord `json:"model,omitempty"`
 
-	// candidate_abandoned / lease_expired
+	// candidate_abandoned / lease_expired / lease_preempted
 	Candidate string `json:"candidate,omitempty"`
 
-	// lease_expired: the fleet worker that went silent (empty for an
-	// unassigned lease).
+	// lease_expired / lease_preempted: the fleet worker holding the lease
+	// (empty for an unassigned lease).
 	Worker string `json:"worker,omitempty"`
+
+	// lease_preempted: the job whose higher-priority work demanded the
+	// capacity.
+	By string `json:"by,omitempty"`
+
+	// budget_exhausted: the tenant whose budget ran out and the cumulative
+	// cost at the moment of exhaustion.
+	Tenant string  `json:"tenant,omitempty"`
+	Cost   float64 `json:"cost,omitempty"`
 }
 
 // ExpiredLease is one recovered lease-expiry record: a candidate whose
@@ -86,6 +106,16 @@ type ExpiredLease struct {
 	Job       string
 	Candidate string
 	Worker    string
+}
+
+// PreemptedLease is one recovered lease-preemption record: a best-effort
+// candidate whose lease was reclaimed to make room for higher-priority
+// work. Pure operational history, like ExpiredLease.
+type PreemptedLease struct {
+	Job       string
+	Candidate string
+	Worker    string
+	By        string // the job whose work demanded the capacity
 }
 
 // JobMeta is the durable identity of a submitted job: everything needed to
@@ -105,8 +135,12 @@ type RecoveredState struct {
 	Jobs      []JobMeta
 	Store     *Store
 	Abandoned map[string][]string
-	Expired   []ExpiredLease // lease expiries in the surviving WAL tail
-	Events    int            // WAL events applied on top of the snapshot
+	// BudgetExhausted marks jobs drained because their tenant's budget ran
+	// out; the scheduler re-retires their remaining candidates on recovery.
+	BudgetExhausted map[string]bool
+	Expired         []ExpiredLease   // lease expiries in the surviving WAL tail
+	Preempted       []PreemptedLease // lease preemptions in the surviving WAL tail
+	Events          int              // WAL events applied on top of the snapshot
 }
 
 const (
@@ -136,11 +170,15 @@ func OpenDir(dir string) (*Log, *RecoveredState, error) {
 		return nil, nil, fmt.Errorf("storage: creating data dir: %w", err)
 	}
 
-	rec := &RecoveredState{Store: NewStore(), Abandoned: make(map[string][]string)}
+	rec := &RecoveredState{
+		Store:           NewStore(),
+		Abandoned:       make(map[string][]string),
+		BudgetExhausted: make(map[string]bool),
+	}
 	var lastSeq uint64
 	snapPath := filepath.Join(dir, snapshotFile)
 	if f, err := os.Open(snapPath); err == nil {
-		store, jobs, abandoned, seq, lerr := loadSnapshot(f)
+		store, jobs, abandoned, exhausted, seq, lerr := loadSnapshot(f)
 		f.Close()
 		if lerr != nil {
 			return nil, nil, fmt.Errorf("storage: loading %s: %w", snapPath, lerr)
@@ -148,6 +186,9 @@ func OpenDir(dir string) (*Log, *RecoveredState, error) {
 		rec.Store, rec.Jobs = store, jobs
 		for id, names := range abandoned {
 			rec.Abandoned[id] = append([]string(nil), names...)
+		}
+		for _, id := range exhausted {
+			rec.BudgetExhausted[id] = true
 		}
 		lastSeq = seq
 	} else if !os.IsNotExist(err) {
@@ -287,6 +328,14 @@ func applyEvent(ev Event, rec *RecoveredState) error {
 		// Pure history: each event has a unique seq, so replay past the
 		// snapshot horizon applies it at most once; no dedup needed.
 		rec.Expired = append(rec.Expired, ExpiredLease{Job: ev.Job, Candidate: ev.Candidate, Worker: ev.Worker})
+	case EventLeasePreempted:
+		// Pure history, like expiry.
+		rec.Preempted = append(rec.Preempted, PreemptedLease{Job: ev.Job, Candidate: ev.Candidate, Worker: ev.Worker, By: ev.By})
+	case EventBudgetExhausted:
+		if rec.BudgetExhausted == nil {
+			rec.BudgetExhausted = make(map[string]bool)
+		}
+		rec.BudgetExhausted[ev.Job] = true // idempotent by construction
 	default:
 		return fmt.Errorf("unknown event type %q", ev.Type)
 	}
@@ -364,6 +413,21 @@ func (l *Log) AppendLeaseExpired(jobID, candidate, worker string) error {
 	return l.Append(Event{Type: EventLeaseExpired, Job: jobID, Candidate: candidate, Worker: worker})
 }
 
+// AppendLeasePreempted logs a lease reclaimed to make room for
+// higher-priority work (by names the demanding job); like expiry, the arm
+// re-enters selection in memory and only the history needs the log.
+func (l *Log) AppendLeasePreempted(jobID, candidate, worker, by string) error {
+	return l.Append(Event{Type: EventLeasePreempted, Job: jobID, Candidate: candidate, Worker: worker, By: by})
+}
+
+// AppendBudgetExhausted logs a job drained because its tenant's GPU cost
+// budget ran out (cost is the tenant's cumulative spend at that moment).
+// Recovery re-retires the job's remaining candidates, so a restarted
+// process agrees the job is done training.
+func (l *Log) AppendBudgetExhausted(jobID, tenant string, cost float64) error {
+	return l.Append(Event{Type: EventBudgetExhausted, Job: jobID, Tenant: tenant, Cost: cost})
+}
+
 // Seq returns the sequence number of the last appended event.
 func (l *Log) Seq() uint64 {
 	l.mu.Lock()
@@ -383,7 +447,7 @@ func (l *Log) Dir() string { return l.dir }
 // idempotency absorbs the overlap. The snapshot is written to a temp file,
 // fsynced and renamed over the old one, so a crash mid-compaction leaves
 // either the old or the new snapshot intact — never a torn one.
-func (l *Log) Compact(jobs []JobMeta, abandoned map[string][]string, store *Store, through uint64) error {
+func (l *Log) Compact(jobs []JobMeta, abandoned map[string][]string, budgetExhausted []string, store *Store, through uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
@@ -401,7 +465,7 @@ func (l *Log) Compact(jobs []JobMeta, abandoned map[string][]string, store *Stor
 	if err != nil {
 		return fmt.Errorf("storage: creating snapshot: %w", err)
 	}
-	if err := writeSnapshot(f, store, jobs, abandoned, through); err != nil {
+	if err := writeSnapshot(f, store, jobs, abandoned, budgetExhausted, through); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -177,7 +177,7 @@ func TestCompactionTruncatesAndRecovers(t *testing.T) {
 
 	jobs := []JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}
 	abandoned := map[string][]string{"job-0001": {"m9"}}
-	if err := l.Compact(jobs, abandoned, store, l.Seq()); err != nil {
+	if err := l.Compact(jobs, abandoned, nil, store, l.Seq()); err != nil {
 		t.Fatal(err)
 	}
 	if info, err := os.Stat(filepath.Join(dir, walFile)); err != nil || info.Size() != 0 {
@@ -237,7 +237,7 @@ func TestWALReplayIdempotent(t *testing.T) {
 	// Compact with state that already includes the example and the model,
 	// then append the very events the snapshot covers — the straggler
 	// scenario.
-	if err := l.Compact([]JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}, nil, store, l.Seq()); err != nil {
+	if err := l.Compact([]JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}, nil, nil, store, l.Seq()); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.AppendExampleFed("job-0001", 1, []float64{1}, []float64{2}); err != nil {
@@ -292,7 +292,7 @@ func TestCompactionPreservesEventsPastHorizon(t *testing.T) {
 		t.Fatal(err)
 	}
 	jobs := []JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}
-	if err := l.Compact(jobs, nil, store, horizon); err != nil {
+	if err := l.Compact(jobs, nil, nil, store, horizon); err != nil {
 		t.Fatal(err)
 	}
 	// The straggler survives compaction and further appends still work.
@@ -349,7 +349,7 @@ func TestLeaseExpiredEventsRecoverAndCompact(t *testing.T) {
 	}
 
 	jobs := []JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}
-	if err := l2.Compact(jobs, nil, rec.Store, l2.Seq()); err != nil {
+	if err := l2.Compact(jobs, nil, nil, rec.Store, l2.Seq()); err != nil {
 		t.Fatal(err)
 	}
 	if err := l2.Close(); err != nil {
@@ -365,5 +365,70 @@ func TestLeaseExpiredEventsRecoverAndCompact(t *testing.T) {
 	}
 	if len(rec2.Expired) != 0 {
 		t.Errorf("compaction preserved %d expiry records, want 0", len(rec2.Expired))
+	}
+}
+
+// Preemption events are pure history (recovered, folded away at
+// compaction); budget_exhausted is state (recovered AND preserved by
+// compaction in the snapshot).
+func TestPreemptionAndBudgetEventsRecoverAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendJobSubmitted("job-0001", "carol", "{prog}"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendLeasePreempted("job-0001", "GRU", "worker-0002", "job-0002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBudgetExhausted("job-0001", "carol", 41.5); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotency: a duplicate budget event (straggler window) is harmless.
+	if err := l.AppendBudgetExhausted("job-0001", "carol", 41.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // crash boundary
+		t.Fatal(err)
+	}
+
+	l2, rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Preempted) != 1 {
+		t.Fatalf("recovered %d preemptions, want 1: %+v", len(rec.Preempted), rec.Preempted)
+	}
+	if rec.Preempted[0] != (PreemptedLease{Job: "job-0001", Candidate: "GRU", Worker: "worker-0002", By: "job-0002"}) {
+		t.Errorf("preemption record %+v", rec.Preempted[0])
+	}
+	if !rec.BudgetExhausted["job-0001"] {
+		t.Errorf("budget exhaustion not recovered: %+v", rec.BudgetExhausted)
+	}
+
+	jobs := []JobMeta{{ID: "job-0001", Name: "carol", Program: "{prog}"}}
+	var exhausted []string
+	for id := range rec.BudgetExhausted {
+		exhausted = append(exhausted, id)
+	}
+	if err := l2.Compact(jobs, nil, exhausted, rec.Store, l2.Seq()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l3, rec2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if len(rec2.Preempted) != 0 {
+		t.Errorf("compaction preserved %d preemption records, want 0", len(rec2.Preempted))
+	}
+	if !rec2.BudgetExhausted["job-0001"] {
+		t.Error("compaction lost the budget-exhausted marker")
 	}
 }
