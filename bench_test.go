@@ -21,14 +21,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/easeml"
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/server"
 )
 
 // benchCfg trades repetitions for benchmark wall-clock; cmd/experiments
@@ -120,7 +125,8 @@ func BenchmarkEngine(b *testing.B) {
 	}
 }
 
-// schedBenchResult is one row of BENCH_scheduler.json.
+// schedBenchResult is one row of the multi-tenant throughput section of
+// BENCH_scheduler.json.
 type schedBenchResult struct {
 	Tenants      int     `json:"tenants"`
 	Rounds       int     `json:"rounds"`
@@ -128,32 +134,96 @@ type schedBenchResult struct {
 	NsPerRound   float64 `json:"ns_per_round"`
 }
 
+// schedBenchDoc is the multi-tenant scheduler section of one trajectory
+// entry.
+type schedBenchDoc struct {
+	Benchmark string             `json:"benchmark"`
+	Picker    string             `json:"picker"`
+	Results   []schedBenchResult `json:"results"`
+}
+
+// pickPathBench is the pick-path section of one trajectory entry: the
+// selection-index implementation versus the deep-clone baseline on the
+// same many-jobs scheduler state.
+type pickPathBench struct {
+	Benchmark          string  `json:"benchmark"`
+	Jobs               int     `json:"jobs"`
+	Arms               int     `json:"arms"`
+	ObservedPerJob     int     `json:"observed_per_job"`
+	DeepCloneNsPerIter float64 `json:"deep_clone_ns_per_iter"`
+	IndexedNsPerIter   float64 `json:"indexed_ns_per_iter"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// benchRun is one commit's entry in the benchmark trajectory.
+type benchRun struct {
+	Commit    string         `json:"commit"`
+	Scheduler *schedBenchDoc `json:"scheduler,omitempty"`
+	PickPath  *pickPathBench `json:"pick_path,omitempty"`
+}
+
+// benchTrajectory is the BENCH_scheduler.json schema: one entry per
+// commit, appended across runs (re-running on the same commit replaces
+// that commit's sections in place), so the committed file accumulates the
+// performance history instead of being overwritten per run. CI uploads
+// the accumulated file as an artifact.
+type benchTrajectory struct {
+	Runs []benchRun `json:"runs"`
+}
+
 var (
 	schedBenchMu      sync.Mutex
 	schedBenchResults = map[int]schedBenchResult{}
 )
 
-// writeSchedBench persists the accumulated multi-tenant scheduler
-// throughput rows to BENCH_scheduler.json — the machine-readable perf
-// trajectory CI uploads as an artifact. Rewritten after every
-// sub-benchmark, so a filtered -bench run still leaves a valid file.
-func writeSchedBench(b *testing.B) {
+// benchCommit identifies the commit a benchmark run belongs to:
+// BENCH_COMMIT and GITHUB_SHA override, then the local git HEAD, then
+// "uncommitted".
+func benchCommit() string {
+	if c := os.Getenv("BENCH_COMMIT"); c != "" {
+		return c
+	}
+	if c := os.Getenv("GITHUB_SHA"); c != "" {
+		if len(c) > 12 {
+			c = c[:12]
+		}
+		return c
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		if c := strings.TrimSpace(string(out)); c != "" {
+			return c
+		}
+	}
+	return "uncommitted"
+}
+
+// updateBenchTrajectory merges one section into the current commit's
+// trajectory entry in BENCH_scheduler.json, preserving every other run.
+// Called after each sub-benchmark, so a filtered -bench run still leaves a
+// valid, fully-merged file.
+func updateBenchTrajectory(b *testing.B, mutate func(*benchRun)) {
+	b.Helper()
 	schedBenchMu.Lock()
 	defer schedBenchMu.Unlock()
-	rows := make([]schedBenchResult, 0, len(schedBenchResults))
-	for _, r := range schedBenchResults {
-		rows = append(rows, r)
+	var doc benchTrajectory
+	if data, err := os.ReadFile("BENCH_scheduler.json"); err == nil {
+		// A parse failure (e.g. the pre-trajectory schema) starts a fresh
+		// history rather than failing the benchmark.
+		_ = json.Unmarshal(data, &doc)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Tenants < rows[j].Tenants })
-	doc := struct {
-		Benchmark string             `json:"benchmark"`
-		Picker    string             `json:"picker"`
-		Results   []schedBenchResult `json:"results"`
-	}{
-		Benchmark: "BenchmarkSchedulerMultiTenant",
-		Picker:    "class-weighted(hybrid)",
-		Results:   rows,
+	commit := benchCommit()
+	var run *benchRun
+	for i := range doc.Runs {
+		if doc.Runs[i].Commit == commit {
+			run = &doc.Runs[i]
+			break
+		}
 	}
+	if run == nil {
+		doc.Runs = append(doc.Runs, benchRun{Commit: commit})
+		run = &doc.Runs[len(doc.Runs)-1]
+	}
+	mutate(run)
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -161,6 +231,25 @@ func writeSchedBench(b *testing.B) {
 	if err := os.WriteFile("BENCH_scheduler.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// writeSchedBench folds the accumulated multi-tenant throughput rows into
+// the current commit's trajectory entry.
+func writeSchedBench(b *testing.B) {
+	schedBenchMu.Lock()
+	rows := make([]schedBenchResult, 0, len(schedBenchResults))
+	for _, r := range schedBenchResults {
+		rows = append(rows, r)
+	}
+	schedBenchMu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Tenants < rows[j].Tenants })
+	updateBenchTrajectory(b, func(run *benchRun) {
+		run.Scheduler = &schedBenchDoc{
+			Benchmark: "BenchmarkSchedulerMultiTenant",
+			Picker:    "class-weighted(hybrid)",
+			Results:   rows,
+		}
+	})
 }
 
 // BenchmarkSchedulerMultiTenant measures end-to-end scheduling throughput
@@ -213,6 +302,133 @@ func BenchmarkSchedulerMultiTenant(b *testing.B) {
 			}
 			schedBenchMu.Unlock()
 			writeSchedBench(b)
+		})
+	}
+}
+
+// BenchmarkPickWorkManyJobs measures the scheduler's selection hot path at
+// scale — 256 jobs × 35 candidate arms, ~60% observed — comparing the
+// cross-job selection index (dirty-epoch score heap + O(1) prefix-sharing
+// hallucination shadows + rank-1 hallucination downdates) against the
+// deep-clone baseline (full posterior clone per shadow batch + linear
+// picker scan). One benchmark iteration is one steady-state engine
+// exchange: lease a batch on top of a standing in-flight set, then hand it
+// back. Before timing, both modes run the same iteration sequence and
+// every lease must match arm for arm (and UCB bit for bit) — the index is
+// a pure optimization, never a behavior change. The measured speedup lands
+// in BENCH_scheduler.json's pick_path section.
+func BenchmarkPickWorkManyJobs(b *testing.B) {
+	const (
+		jobs    = 256
+		program = "{input: {[Tensor[16, 16, 3]], []}, output: {[Tensor[2]], []}}" // 35 candidates
+		hold    = 8                                                               // standing in-flight leases
+		batch   = 2                                                               // leases exchanged per iteration
+	)
+	var arms, observedPerJob int
+	setup := func() *server.Scheduler {
+		// The pure greedy policy (§4.3) keeps concentrating picks on the
+		// max-gap job, so a standing in-flight set puts every measured pick
+		// on the hallucination-shadow path — the regime the index exists
+		// for. (HYBRID degrades to round-robin once frozen, which spreads
+		// picks across no-in-flight jobs and measures only the common
+		// O(J) sweep both modes share.)
+		sc := server.NewScheduler(server.NewSimTrainer(cluster.NewPool(8, 0.9), 21), &core.GreedyPicker{}, "http://bench:9000")
+		for i := 0; i < jobs; i++ {
+			job, err := sc.Submit(fmt.Sprintf("bench-%03d", i), program)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arms = len(job.Candidates)
+		}
+		// Observe ~60% of every job's arms so the posteriors carry a
+		// realistic history (t ≈ 21): this is what makes the baseline's
+		// O(t³) clone and O(K·t²) recomputes expensive.
+		observedPerJob = arms * 6 / 10
+		if _, err := sc.RunRounds(jobs * observedPerJob); err != nil {
+			b.Fatal(err)
+		}
+		return sc
+	}
+	exchange := func(sc *server.Scheduler) []*server.Lease {
+		leases, err := sc.PickWork(hold + batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, l := range leases {
+			if err := sc.Release(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return leases
+	}
+
+	indexed := setup()
+	deep := setup()
+	deep.SetLegacySelection(true)
+
+	// Standing in-flight set (never released): the picks under measurement
+	// land on jobs that already have arms in flight, so every pick pays
+	// the hallucination-shadow path.
+	heldA, err := indexed.PickWork(hold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	heldB, err := deep.PickWork(hold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(heldA) != hold || len(heldB) != hold {
+		b.Fatalf("standing set: %d vs %d leases, want %d", len(heldA), len(heldB), hold)
+	}
+
+	// Bit-identity gate: the two modes must produce identical lease
+	// sequences before either is timed.
+	for i := 0; i < hold; i++ {
+		if heldA[i].JobID != heldB[i].JobID || heldA[i].Arm != heldB[i].Arm || heldA[i].UCB != heldB[i].UCB {
+			b.Fatalf("standing pick %d diverged: %s/%d@%v vs %s/%d@%v",
+				i, heldA[i].JobID, heldA[i].Arm, heldA[i].UCB, heldB[i].JobID, heldB[i].Arm, heldB[i].UCB)
+		}
+	}
+	for iter := 0; iter < 16; iter++ {
+		la, lb := exchange(indexed), exchange(deep)
+		if len(la) != len(lb) {
+			b.Fatalf("iteration %d: %d vs %d leases", iter, len(la), len(lb))
+		}
+		for i := range la {
+			if la[i].JobID != lb[i].JobID || la[i].Arm != lb[i].Arm || la[i].UCB != lb[i].UCB {
+				b.Fatalf("iteration %d pick %d diverged: %s/%d@%v vs %s/%d@%v",
+					iter, i, la[i].JobID, la[i].Arm, la[i].UCB, lb[i].JobID, lb[i].Arm, lb[i].UCB)
+			}
+		}
+	}
+
+	var deepNs, indexedNs float64
+	run := func(sc *server.Scheduler, ns *float64) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := exchange(sc); len(got) == 0 {
+					b.Fatal("exchange leased nothing")
+				}
+			}
+			*ns = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		}
+	}
+	b.Run("deep-clone", run(deep, &deepNs))
+	b.Run("indexed", run(indexed, &indexedNs))
+	if deepNs > 0 && indexedNs > 0 {
+		speedup := deepNs / indexedNs
+		b.ReportMetric(speedup, "speedup")
+		updateBenchTrajectory(b, func(run *benchRun) {
+			run.PickPath = &pickPathBench{
+				Benchmark:          "BenchmarkPickWorkManyJobs",
+				Jobs:               jobs,
+				Arms:               arms,
+				ObservedPerJob:     observedPerJob,
+				DeepCloneNsPerIter: deepNs,
+				IndexedNsPerIter:   indexedNs,
+				Speedup:            speedup,
+			}
 		})
 	}
 }

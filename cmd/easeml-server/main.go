@@ -8,7 +8,7 @@
 //	easeml-server [-addr :9000] [-gpus 24] [-seed 1] [-alpha 0.9]
 //	              [-workers 0] [-batch 0] [-data-dir DIR]
 //	              [-fleet-addr ADDR] [-lease-ttl 10s]
-//	              [-quota-config FILE] [-max-inflight 0]
+//	              [-quota-config FILE] [-max-inflight 0] [-pprof]
 //
 // With -workers N > 0 the async execution engine starts at boot: N
 // concurrent trainers lease work through the scheduler's two-phase API and
@@ -52,6 +52,11 @@
 // outstanding best-effort lease (the displaced candidate is re-queued
 // exactly once and the preemption is WAL-logged).
 //
+// With -pprof the Go profiler is mounted at /debug/pprof/ on the admin mux
+// (off by default — profiles expose internals, so only enable it where the
+// admin surface is trusted): CPU and heap profiles of the live pick path,
+// readable with `go tool pprof`.
+//
 // SIGINT/SIGTERM drain the engine gracefully before exit: running trainings
 // finish, queued leases are handed back, and (with -data-dir) the log is
 // compacted and closed.
@@ -64,6 +69,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -82,6 +88,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 0, "fleet lease TTL before silent workers' leases are re-queued (default 10s)")
 	quotaConfig := flag.String("quota-config", "", "JSON tenant quota file enabling admission control (classes, caps, rate limits, budgets)")
 	maxInFlight := flag.Int("max-inflight", 0, "cap on total outstanding fleet leases; saturated guaranteed work preempts best-effort (0 = no cap)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the admin mux (off by default; exposes profiles to anyone who can reach the server)")
 	flag.Parse()
 	if *alpha <= 0 || *alpha > 1 {
 		log.Fatalf("-alpha %g outside (0, 1]", *alpha)
@@ -98,6 +105,14 @@ func main() {
 		FleetAddr:        *fleetAddr,
 		LeaseTTL:         *leaseTTL,
 		FleetMaxInFlight: *maxInFlight,
+		Pprof:            *pprofFlag,
+	}
+	if *pprofFlag {
+		host := *addr
+		if strings.HasPrefix(host, ":") {
+			host = "localhost" + host
+		}
+		fmt.Printf("pprof profiling mounted at /debug/pprof/ (go tool pprof http://%s/debug/pprof/profile)\n", host)
 	}
 	if *quotaConfig != "" {
 		quotas, err := easeml.LoadQuotaFile(*quotaConfig)

@@ -35,6 +35,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/admission"
@@ -92,6 +93,7 @@ type Service struct {
 	sched   *server.Scheduler
 	pool    *cluster.Pool
 	trainer *server.SimTrainer
+	pprof   bool
 	engine  *engine.Engine        // nil unless Workers > 0
 	log     *storage.Log          // nil unless DataDir is set
 	coord   *fleet.Coordinator    // nil unless Fleet/FleetAddr enabled
@@ -184,6 +186,11 @@ type ServiceConfig struct {
 	// ("standard" when empty). Setting it (or Quotas) enables admission
 	// control.
 	DefaultClass string
+	// Pprof mounts net/http/pprof's profiling handlers under /debug/pprof/
+	// on the service handler (the admin surface). Off by default: the
+	// profiler exposes goroutine dumps and CPU profiles, so enable it only
+	// where the admin endpoint is trusted (easeml-server's -pprof flag).
+	Pprof bool
 }
 
 // TenantQuota declares one tenant's admission envelope. Zero fields mean
@@ -268,7 +275,7 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 	trainer := server.NewSimTrainer(pool, cfg.Seed)
 	trainer.Delay = cfg.TrainDelay
 	sched := server.NewScheduler(trainer, nil, cfg.Addr)
-	s := &Service{sched: sched, pool: pool, trainer: trainer}
+	s := &Service{sched: sched, pool: pool, trainer: trainer, pprof: cfg.Pprof}
 	if len(cfg.Quotas) > 0 || cfg.DefaultClass != "" {
 		// Admission is installed before recovery, so recovered jobs pick up
 		// their tenant's class and re-register with the controller.
@@ -438,15 +445,32 @@ func (s *Service) Handler() http.Handler {
 	if s.adm != nil {
 		api.WithAdmission(s.adm)
 	}
-	if s.coord == nil {
+	if s.coord == nil && !s.pprof {
 		return api.Handler()
 	}
-	api.WithFleet(s.coord)
 	mux := http.NewServeMux()
 	mux.Handle("/", api.Handler())
-	mux.Handle("/fleet/", s.coord.Handler())
+	if s.coord != nil {
+		api.WithFleet(s.coord)
+		mux.Handle("/fleet/", s.coord.Handler())
+	}
+	if s.pprof {
+		// Explicit registrations, not the package's init side effect on
+		// http.DefaultServeMux — the service handler never serves the
+		// default mux, and profiling must stay strictly opt-in.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
+
+// SelectionMetrics snapshots the scheduler's pick-path counters: selection
+// index epoch/heap/shadow traffic plus the aggregated per-job bandit cache
+// tallies (also served under "selection" in GET /admin/metrics).
+func (s *Service) SelectionMetrics() server.SelectionStats { return s.sched.SelectionStats() }
 
 // FleetStatus snapshots the fleet's worker registry and lease counters; ok
 // is false when the service runs without a fleet coordinator.

@@ -78,10 +78,51 @@ type GPUCB struct {
 	// observation arrives (β depends on the local step count, the posterior
 	// on the history), so between observations the choice is constant. The
 	// multi-tenant GREEDY picker queries MaxUCB for every tenant at every
-	// round; this cache makes those queries amortized O(1).
+	// round; this cache makes those queries amortized O(1). Alongside the
+	// winning (arm, value) pair the full per-arm UCB surface is kept
+	// (UCBSurface) for diagnostics and the shadow-equivalence tests; stats
+	// counts hits, misses and invalidations for the /admin/metrics
+	// surface.
 	cacheValid bool
 	cachedArm  int
 	cachedUCB  float64
+	cachedUCBs []float64
+	stats      SelectionCacheStats
+}
+
+// SelectionCacheStats counts SelectArm-cache traffic: Hits are selections
+// answered from the cached UCB surface, Misses are full posterior passes,
+// and Invalidations are observations/retirements that dirtied the cache.
+type SelectionCacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// Stats bundles the bandit's selection-cache counters with the underlying
+// process's posterior-cache counters.
+type Stats struct {
+	Select    SelectionCacheStats `json:"select"`
+	Posterior gp.CacheStats       `json:"posterior"`
+}
+
+// CacheStats reports the bandit's cache counters (selection layer plus the
+// GP posterior cache beneath it).
+func (b *GPUCB) CacheStats() Stats {
+	return Stats{Select: b.stats, Posterior: b.gp.PosteriorCacheStats()}
+}
+
+// UCBSurface returns a copy of the cached per-arm UCB scores (NaN for
+// tried/retired arms, nil when every arm is exhausted), recomputing the
+// surface if it is stale. It is a diagnostics/testing read — the
+// cross-job selection index ranks jobs through Tenant.Gap/MaxUCB, which
+// hit the same cache — exposed so equivalence tests can compare whole
+// surfaces instead of single argmax winners.
+func (b *GPUCB) UCBSurface() []float64 {
+	if arm, _ := b.SelectArm(); arm < 0 {
+		return nil
+	}
+	return append([]float64(nil), b.cachedUCBs...)
 }
 
 // New creates a GPUCB over the arms of the given posterior process.
@@ -171,14 +212,21 @@ func (b *GPUCB) SelectArm() (arm int, ucb float64) {
 		return -1, math.Inf(-1)
 	}
 	if b.cacheValid {
+		b.stats.Hits++
 		return b.cachedArm, b.cachedUCB
 	}
+	b.stats.Misses++
 	beta := b.Beta()
 	mu, sigma := b.gp.Posterior()
+	if cap(b.cachedUCBs) < b.NumArms() {
+		b.cachedUCBs = make([]float64, b.NumArms())
+	}
+	b.cachedUCBs = b.cachedUCBs[:b.NumArms()]
 	arm = -1
 	ucb = math.Inf(-1)
 	for k := 0; k < b.NumArms(); k++ {
 		if b.Tried(k) {
+			b.cachedUCBs[k] = math.NaN()
 			continue
 		}
 		bk := beta
@@ -186,6 +234,7 @@ func (b *GPUCB) SelectArm() (arm int, ucb float64) {
 			bk /= b.cfg.Costs[k]
 		}
 		v := mu[k] + b.shift(k) + math.Sqrt(bk)*sigma[k]
+		b.cachedUCBs[k] = v
 		if v > ucb {
 			ucb = v
 			arm = k
@@ -225,7 +274,7 @@ func (b *GPUCB) Observe(k int, y float64) error {
 	b.tried[k] = true
 	b.nTried++
 	b.t++
-	b.cacheValid = false
+	b.invalidateCache()
 	b.cumCost += b.cfg.Costs[k]
 	if !b.haveObs || y > b.bestY {
 		b.bestY = y
@@ -249,7 +298,16 @@ func (b *GPUCB) Retire(k int) {
 	}
 	b.tried[k] = true
 	b.nTried++
-	b.cacheValid = false
+	b.invalidateCache()
+}
+
+// invalidateCache dirties the SelectArm cache after an observation or
+// retirement.
+func (b *GPUCB) invalidateCache() {
+	if b.cacheValid {
+		b.cacheValid = false
+		b.stats.Invalidations++
+	}
 }
 
 // Best returns the best arm observed so far and its reward; ok is false

@@ -1,0 +1,173 @@
+package bandit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gp"
+)
+
+// randomBandit builds a well-conditioned GPUCB over k arms with obs random
+// observations already folded in.
+func randomBandit(t *testing.T, rng *rand.Rand, k, obs int, costAware bool) *GPUCB {
+	t.Helper()
+	features := make([][]float64, k)
+	costs := make([]float64, k)
+	for j := range features {
+		features[j] = []float64{rng.Float64(), rng.Float64()}
+		costs[j] = 0.5 + 4*rng.Float64()
+	}
+	process := gp.NewFromFeatures(gp.RBF{Variance: 0.05, LengthScale: 0.5}, features, 1e-4)
+	b := New(process, Config{Costs: costs, CostAware: costAware, Mean0: 0.6})
+	for _, arm := range rng.Perm(k)[:obs] {
+		if err := b.Observe(arm, rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func untriedArms(b *GPUCB) []int {
+	var arms []int
+	for k := 0; k < b.NumArms(); k++ {
+		if !b.Tried(k) {
+			arms = append(arms, k)
+		}
+	}
+	return arms
+}
+
+// TestShadowEquivalence is the shadow-equivalence property test: across
+// random seeds, the prefix-sharing NewShadow must be bit-identical to the
+// deep-clone CloneShadow baseline — same SelectArm (arm and UCB bits) and
+// same SelectBatch — for random in-flight sets, through incremental
+// hallucinations, and after the base bandit observes more (the
+// copy-on-write trigger).
+func TestShadowEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 6 + rng.Intn(30)
+		obs := rng.Intn(k)
+		costAware := seed%2 == 0
+		base := randomBandit(t, rng, k, obs, costAware)
+
+		// Random in-flight subset of the untried arms, in random order.
+		untried := untriedArms(base)
+		rng.Shuffle(len(untried), func(i, j int) { untried[i], untried[j] = untried[j], untried[i] })
+		inFlight := untried[:rng.Intn(len(untried)+1)]
+
+		fast := base.NewShadow(inFlight)
+		slow := base.CloneShadow(inFlight)
+
+		sameSelection := func(stage string) {
+			t.Helper()
+			fa, fu := fast.SelectArm()
+			sa, su := slow.SelectArm()
+			if fa != sa || fu != su {
+				t.Fatalf("seed %d %s: shadow pick (%d, %v) vs deep-clone (%d, %v)", seed, stage, fa, fu, sa, su)
+			}
+		}
+		sameSelection("after in-flight hallucination")
+
+		// Incremental hallucinations — the PickWork batch pattern.
+		for i := 0; i < 3; i++ {
+			fa, _ := fast.SelectArm()
+			if fa < 0 {
+				break
+			}
+			fast.Hallucinate(fa)
+			slow.Hallucinate(fa)
+			sameSelection("incremental hallucination")
+		}
+
+		// The base moving on (copy-on-write in the shared factor) must not
+		// disturb the already-built shadows.
+		if rest := untriedArms(base); len(rest) > 0 {
+			if err := base.Observe(rest[0], rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+			sameSelection("after base observe (COW)")
+		}
+	}
+}
+
+// SelectBatch on the reworked shadows must match a deep-clone driven
+// batch pick arm for arm.
+func TestSelectBatchEquivalence(t *testing.T) {
+	for seed := int64(100); seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 8 + rng.Intn(20)
+		obs := rng.Intn(k)
+		base := randomBandit(t, rng, k, obs, true)
+		for _, size := range []int{1, 2, 4, k} {
+			got := base.SelectBatch(size)
+
+			// Reference: drive the same hallucination loop on a deep clone.
+			shadow := base.CloneShadow(nil)
+			var want []int
+			for len(want) < size {
+				arm, _ := shadow.SelectArm()
+				if arm < 0 {
+					break
+				}
+				want = append(want, arm)
+				shadow.Hallucinate(arm)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d size %d: batch %v vs deep-clone %v", seed, size, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d size %d: batch %v vs deep-clone %v", seed, size, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := randomBandit(t, rng, 10, 4, false)
+	b.SelectArm()
+	b.SelectArm()
+	b.MaxUCB()
+	st := b.CacheStats()
+	if st.Select.Misses != 1 || st.Select.Hits < 2 {
+		t.Fatalf("select cache stats %+v: want 1 miss, ≥2 hits", st.Select)
+	}
+	arm, _ := b.SelectArm()
+	if err := b.Observe(arm, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CacheStats().Select.Invalidations; got != st.Select.Invalidations+1 {
+		t.Fatalf("invalidations = %d, want %d", got, st.Select.Invalidations+1)
+	}
+	surface := b.UCBSurface()
+	if len(surface) != b.NumArms() {
+		t.Fatalf("UCB surface has %d entries for %d arms", len(surface), b.NumArms())
+	}
+	for k := 0; k < b.NumArms(); k++ {
+		if b.Tried(k) != math.IsNaN(surface[k]) {
+			t.Fatalf("arm %d: tried=%v but surface=%v", k, b.Tried(k), surface[k])
+		}
+	}
+}
+
+// Shadow creation must be alloc-flat in the observation count — the whole
+// point of the prefix-sharing refactor. The deep-clone baseline grows
+// linearly (one row copy per observation), the new shadow must not.
+func TestNewShadowAllocFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	small := randomBandit(t, rng, 12, 6, true)
+	big := randomBandit(t, rng, 64, 60, true)
+	allocsSmall := testing.AllocsPerRun(50, func() { _ = small.NewShadow(nil) })
+	allocsBig := testing.AllocsPerRun(50, func() { _ = big.NewShadow(nil) })
+	if allocsBig > allocsSmall+1 {
+		t.Fatalf("NewShadow allocations grew with history: %g (t=6) vs %g (t=60)", allocsSmall, allocsBig)
+	}
+	deep := testing.AllocsPerRun(50, func() { _ = big.CloneShadow(nil) })
+	if deep <= allocsBig {
+		t.Fatalf("deep-clone baseline allocates %g vs shadow %g — baseline should be strictly heavier", deep, allocsBig)
+	}
+}

@@ -60,6 +60,24 @@ func classWeight(t *Tenant) float64 {
 // round-robin over classes with active tenants, then let the inner picker
 // choose among that class's tenants.
 func (p *ClassWeightedPicker) Pick(tenants []*Tenant) int {
+	return p.pick(tenants, p.Inner.Pick)
+}
+
+// PickWithOracle implements OraclePicker: identical to Pick, delegating
+// the within-class choice to the inner picker's oracle path when the
+// inner picker supports one. Masking composes naturally — the oracle
+// reads Active live, so the class restriction applies to its candidate
+// sets too.
+func (p *ClassWeightedPicker) PickWithOracle(tenants []*Tenant, o SelectionOracle) int {
+	inner := p.Inner.Pick
+	if op, ok := p.Inner.(OraclePicker); ok {
+		inner = func(ts []*Tenant) int { return op.PickWithOracle(ts, o) }
+	}
+	return p.pick(tenants, inner)
+}
+
+// pick is the shared smooth-WRR body; innerPick chooses within the class.
+func (p *ClassWeightedPicker) pick(tenants []*Tenant, innerPick func([]*Tenant) int) int {
 	if p.credit == nil {
 		p.credit = make(map[string]float64)
 	}
@@ -86,7 +104,7 @@ func (p *ClassWeightedPicker) Pick(tenants []*Tenant) int {
 	if len(order) == 1 {
 		// Single class (the no-admission deployment): the wrapper is
 		// transparent — no credit bookkeeping, identical inner behaviour.
-		return p.Inner.Pick(tenants)
+		return innerPick(tenants)
 	}
 	var total float64
 	for _, key := range order {
@@ -110,7 +128,7 @@ func (p *ClassWeightedPicker) Pick(tenants []*Tenant) int {
 			t.SetMasked(true)
 		}
 	}
-	idx := p.Inner.Pick(tenants)
+	idx := innerPick(tenants)
 	for _, t := range tenants {
 		t.SetMasked(false)
 	}

@@ -55,8 +55,6 @@ type WeightedGreedyPicker struct {
 	// Weights[i] scales tenant i's max-gap score; tenants without an entry
 	// (short slice) weigh 1.
 	Weights []float64
-
-	greedy GreedyPicker
 }
 
 // Name implements UserPicker.
@@ -68,7 +66,7 @@ func (p *WeightedGreedyPicker) Pick(tenants []*Tenant) int {
 	if len(active) == 0 {
 		return -1
 	}
-	candidates := p.greedy.candidateSet(tenants, active)
+	candidates := greedyCandidateSet(tenants, active)
 	best := -1
 	bestScore := math.Inf(-1)
 	for _, i := range candidates {

@@ -20,6 +20,35 @@ type UserPicker interface {
 	Pick(tenants []*Tenant) int
 }
 
+// SelectionOracle answers greedy user-picking queries from pre-computed,
+// incrementally-maintained state — the seam through which the server's
+// cross-job selection index (internal/server) plugs into the paper's
+// pickers without the pickers knowing about dirty epochs or score heaps.
+//
+// Implementations must reproduce GreedyPicker's semantics exactly:
+// GreedyChoice returns the index GreedyPicker.Pick would return for the
+// same tenant slice, and GreedyCandidates the sorted candidate set Vt its
+// candidateSet would compute. The selection-index equivalence tests in
+// internal/server enforce this bit-for-bit.
+type SelectionOracle interface {
+	// GreedyChoice returns the greedy pick (max gap over the candidate
+	// set), or -1 when no tenant is active.
+	GreedyChoice(tenants []*Tenant) int
+	// GreedyCandidates returns the candidate set Vt as sorted tenant
+	// indices. It is only consulted when freeze detection needs a
+	// signature — once per observed round, not per pick.
+	GreedyCandidates(tenants []*Tenant) []int
+}
+
+// OraclePicker is the optional UserPicker extension for pickers whose
+// greedy phase can be served by a SelectionOracle. PickWithOracle must
+// behave exactly like Pick, with the oracle standing in for the linear
+// greedy scan.
+type OraclePicker interface {
+	UserPicker
+	PickWithOracle(tenants []*Tenant, o SelectionOracle) int
+}
+
 // Active returns the indices of tenants that still have untried, unleased
 // models.
 func Active(tenants []*Tenant) []int {
@@ -184,30 +213,37 @@ type GreedyPicker struct {
 // Name implements UserPicker.
 func (*GreedyPicker) Name() string { return "greedy" }
 
-// Pick implements UserPicker.
-func (p *GreedyPicker) Pick(tenants []*Tenant) int {
+// GreedyDecision is the canonical linear implementation of the greedy
+// user-picking rule: it computes the candidate set Vt (unserved-active
+// tenants when any exist, else the active tenants with σ̃ at or above the
+// active mean, falling back to all active on the numerical corner) and the
+// max-gap choice over it, with ties broken toward the lowest index. gap(i)
+// supplies tenant i's Gap — a hook so selection indexes can serve cached
+// scores — and candidates comes back in ascending index order.
+//
+// Every SelectionOracle must match this function bit-for-bit; GreedyPicker
+// itself is built on it.
+func GreedyDecision(tenants []*Tenant, gap func(i int) float64) (choice int, candidates []int) {
 	active := Active(tenants)
 	if len(active) == 0 {
-		return -1
+		return -1, nil
 	}
-	candidates := p.candidateSet(tenants, active)
-	// Max-gap rule over the candidate set.
-	best := -1
+	candidates = greedyCandidateSet(tenants, active)
+	choice = -1
 	bestGap := math.Inf(-1)
 	for _, i := range candidates {
-		if gap := tenants[i].Gap(); gap > bestGap {
-			bestGap = gap
-			best = i
+		if g := gap(i); g > bestGap {
+			bestGap = g
+			choice = i
 		}
 	}
-	return best
+	return choice, candidates
 }
 
-// candidateSet computes Vt over the active tenants. Unserved tenants have
-// σ̃ = +Inf and dominate: they are served first, reproducing Algorithm 2's
-// initialization sweep. When any σ̃ is infinite the mean is +Inf, so only
-// the unserved tenants qualify — exactly the initialization behaviour.
-func (p *GreedyPicker) candidateSet(tenants []*Tenant, active []int) []int {
+// greedyCandidateSet computes Vt over the active tenants (ascending
+// index order). Unserved tenants have σ̃ = +Inf and dominate: they are
+// served first, reproducing Algorithm 2's initialization sweep.
+func greedyCandidateSet(tenants []*Tenant, active []int) []int {
 	var sum float64
 	unserved := active[:0:0]
 	for _, i := range active {
@@ -218,23 +254,36 @@ func (p *GreedyPicker) candidateSet(tenants []*Tenant, active []int) []int {
 		}
 		sum += st
 	}
-	var candidates []int
 	if len(unserved) > 0 {
-		candidates = unserved
-	} else {
-		avg := sum / float64(len(active))
-		for _, i := range active {
-			if tenants[i].SigmaTilde() >= avg {
-				candidates = append(candidates, i)
-			}
-		}
-		if len(candidates) == 0 { // numerical corner: all equal to avg-ε
-			candidates = active
+		return unserved
+	}
+	avg := sum / float64(len(active))
+	var candidates []int
+	for _, i := range active {
+		if tenants[i].SigmaTilde() >= avg {
+			candidates = append(candidates, i)
 		}
 	}
+	if len(candidates) == 0 { // numerical corner: all equal to avg-ε
+		candidates = active
+	}
+	return candidates
+}
+
+// Pick implements UserPicker.
+func (p *GreedyPicker) Pick(tenants []*Tenant) int {
+	choice, candidates := GreedyDecision(tenants, func(i int) float64 { return tenants[i].Gap() })
 	p.lastCandidates = append(p.lastCandidates[:0], candidates...)
 	sort.Ints(p.lastCandidates)
-	return candidates
+	return choice
+}
+
+// PickWithOracle implements OraclePicker: the oracle stands in for the
+// linear candidate-set scan. The lastCandidates freeze signature is not
+// maintained on this path — it is only consumed by HybridPicker, which
+// queries the oracle directly.
+func (p *GreedyPicker) PickWithOracle(tenants []*Tenant, o SelectionOracle) int {
+	return o.GreedyChoice(tenants)
 }
 
 // HybridPicker is ease.ml's default scheduler (§4.4): GREEDY with freeze
@@ -272,6 +321,24 @@ func (p *HybridPicker) Pick(tenants []*Tenant) int {
 		return p.rr.Pick(tenants)
 	}
 	choice := p.greedy.Pick(tenants)
+	return p.finishPick(tenants, choice, func() []int { return p.greedy.lastCandidates })
+}
+
+// PickWithOracle implements OraclePicker: identical to Pick, with the
+// greedy phase (choice and candidate-set signature) served by the oracle.
+func (p *HybridPicker) PickWithOracle(tenants []*Tenant, o SelectionOracle) int {
+	if p.frozen {
+		return p.rr.Pick(tenants)
+	}
+	choice := o.GreedyChoice(tenants)
+	return p.finishPick(tenants, choice, func() []int { return o.GreedyCandidates(tenants) })
+}
+
+// finishPick runs the freeze-detection bookkeeping on a greedy choice.
+// candidates is consulted lazily — only when a new observation has landed
+// since the previous pick — so oracle-backed picks between observations
+// never pay for the candidate-set signature.
+func (p *HybridPicker) finishPick(tenants []*Tenant, choice int, candidates func() []int) int {
 	if choice < 0 {
 		return choice
 	}
@@ -287,7 +354,7 @@ func (p *HybridPicker) Pick(tenants []*Tenant) int {
 	if p.havePrev && totalObs == p.prevObs {
 		return choice
 	}
-	sig := fmt.Sprint(p.greedy.lastCandidates)
+	sig := fmt.Sprint(candidates())
 	total := 0.0
 	for _, t := range tenants {
 		total += t.BestObserved()

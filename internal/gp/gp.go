@@ -23,6 +23,31 @@ type GP struct {
 	chol   *linalg.Cholesky // factorization of (Σt + σ²I); nil when t == 0
 	alpha  []float64        // (Σt+σ²I)⁻¹ y; nil when t == 0
 	jitter float64          // diagonal jitter added to keep (Σt+σ²I) PD
+
+	// Posterior cache: the full (µ, σ) surface is a pure function of the
+	// observation history, so between observations repeated Posterior calls
+	// can be served from the last computed surface in O(K) instead of
+	// re-running the O(K·t²) solve. postZ is the t×K forward-solved block
+	// L⁻¹·B behind the cached surface — the state that lets
+	// ObserveHallucinated downdate the variances in O(K·t). The cached
+	// slices are never mutated in place (updates allocate fresh ones),
+	// which is what lets Shadow share them with the base by pointer. The
+	// dirty flag is cleared by Posterior and set by Observe/Reset.
+	postMu    []float64
+	postSigma []float64
+	postZ     []float64
+	postValid bool
+	postStats CacheStats
+}
+
+// CacheStats counts posterior-cache traffic: Hits and Misses tally
+// Posterior calls served from / recomputing the cached surface, and
+// Invalidations tallies observations (or resets) that dirtied it. Exposed
+// so the selection layers above can report cache effectiveness per tenant.
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
 }
 
 // New creates a GP over K arms with the given prior covariance and
@@ -92,6 +117,7 @@ func (g *GP) Observe(k int, y float64) error {
 		row[t-1] = g.prior.At(k, k) + g.noiseVar + g.jitter
 		if err := g.chol.Extend(row); err == nil {
 			g.alpha = g.chol.SolveVec(g.ys)
+			g.invalidatePosterior()
 			return nil
 		}
 	}
@@ -103,8 +129,170 @@ func (g *GP) Observe(k int, y float64) error {
 		g.ys = g.ys[:t-1]
 		return fmt.Errorf("gp: observing arm %d: %w", k, err)
 	}
+	g.invalidatePosterior()
 	return nil
 }
+
+// ObserveHallucinated conditions the process on a fake observation of arm
+// k at its current posterior mean — the GP-BUCB hallucination update. It
+// is equivalent to Observe(k, Mean(k)) but exploits what that choice
+// implies: the posterior mean surface is unchanged, and the variance
+// surface shrinks by a rank-1 term that falls out of the factor row the
+// incremental Cholesky extension just computed,
+//
+//	σ′²(j) = σ²(j) − z(j)²,   z(j) = (Σ(k,j) − L[t,:t]·Z[:,j]) / L[t,t],
+//
+// so the cached posterior is updated in O(K·t) instead of recomputed in
+// O(K·t²). This is the hot operation behind every hallucinated batch
+// pick; the z row is produced with exactly ForwardSolveBatch's operation
+// order, so it extends the cached block as if the full batched solve had
+// run. On a numerically semi-definite extension it falls back to the full
+// Observe path (jitter escalation, cache invalidated) — correctness never
+// depends on the fast path.
+func (g *GP) ObserveHallucinated(k int) error {
+	if k < 0 || k >= g.NumArms() {
+		panic(fmt.Sprintf("gp: arm %d out of range [0,%d)", k, g.NumArms()))
+	}
+	t := len(g.arms)
+	if t == 0 || g.chol == nil {
+		return g.Observe(k, 0) // zero-mean prior: the hallucinated value is 0
+	}
+	g.freshenPosterior()
+	row := make([]float64, t+1)
+	for i, a := range g.arms {
+		row[i] = g.prior.At(a, k)
+	}
+	row[t] = g.prior.At(k, k) + g.noiseVar + g.jitter
+	if err := g.chol.Extend(row); err != nil {
+		return g.Observe(k, g.postMu[k])
+	}
+	g.arms = append(g.arms, k)
+	g.ys = append(g.ys, g.postMu[k])
+	g.alpha = g.chol.SolveVec(g.ys)
+
+	// The new factor row is L⁻¹·kvec(k) with the pivot appended — exactly
+	// the forward-solve column the downdate needs. Mirror
+	// ForwardSolveBatch's operation order so the extended block is
+	// bit-identical to a full batched solve.
+	kk := g.NumArms()
+	lrow := g.chol.Row(t)
+	zrow := make([]float64, kk)
+	for j := 0; j < kk; j++ {
+		zrow[j] = g.prior.At(k, j)
+	}
+	for i := 0; i < t; i++ {
+		coef := lrow[i]
+		if coef == 0 {
+			continue
+		}
+		zi := g.postZ[i*kk : (i+1)*kk]
+		for j, v := range zi {
+			zrow[j] -= coef * v
+		}
+	}
+	piv := lrow[t]
+	for j := range zrow {
+		zrow[j] /= piv
+	}
+	// Fresh σ slice (the old one may be shared with a base or shadow);
+	// µ and the stats are untouched by construction.
+	sigma := make([]float64, kk)
+	for j := range sigma {
+		v := g.postSigma[j]*g.postSigma[j] - zrow[j]*zrow[j]
+		if v < 0 {
+			v = 0
+		}
+		sigma[j] = math.Sqrt(v)
+	}
+	g.postSigma = sigma
+	g.postZ = append(g.postZ, zrow...)
+	return nil
+}
+
+// Checkpoint captures the process state in O(1) for a later Rollback —
+// the rollback half of the snapshot/rollback API. It records slice
+// headers and the factor pointer, never copying data: every structure it
+// references is immutable once built (history prefixes, solve vectors,
+// cached surfaces), so restoring the headers restores the state bit for
+// bit. The intended use is hallucination lookahead: checkpoint a shadow
+// before each fake observation, then Rollback instead of rebuilding when
+// in-flight work is handed back.
+type Checkpoint struct {
+	obs      int
+	chol     *linalg.Cholesky
+	cholSize int
+	alpha    []float64
+	postMu   []float64
+	postSig  []float64
+	postZ    []float64
+	postOK   bool
+	jitter   float64
+}
+
+// Obs returns the observation count the checkpoint was taken at.
+func (cp Checkpoint) Obs() int { return cp.obs }
+
+// Checkpoint captures the current state; see the type's documentation.
+func (g *GP) Checkpoint() Checkpoint {
+	size := 0
+	if g.chol != nil {
+		size = g.chol.Size()
+	}
+	return Checkpoint{
+		obs:      len(g.arms),
+		chol:     g.chol,
+		cholSize: size,
+		alpha:    g.alpha,
+		postMu:   g.postMu,
+		postSig:  g.postSigma,
+		postZ:    g.postZ,
+		postOK:   g.postValid,
+		jitter:   g.jitter,
+	}
+}
+
+// Rollback restores the state captured by cp in O(1) (plus an O(n)
+// pointer truncation inside the factor). Observations made after the
+// checkpoint are discarded; the caller must not roll back past
+// observations that other shadows were built on top of (the server's
+// selection index only ever rolls a private shadow back to one of its own
+// checkpoints). Checkpoints taken after cp become invalid.
+func (g *GP) Rollback(cp Checkpoint) {
+	if cp.obs > len(g.arms) {
+		panic(fmt.Sprintf("gp: rollback to %d observations, have %d", cp.obs, len(g.arms)))
+	}
+	g.arms = g.arms[:cp.obs]
+	g.ys = g.ys[:cp.obs]
+	g.chol = cp.chol
+	if g.chol != nil && g.chol.Size() > cp.cholSize {
+		g.chol.Truncate(cp.cholSize)
+	}
+	g.alpha = cp.alpha
+	g.postMu = cp.postMu
+	g.postSigma = cp.postSig
+	g.postZ = cp.postZ
+	g.postValid = cp.postOK
+	g.jitter = cp.jitter
+}
+
+// ObservedArm returns the arm of observation i (0-based). Rollback
+// bookkeeping reads the discarded suffix this way without copying the
+// whole history.
+func (g *GP) ObservedArm(i int) int { return g.arms[i] }
+
+// invalidatePosterior marks the cached posterior surface stale. The cached
+// slices are left in place (a shadow may still be reading them); the next
+// Posterior call allocates a fresh surface.
+func (g *GP) invalidatePosterior() {
+	if g.postValid {
+		g.postValid = false
+		g.postStats.Invalidations++
+	}
+}
+
+// PosteriorCacheStats reports the posterior cache's hit/miss/invalidation
+// counters.
+func (g *GP) PosteriorCacheStats() CacheStats { return g.postStats }
 
 // refactor rebuilds the Cholesky factorization of (Σt + σ²I) and the solve
 // vector alpha. t is at most a few hundred in every workload this system
@@ -131,10 +319,17 @@ func (g *GP) kvec(k int) []float64 {
 	return v
 }
 
-// Mean returns the posterior mean µt(k) of arm k.
+// Mean returns the posterior mean µt(k) of arm k. A valid posterior cache
+// answers in O(1) — the cached mean is accumulated in the same term order
+// as the dot product below, so the two paths agree bit for bit. (After
+// ObserveHallucinated the cache is also the authoritative mean surface:
+// hallucinations leave µ unchanged by construction.)
 func (g *GP) Mean(k int) float64 {
 	if len(g.arms) == 0 {
 		return 0 // zero-mean prior
+	}
+	if g.postValid {
+		return g.postMu[k]
 	}
 	return linalg.Dot(g.kvec(k), g.alpha)
 }
@@ -162,9 +357,38 @@ func (g *GP) Std(k int) float64 { return math.Sqrt(g.Var(k)) }
 // fall out of one alpha sweep, and all K forward solves for the variances
 // go through a single pass over the Cholesky factor
 // (linalg.ForwardSolveBatch) instead of K separate O(t²) solves with their
-// K temporary vectors. Same O(K·t²) flops, but one factor traversal and two
-// allocations total — this is the hot path of every UCB selection.
+// K temporary vectors. Same O(K·t²) flops, but one factor traversal — this
+// is the hot path of every UCB selection.
+//
+// The surface is cached between observations: only the first call after an
+// Observe pays the O(K·t²) solve, every later call is an O(K) copy of the
+// cached surface (the returned slices are the caller's to mutate).
 func (g *GP) Posterior() (mu, sigma []float64) {
+	k := g.NumArms()
+	g.freshenPosterior()
+	mu = make([]float64, k)
+	sigma = make([]float64, k)
+	copy(mu, g.postMu)
+	copy(sigma, g.postSigma)
+	return mu, sigma
+}
+
+// freshenPosterior makes the cached surface current, recomputing it only
+// when dirty.
+func (g *GP) freshenPosterior() {
+	if g.postValid {
+		g.postStats.Hits++
+		return
+	}
+	g.postStats.Misses++
+	g.postMu, g.postSigma, g.postZ = g.computePosterior()
+	g.postValid = true
+}
+
+// computePosterior runs the batched posterior pass into fresh slices
+// (fresh, never recycled: cached surfaces may still be shared with
+// shadows), returning the forward-solved block alongside the surface.
+func (g *GP) computePosterior() (mu, sigma, z []float64) {
 	k := g.NumArms()
 	mu = make([]float64, k)
 	sigma = make([]float64, k)
@@ -173,7 +397,7 @@ func (g *GP) Posterior() (mu, sigma []float64) {
 		for i := 0; i < k; i++ {
 			sigma[i] = math.Sqrt(g.prior.At(i, i))
 		}
-		return mu, sigma
+		return mu, sigma, nil
 	}
 	// B is the t×K cross-covariance block, row-major: row i is
 	// [Σ(a_i, 0), …, Σ(a_i, K−1)] — column j is kvec(j).
@@ -193,7 +417,7 @@ func (g *GP) Posterior() (mu, sigma []float64) {
 		}
 	}
 	// σ²(j) = Σ(j,j) − ‖L⁻¹·kvec(j)‖², all K solves in one factor pass.
-	z := g.chol.ForwardSolveBatch(b, k)
+	z = g.chol.ForwardSolveBatch(b, k)
 	for j := 0; j < k; j++ {
 		sigma[j] = g.prior.At(j, j)
 	}
@@ -209,7 +433,7 @@ func (g *GP) Posterior() (mu, sigma []float64) {
 		}
 		sigma[j] = math.Sqrt(sigma[j])
 	}
-	return mu, sigma
+	return mu, sigma, z
 }
 
 // LogMarginalLikelihood returns the log marginal likelihood of the
@@ -228,12 +452,56 @@ func (g *GP) LogMarginalLikelihood() float64 {
 }
 
 // Reset discards all observations, returning the process to its prior.
+// The history slices are dropped, not truncated: a Shadow may still be
+// reading the old backing arrays, and re-appending into them would leak
+// the new history into the shadow's clamped view.
 func (g *GP) Reset() {
-	g.arms = g.arms[:0]
-	g.ys = g.ys[:0]
+	g.arms = nil
+	g.ys = nil
 	g.chol = nil
 	g.alpha = nil
 	g.jitter = 0
+	g.invalidatePosterior()
+	g.postMu = nil
+	g.postSigma = nil
+	g.postZ = nil
+}
+
+// Shadow returns an O(1) hallucination shadow of the process: a GP sharing
+// the base's (immutable) prior, observation history, solve vector and
+// Cholesky factor by reference instead of deep-copying them. The shadow
+// may Observe independently — its history slices are capacity-clamped and
+// its factor is a prefix-sharing linalg.Cholesky snapshot, so later growth
+// on either side copy-on-writes its own row-pointer array instead of
+// corrupting the other. This is what makes GP-BUCB hallucination shadows
+// (bandit.NewShadow) O(1) to create, versus Clone's O(t²) history copy
+// plus O(t³) refactorization.
+//
+// The shadow captures the base's state at the split; observations made by
+// the base afterwards do not appear in the shadow, and vice versa. The
+// cached posterior surface (if any) is shared too — cached slices are
+// immutable once built — while the shadow's cache counters start at zero.
+func (g *GP) Shadow() *GP {
+	t := len(g.arms)
+	s := &GP{
+		prior:     g.prior, // immutable after New
+		noiseVar:  g.noiseVar,
+		arms:      g.arms[:t:t],
+		ys:        g.ys[:t:t],
+		alpha:     g.alpha, // replaced wholesale on Observe, never mutated
+		jitter:    g.jitter,
+		postMu:    g.postMu, // cached surfaces are immutable once built
+		postSigma: g.postSigma,
+		postValid: g.postValid,
+		// The solved block is append-extended by ObserveHallucinated;
+		// clamping the capacity keeps either side's appends out of storage
+		// the other can see (same copy-on-write discipline as the factor).
+		postZ: g.postZ[:len(g.postZ):len(g.postZ)],
+	}
+	if g.chol != nil {
+		s.chol = g.chol.Snapshot()
+	}
+	return s
 }
 
 // Clone returns an independent deep copy of the process, including its

@@ -102,6 +102,37 @@ func (c *Cholesky) Extend(row []float64) error {
 // Size returns the dimension n of the factorized matrix.
 func (c *Cholesky) Size() int { return len(c.rows) }
 
+// Row returns factor row i (length i+1) without copying. The returned
+// slice is the factor's backing storage — callers must treat it as
+// read-only. Rank-1 posterior downdates read the newest row this way
+// instead of materializing the whole factor with L().
+func (c *Cholesky) Row(i int) []float64 { return c.rows[i] }
+
+// Snapshot returns a prefix-sharing shadow of the factorization in O(1):
+// the shadow aliases the base's rows instead of deep-copying the O(n²)
+// triangle. Both the base and the shadow may keep calling Extend
+// independently afterwards — rows are immutable once appended, and the
+// shadow's row-pointer slice is capacity-clamped, so either side's next
+// append reallocates its own pointer array (an O(n) pointer copy, never a
+// float copy) rather than writing into storage the other can see. This is
+// what makes GP-BUCB hallucination shadows O(1) to create: a shadow shares
+// the real posterior's factor and only appends hallucinated rows.
+func (c *Cholesky) Snapshot() *Cholesky {
+	n := len(c.rows)
+	return &Cholesky{rows: c.rows[:n:n]}
+}
+
+// Truncate rolls the factorization back to its first n rows — the inverse
+// of n fewer Extends. Like Snapshot it clamps capacity, so a later Extend
+// cannot overwrite rows still visible through an earlier Snapshot. It
+// panics when n is negative or exceeds Size.
+func (c *Cholesky) Truncate(n int) {
+	if n < 0 || n > len(c.rows) {
+		panic(fmt.Sprintf("linalg: Truncate to %d rows of a size-%d factor", n, len(c.rows)))
+	}
+	c.rows = c.rows[:n:n]
+}
+
 // L returns a copy of the lower-triangular factor as a dense matrix.
 func (c *Cholesky) L() *Matrix {
 	n := c.Size()

@@ -116,6 +116,11 @@ func (sc *Scheduler) enforceBudget(tenant string) error {
 		}
 		sc.markJobDoneLocked(job)
 		job.mu.Unlock()
+		// The drain retired arms: the job's cached selection score (and any
+		// hallucination shadow) is stale.
+		sc.coordMu.Lock()
+		sc.selIdx.markDirty(job.ID)
+		sc.coordMu.Unlock()
 		if sc.log != nil {
 			if err := sc.log.AppendBudgetExhausted(job.ID, tenant, cost); err != nil && appendErr == nil {
 				appendErr = fmt.Errorf("server: logging budget exhaustion of %s: %w", job.ID, err)

@@ -419,12 +419,15 @@ func (a *API) handleFleet(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, a.fleet.FleetStatus())
 }
 
-// MetricsResponse is the GET /admin/metrics reply.
+// MetricsResponse is the GET /admin/metrics reply. Selection reports the
+// pick-path counters: selection-index epoch/heap/shadow traffic plus the
+// aggregated per-job bandit cache hit/miss/invalidation tallies.
 type MetricsResponse struct {
-	Jobs     int           `json:"jobs"`
-	Rounds   int           `json:"rounds"`
-	InFlight int           `json:"in_flight"`
-	Engine   *EngineStatus `json:"engine,omitempty"`
+	Jobs      int            `json:"jobs"`
+	Rounds    int            `json:"rounds"`
+	InFlight  int            `json:"in_flight"`
+	Selection SelectionStats `json:"selection"`
+	Engine    *EngineStatus  `json:"engine,omitempty"`
 }
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -433,9 +436,10 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := MetricsResponse{
-		Jobs:     len(a.sched.Jobs()),
-		Rounds:   a.sched.Rounds(),
-		InFlight: a.sched.InFlight(),
+		Jobs:      len(a.sched.Jobs()),
+		Rounds:    a.sched.Rounds(),
+		InFlight:  a.sched.InFlight(),
+		Selection: a.sched.SelectionStats(),
 	}
 	if a.engine != nil {
 		st := a.engine.Status()

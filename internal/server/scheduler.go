@@ -67,6 +67,7 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -294,6 +295,14 @@ type Scheduler struct {
 	leases    map[int]*Lease
 	nextLease int
 	rounds    int
+
+	// selIdx is the cross-job selection index (see selindex.go): per-job
+	// dirty epochs, the lazily-repaired gap heap and the persistent
+	// hallucination shadows. Guarded by coordMu. legacySelection switches
+	// PickWork back to the deep-clone-per-batch baseline — kept for the
+	// pick-path benchmarks and equivalence tests.
+	selIdx          selectionIndex
+	legacySelection bool
 
 	// leaseTTL makes leases expire when their holder goes silent (0 = never,
 	// the in-process engine's mode); now is the injectable clock expiry runs
@@ -709,10 +718,15 @@ func (sc *Scheduler) PickWork(maxInFlight int) ([]*Lease, error) {
 	defer sc.coordMu.Unlock()
 
 	inFlight := sc.inFlightArmsLocked()
-	shadows := make(map[string]*bandit.GPUCB)
+	var shadows map[string]*bandit.GPUCB
+	if sc.legacySelection {
+		shadows = make(map[string]*bandit.GPUCB)
+	}
+	tenants, unlock := sc.lockForPicking(jobs, inFlight)
+	defer unlock()
 	var picked []*Lease
 	for len(sc.leases) < maxInFlight {
-		l, err := sc.pickNextLocked(jobs, inFlight, shadows)
+		l, err := sc.pickNextLocked(jobs, tenants, inFlight, shadows)
 		if err != nil {
 			return picked, err
 		}
@@ -724,51 +738,131 @@ func (sc *Scheduler) PickWork(maxInFlight int) ([]*Lease, error) {
 	return picked, nil
 }
 
+// lockForPicking acquires every job lock (in slice order, per the lock
+// discipline) and builds the tenant slice with current leased counts —
+// once per PickWork batch, not once per pick, so the O(J) lock sweep
+// amortizes over the whole batch. Callers hold coordMu and must call
+// unlock when the batch is done.
+func (sc *Scheduler) lockForPicking(jobs []*Job, inFlight map[string][]int) ([]*core.Tenant, func()) {
+	for _, j := range jobs {
+		j.mu.Lock()
+	}
+	tenants := make([]*core.Tenant, len(jobs))
+	for i, j := range jobs {
+		j.tenant.SetLeased(len(inFlight[j.ID]))
+		tenants[i] = j.tenant
+	}
+	return tenants, func() {
+		for _, j := range jobs {
+			j.mu.Unlock()
+		}
+	}
+}
+
+// SetLegacySelection toggles the deep-clone selection baseline: every
+// PickWork batch rebuilds its hallucination shadows with full posterior
+// clones (bandit.CloneShadow) and every pick runs the linear picker scan,
+// exactly like the pre-index implementation. The selection index is
+// dropped on every call, so the two modes can be compared on one scheduler
+// (the benchmarks and equivalence tests do). Selection is bit-identical
+// between the modes; only the cost differs.
+func (sc *Scheduler) SetLegacySelection(legacy bool) {
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	sc.legacySelection = legacy
+	sc.selIdx.reset()
+}
+
+// SelectionStats snapshots the pick-path counters: the selection index's
+// epoch/heap/shadow traffic plus the per-job bandit cache counters
+// aggregated across the job set.
+func (sc *Scheduler) SelectionStats() SelectionStats {
+	sc.coordMu.Lock()
+	stats := sc.selIdx.stats
+	sc.coordMu.Unlock()
+	for _, job := range sc.jobsSnapshot() {
+		job.mu.Lock()
+		bs := job.tenant.Bandit.CacheStats()
+		job.mu.Unlock()
+		stats.BanditCache.Select.Hits += bs.Select.Hits
+		stats.BanditCache.Select.Misses += bs.Select.Misses
+		stats.BanditCache.Select.Invalidations += bs.Select.Invalidations
+		stats.BanditCache.Posterior.Hits += bs.Posterior.Hits
+		stats.BanditCache.Posterior.Misses += bs.Posterior.Misses
+		stats.BanditCache.Posterior.Invalidations += bs.Posterior.Invalidations
+	}
+	return stats
+}
+
 // inFlightArmsLocked collects the in-flight arms per job from the
-// outstanding leases. Callers must hold coordMu.
+// outstanding leases, each job's list ordered by lease grant time (lease
+// ids are monotone). Grant order — not map iteration order — makes the
+// hallucination sequence deterministic, and it is exactly the order in
+// which a persistent index shadow applied its hallucinations, so a shadow
+// rebuilt from this list reproduces a revived shadow bit for bit (the two
+// selection modes, and reruns of the same seed, stay bit-identical).
+// Callers must hold coordMu.
 func (sc *Scheduler) inFlightArmsLocked() map[string][]int {
-	inFlight := make(map[string][]int)
+	byJob := make(map[string][]*Lease)
 	for _, l := range sc.leases {
-		inFlight[l.JobID] = append(inFlight[l.JobID], l.Arm)
+		byJob[l.JobID] = append(byJob[l.JobID], l)
+	}
+	inFlight := make(map[string][]int, len(byJob))
+	for id, leases := range byJob {
+		sort.Slice(leases, func(i, j int) bool { return leases[i].ID < leases[j].ID })
+		arms := make([]int, len(leases))
+		for i, l := range leases {
+			arms[i] = l.Arm
+		}
+		inFlight[id] = arms
 	}
 	return inFlight
 }
 
-// pickNextLocked leases the next single work item, updating inFlight and
-// the per-job hallucination shadows in place so a batch of picks pays one
-// bandit clone per job instead of one per lease. It returns (nil, nil)
-// when no job has an untried, unleased arm, and an error when the picker
-// violates its contract by choosing a blocked tenant. Callers must hold
-// coordMu; pickNextLocked acquires every job lock (in slice order) for the
-// duration of the cross-job decision, because the picker reads scheduling
-// state — σ̃, UCB gaps — across all tenants. User-facing operations take
-// none of these locks, so they stay responsive regardless.
-func (sc *Scheduler) pickNextLocked(jobs []*Job, inFlight map[string][]int, shadows map[string]*bandit.GPUCB) (*Lease, error) {
-	for _, j := range jobs {
-		j.mu.Lock()
-	}
-	defer func() {
-		for _, j := range jobs {
-			j.mu.Unlock()
-		}
-	}()
-
+// pickNextLocked leases the next single work item, updating inFlight (and
+// the picked tenant's leased count) in place. It returns (nil, nil) when
+// no job has an untried, unleased arm, and an error when the picker
+// violates its contract by choosing a blocked tenant. Callers hold coordMu
+// and every job lock, with tenants built by lockForPicking — the picker
+// reads scheduling state (σ̃, UCB gaps) across all tenants, while
+// user-facing operations take none of these locks and stay responsive.
+//
+// With shadows == nil (the default, index mode) the pick runs through the
+// cross-job selection index: oracle-capable pickers answer the greedy
+// argmax from the lazily-repaired gap heap, re-scoring only jobs whose
+// dirty epoch moved, and hallucination shadows persist on the index across
+// calls — revived, checkpoint-rolled-back or extended to match the lease
+// set, rebuilt only after an observation (an O(1) prefix-sharing snapshot,
+// never a deep clone). A non-nil shadows map selects the legacy baseline:
+// a per-batch map of deep posterior clones (bandit.CloneShadow) and the
+// linear picker scan, exactly the pre-index behaviour. Both modes pick
+// bit-identical arms.
+func (sc *Scheduler) pickNextLocked(jobs []*Job, tenants []*core.Tenant, inFlight map[string][]int, shadows map[string]*bandit.GPUCB) (*Lease, error) {
 	// The picker always sees the full tenant slice — stateful pickers
 	// (HYBRID's freeze signature, round-robin's rotation) depend on stable
 	// indices. Jobs whose untried arms are all leased out are excluded via
 	// the tenants' leased counts, which Tenant.Active folds in. Failed
 	// jobs had all their arms retired, so they read as exhausted.
-	tenants := make([]*core.Tenant, len(jobs))
 	anyActive := false
-	for i, j := range jobs {
-		j.tenant.SetLeased(len(inFlight[j.ID]))
-		tenants[i] = j.tenant
-		anyActive = anyActive || j.tenant.Active()
+	for _, t := range tenants {
+		if t.Active() {
+			anyActive = true
+			break
+		}
 	}
 	if !anyActive {
 		return nil, nil
 	}
-	idx := sc.picker.Pick(tenants)
+	indexed := shadows == nil
+	var idx int
+	if op, ok := sc.picker.(core.OraclePicker); indexed && ok {
+		sc.selIdx.ensure(jobs)
+		sc.selIdx.stats.OraclePicks++
+		idx = op.PickWithOracle(tenants, sc.selIdx.oracle())
+	} else {
+		sc.selIdx.stats.LegacyPicks++
+		idx = sc.picker.Pick(tenants)
+	}
 	if idx < 0 || idx >= len(jobs) {
 		return nil, fmt.Errorf("server: picker %s returned index %d with active tenants remaining", sc.picker.Name(), idx)
 	}
@@ -779,27 +873,39 @@ func (sc *Scheduler) pickNextLocked(jobs []*Job, inFlight map[string][]int, shad
 		return nil, fmt.Errorf("server: picker %s chose job %s, which has no selectable candidate", sc.picker.Name(), job.ID)
 	}
 	// With nothing in flight for the job, the hallucinated pick equals the
-	// real bandit's (cached) SelectArm — the serialized hot path pays no
-	// posterior clone. A shadow is built lazily on the first concurrent
-	// pick and reused for the rest of the batch.
+	// real bandit's (cached) SelectArm — the serialized hot path builds no
+	// shadow at all. Otherwise the pick goes through a GP-BUCB shadow with
+	// the in-flight arms hallucinated.
 	var arm int
 	var ucb float64
-	if shadow, ok := shadows[job.ID]; ok {
-		arm, ucb = shadow.SelectArm()
-		shadow.Hallucinate(arm)
-	} else if len(inFlight[job.ID]) == 0 {
+	switch {
+	case !indexed:
+		if shadow, ok := shadows[job.ID]; ok {
+			arm, ucb = shadow.SelectArm()
+			shadow.Hallucinate(arm)
+		} else if len(inFlight[job.ID]) == 0 {
+			arm, ucb = job.tenant.Bandit.SelectArm()
+		} else {
+			shadow = job.tenant.Bandit.CloneShadow(inFlight[job.ID])
+			shadows[job.ID] = shadow
+			arm, ucb = shadow.SelectArm()
+			shadow.Hallucinate(arm)
+		}
+	case len(inFlight[job.ID]) == 0:
 		arm, ucb = job.tenant.Bandit.SelectArm()
-	} else {
-		shadow = job.tenant.Bandit.NewShadow(inFlight[job.ID])
-		shadows[job.ID] = shadow
+	default:
+		sc.selIdx.ensure(jobs)
+		entry := &sc.selIdx.entries[idx]
+		shadow := sc.selIdx.shadowFor(entry, job.tenant.Bandit, inFlight[job.ID])
 		arm, ucb = shadow.SelectArm()
-		shadow.Hallucinate(arm)
+		sc.selIdx.hallucinate(entry, []int{arm})
 	}
 	if arm < 0 {
 		// Cannot happen for an Active tenant; surface it rather than loop.
 		return nil, fmt.Errorf("server: job %s reported active but selected no arm", job.ID)
 	}
 	inFlight[job.ID] = append(inFlight[job.ID], arm)
+	job.tenant.SetLeased(len(inFlight[job.ID]))
 	sc.nextLease++
 	l := &Lease{ID: sc.nextLease, JobID: job.ID, Arm: arm, Candidate: job.Candidates[arm], UCB: ucb}
 	if sc.leaseTTL > 0 {
@@ -808,6 +914,7 @@ func (sc *Scheduler) pickNextLocked(jobs []*Job, inFlight map[string][]int, shad
 		l.Expires = now.Add(sc.leaseTTL)
 	}
 	sc.leases[l.ID] = l
+	sc.selIdx.stats.Picks++
 	return l, nil
 }
 
@@ -832,10 +939,13 @@ func (sc *Scheduler) beginSettle(l *Lease) error {
 	return nil
 }
 
-// endSettle drops a settling lease from the table.
+// endSettle drops a settling lease from the table and dirties the job's
+// selection-index entry (the lease set — and possibly the bandit, on the
+// abandon/failure paths that call this — changed).
 func (sc *Scheduler) endSettle(l *Lease) {
 	sc.coordMu.Lock()
 	delete(sc.leases, l.ID)
+	sc.selIdx.markDirty(l.JobID)
 	sc.coordMu.Unlock()
 }
 
@@ -890,11 +1000,13 @@ func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
 
 	// The arm is Tried now, so the lease can be dropped without the arm
 	// ever being selectable in between; claim the round in the same
-	// critical section.
+	// critical section. The observation moved the job's posterior and σ̃,
+	// so its selection-index entry is dirtied here too.
 	sc.coordMu.Lock()
 	delete(sc.leases, l.ID)
 	sc.rounds++
 	round := sc.rounds
+	sc.selIdx.markDirty(l.JobID)
 	sc.coordMu.Unlock()
 
 	rec := storage.ModelRecord{
@@ -993,6 +1105,10 @@ func (sc *Scheduler) Release(l *Lease) error {
 	if stored.settling {
 		return fmt.Errorf("server: lease %d (%s/%s) is being settled: %w", l.ID, l.JobID, l.Candidate.Name(), ErrLeaseConflict)
 	}
+	// No selection-index invalidation: a release changes only the lease
+	// set, which the next pick absorbs by rolling the job's shadow back to
+	// the matching checkpoint — the bandit (and so the cached gap score)
+	// is untouched.
 	delete(sc.leases, l.ID)
 	return nil
 }
@@ -1004,7 +1120,14 @@ func (sc *Scheduler) Release(l *Lease) error {
 func (sc *Scheduler) RunRound() (bool, error) {
 	jobs := sc.jobsSnapshot()
 	sc.coordMu.Lock()
-	l, err := sc.pickNextLocked(jobs, sc.inFlightArmsLocked(), make(map[string]*bandit.GPUCB))
+	var shadows map[string]*bandit.GPUCB
+	if sc.legacySelection {
+		shadows = make(map[string]*bandit.GPUCB)
+	}
+	inFlight := sc.inFlightArmsLocked()
+	tenants, unlock := sc.lockForPicking(jobs, inFlight)
+	l, err := sc.pickNextLocked(jobs, tenants, inFlight, shadows)
+	unlock()
 	sc.coordMu.Unlock()
 	if err != nil {
 		return false, err
@@ -1181,6 +1304,9 @@ func (sc *Scheduler) Restore(r io.Reader) error {
 	if len(sc.leases) != 0 {
 		return fmt.Errorf("server: Restore with %d leases outstanding; drain the engine first", len(sc.leases))
 	}
+	// The replay rewrites every bandit; any selection-index state built by
+	// earlier (empty) picks is stale wholesale.
+	sc.selIdx.reset()
 	for _, id := range snap.TaskIDs() {
 		job := jobsByID[id]
 		ts, _ := snap.Task(id)

@@ -1,0 +1,108 @@
+// Command allocgate is CI's allocation-regression gate: it reads `go test
+// -bench -benchmem` output on stdin, extracts allocs/op per benchmark, and
+// compares them against the committed baseline (BENCH_allocs.json at the
+// repository root). A benchmark growing past baseline × max_growth_factor
+// fails the gate — the backstop that keeps the pick path's alloc-free
+// shadows from silently regressing into per-pick posterior copies again.
+//
+// Usage:
+//
+//	go test -run NONE -bench 'BenchmarkPickWorkContention$' -benchmem -benchtime=1x ./internal/server | \
+//	    go run ./tools/allocgate -baseline BENCH_allocs.json
+//
+// The baseline schema:
+//
+//	{
+//	  "max_growth_factor": 2.0,
+//	  "benchmarks": {"BenchmarkPosterior": 6, "BenchmarkPickWorkContention/per-job-locks": 8}
+//	}
+//
+// Benchmarks in the baseline that do not appear on stdin fail the gate
+// (a renamed or deleted benchmark must update the baseline explicitly);
+// benchmarks on stdin without a baseline entry are reported but not
+// enforced, so new benchmarks can be added before being pinned.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type baseline struct {
+	MaxGrowthFactor float64            `json:"max_growth_factor"`
+	Benchmarks      map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one -benchmem result row, e.g.
+// "BenchmarkPosterior-8  123456  9537 ns/op  5832 B/op  6 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?(\d+(?:\.\d+)?) allocs/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_allocs.json", "committed allocs/op baseline")
+	flag.Parse()
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocgate: reading baseline: %v\n", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "allocgate: parsing baseline: %v\n", err)
+		os.Exit(2)
+	}
+	if base.MaxGrowthFactor <= 1 {
+		base.MaxGrowthFactor = 2
+	}
+
+	got := make(map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		allocs, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		got[m[1]] = allocs
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "allocgate: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for name, baseAllocs := range base.Benchmarks {
+		cur, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "allocgate: FAIL %s: baseline present but benchmark did not run\n", name)
+			failed = true
+			continue
+		}
+		limit := baseAllocs * base.MaxGrowthFactor
+		if cur > limit {
+			fmt.Fprintf(os.Stderr, "allocgate: FAIL %s: %.0f allocs/op exceeds %.0f (baseline %.0f × %.1f)\n",
+				name, cur, limit, baseAllocs, base.MaxGrowthFactor)
+			failed = true
+			continue
+		}
+		fmt.Printf("allocgate: ok %s: %.0f allocs/op (limit %.0f)\n", name, cur, limit)
+	}
+	for name, cur := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("allocgate: note %s: %.0f allocs/op (no baseline, not enforced)\n", name, cur)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
