@@ -9,6 +9,8 @@
 //	              [-workers 0] [-batch 0] [-data-dir DIR]
 //	              [-fleet-addr ADDR] [-lease-ttl 10s]
 //	              [-quota-config FILE] [-max-inflight 0] [-pprof]
+//	              [-mutex-profile-fraction 0] [-block-profile-rate 0]
+//	              [-log-format text|json] [-log-level info] [-slow-op 100ms]
 //
 // With -workers N > 0 the async execution engine starts at boot: N
 // concurrent trainers lease work through the scheduler's two-phase API and
@@ -55,7 +57,15 @@
 // With -pprof the Go profiler is mounted at /debug/pprof/ on the admin mux
 // (off by default — profiles expose internals, so only enable it where the
 // admin surface is trusted): CPU and heap profiles of the live pick path,
-// readable with `go tool pprof`.
+// readable with `go tool pprof`. -pprof also arms the runtime's mutex and
+// block profilers (tunable via -mutex-profile-fraction and
+// -block-profile-rate) so lock contention shows under /debug/pprof/mutex.
+//
+// Logs are structured (log/slog): -log-format selects text or json,
+// -log-level the verbosity, and operations slower than -slow-op (picks,
+// WAL appends, HTTP requests) are logged with their trace IDs. Prometheus
+// metrics are exposed on GET /metrics; GET /admin/metrics serves the JSON
+// view.
 //
 // SIGINT/SIGTERM drain the engine gracefully before exit: running trainings
 // finish, queued leases are handed back, and (with -data-dir) the log is
@@ -65,7 +75,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -74,6 +84,7 @@ import (
 	"time"
 
 	"repro/easeml"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -89,74 +100,95 @@ func main() {
 	quotaConfig := flag.String("quota-config", "", "JSON tenant quota file enabling admission control (classes, caps, rate limits, budgets)")
 	maxInFlight := flag.Int("max-inflight", 0, "cap on total outstanding fleet leases; saturated guaranteed work preempts best-effort (0 = no cap)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the admin mux (off by default; exposes profiles to anyone who can reach the server)")
+	mutexFraction := flag.Int("mutex-profile-fraction", 0, "with -pprof: runtime.SetMutexProfileFraction sampling rate (0 = default 100, negative = leave runtime setting)")
+	blockRate := flag.Int("block-profile-rate", 0, "with -pprof: runtime.SetBlockProfileRate nanosecond granularity (0 = default 1e6, negative = leave runtime setting)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	slowOp := flag.Duration("slow-op", 100*time.Millisecond, "log operations (picks, WAL appends, HTTP requests) slower than this (0 disables the slow-op log)")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "easeml-server: %v\n", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger) // slow-op and library warnings inherit the process logger
+	telemetry.SetSlowOpThreshold(*slowOp)
+
 	if *alpha <= 0 || *alpha > 1 {
-		log.Fatalf("-alpha %g outside (0, 1]", *alpha)
+		logger.Error("invalid flag", "flag", "-alpha", "value", *alpha, "want", "(0, 1]")
+		os.Exit(1)
 	}
 
 	cfg := easeml.ServiceConfig{
-		GPUs:             *gpus,
-		Seed:             *seed,
-		Addr:             "http://localhost" + *addr,
-		Alpha:            *alpha,
-		Workers:          *workers,
-		Batch:            *batch,
-		DataDir:          *dataDir,
-		FleetAddr:        *fleetAddr,
-		LeaseTTL:         *leaseTTL,
-		FleetMaxInFlight: *maxInFlight,
-		Pprof:            *pprofFlag,
+		GPUs:                 *gpus,
+		Seed:                 *seed,
+		Addr:                 "http://localhost" + *addr,
+		Alpha:                *alpha,
+		Workers:              *workers,
+		Batch:                *batch,
+		DataDir:              *dataDir,
+		FleetAddr:            *fleetAddr,
+		LeaseTTL:             *leaseTTL,
+		FleetMaxInFlight:     *maxInFlight,
+		Pprof:                *pprofFlag,
+		MutexProfileFraction: *mutexFraction,
+		BlockProfileRate:     *blockRate,
+		Logger:               logger,
 	}
 	if *pprofFlag {
 		host := *addr
 		if strings.HasPrefix(host, ":") {
 			host = "localhost" + host
 		}
-		fmt.Printf("pprof profiling mounted at /debug/pprof/ (go tool pprof http://%s/debug/pprof/profile)\n", host)
+		logger.Info("pprof profiling mounted",
+			"path", "/debug/pprof/", "profile", "http://"+host+"/debug/pprof/profile")
 	}
 	if *quotaConfig != "" {
 		quotas, err := easeml.LoadQuotaFile(*quotaConfig)
 		if err != nil {
-			log.Fatalf("loading quota config: %v", err)
+			logger.Error("loading quota config failed", "file", *quotaConfig, "err", err)
+			os.Exit(1)
 		}
 		cfg.Quotas = quotas.Tenants
 		cfg.DefaultClass = quotas.DefaultClass
 		if cfg.DefaultClass == "" {
 			cfg.DefaultClass = "standard" // enable admission even for a tenants-only file
 		}
-		fmt.Printf("admission control enabled: %d tenant quotas, default class %q\n",
-			len(cfg.Quotas), cfg.DefaultClass)
+		logger.Info("admission control enabled",
+			"tenants", len(cfg.Quotas), "default_class", cfg.DefaultClass)
 	}
 
 	svc, err := easeml.OpenService(cfg)
 	if err != nil {
-		log.Fatalf("opening service: %v", err)
+		logger.Error("opening service failed", "err", err)
+		os.Exit(1)
 	}
 	if *dataDir != "" {
 		r := svc.Recovered
-		fmt.Printf("recovered from %s: %d jobs, %d examples, %d trained models (%d WAL events, %d lease expiries replayed)\n",
-			*dataDir, r.Jobs, r.Examples, r.Models, r.WALEvents, r.ExpiredLeases)
+		logger.Info("recovered from data dir",
+			"dir", *dataDir, "jobs", r.Jobs, "examples", r.Examples, "models", r.Models,
+			"wal_events", r.WALEvents, "expired_leases", r.ExpiredLeases)
 	}
 	if *fleetAddr != "" {
 		// The effective TTL comes back from the coordinator itself, so the
-		// banner can never disagree with the default it applies.
+		// log line can never disagree with the default it applies.
 		ttl := time.Duration(0)
 		if fs, ok := svc.FleetStatus(); ok {
 			ttl = time.Duration(fs.LeaseTTLMS * float64(time.Millisecond))
 		}
-		fmt.Printf("fleet coordinator listening on %s (lease TTL %s); point easeml-worker -coordinator at it\n",
-			svc.FleetAddr(), ttl)
+		logger.Info("fleet coordinator listening", "addr", svc.FleetAddr(), "lease_ttl", ttl)
 	}
 
 	shutdown := func() {
 		if *workers > 0 {
-			log.Println("draining engine…")
+			logger.Info("draining engine")
 			if err := svc.StopEngine(); err != nil {
-				log.Printf("engine stop: %v", err)
+				logger.Warn("engine stop failed", "err", err)
 			}
 		}
 		if err := svc.Close(); err != nil {
-			log.Printf("closing data dir: %v", err)
+			logger.Warn("closing data dir failed", "err", err)
 		}
 		os.Exit(0)
 	}
@@ -169,13 +201,14 @@ func main() {
 
 	if *workers > 0 {
 		if err := svc.StartEngine(); err != nil {
-			log.Fatalf("starting engine: %v", err)
+			logger.Error("starting engine failed", "err", err)
+			os.Exit(1)
 		}
-		fmt.Printf("ease.ml server listening on %s (%d GPUs, seed %d, %d engine workers)\n",
-			*addr, *gpus, *seed, *workers)
-	} else {
-		fmt.Printf("ease.ml server listening on %s (%d GPUs, seed %d, manual rounds)\n",
-			*addr, *gpus, *seed)
 	}
-	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+	logger.Info("ease.ml server listening",
+		"addr", *addr, "gpus", *gpus, "seed", *seed, "workers", *workers)
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
+	}
 }

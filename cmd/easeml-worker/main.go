@@ -25,13 +25,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -41,7 +41,15 @@ func main() {
 	alpha := flag.Float64("alpha", 0.9, "advertised multi-device scaling exponent")
 	poll := flag.Duration("poll", 0, "lease poll interval (0 = coordinator-advertised)")
 	heartbeat := flag.Duration("heartbeat", 0, "heartbeat interval (0 = coordinator-advertised)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "easeml-worker: %v\n", err)
+		os.Exit(1)
+	}
 
 	agent, err := fleet.NewAgent(fleet.AgentConfig{
 		Coordinator:       *coordinator,
@@ -50,10 +58,11 @@ func main() {
 		Alpha:             *alpha,
 		PollInterval:      *poll,
 		HeartbeatInterval: *heartbeat,
-		Logf:              log.Printf,
+		Logger:            logger,
 	})
 	if err != nil {
-		log.Fatalf("easeml-worker: %v", err)
+		logger.Error("invalid configuration", "err", err)
+		os.Exit(1)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -61,15 +70,17 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Println("easeml-worker: leaving the fleet…")
+		logger.Info("leaving the fleet")
 		cancel()
 	}()
 
-	fmt.Printf("easeml-worker joining %s (%d devices)\n", *coordinator, *devices)
+	logger.Info("joining fleet", "coordinator", *coordinator, "devices", *devices)
 	start := time.Now()
 	if err := agent.Run(ctx); err != nil {
-		log.Fatalf("easeml-worker: %v", err)
+		logger.Error("agent exited", "err", err)
+		os.Exit(1)
 	}
-	fmt.Printf("easeml-worker done after %s: %d completed, %d failed\n",
-		time.Since(start).Round(time.Millisecond), agent.Completed(), agent.Failed())
+	logger.Info("worker done",
+		"uptime", time.Since(start).Round(time.Millisecond),
+		"completed", agent.Completed(), "failed", agent.Failed())
 }

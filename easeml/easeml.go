@@ -32,10 +32,12 @@ package easeml
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"time"
 
 	"repro/internal/admission"
@@ -190,7 +192,24 @@ type ServiceConfig struct {
 	// on the service handler (the admin surface). Off by default: the
 	// profiler exposes goroutine dumps and CPU profiles, so enable it only
 	// where the admin endpoint is trusted (easeml-server's -pprof flag).
+	// Enabling it also arms the runtime's mutex and block profilers (see
+	// MutexProfileFraction / BlockProfileRate) so contention shows up under
+	// /debug/pprof/mutex and /debug/pprof/block.
 	Pprof bool
+	// MutexProfileFraction is the runtime.SetMutexProfileFraction sampling
+	// rate armed when Pprof is on: 1/N mutex contention events are sampled
+	// (default 100; negative leaves the runtime setting untouched).
+	MutexProfileFraction int
+	// BlockProfileRate is the runtime.SetBlockProfileRate granularity in
+	// nanoseconds armed when Pprof is on: one sample per BlockProfileRate
+	// nanoseconds blocked (default 1e6, i.e. microsecond-scale events are
+	// sampled; negative leaves the runtime setting untouched).
+	BlockProfileRate int
+	// Logger, when set, receives the fleet coordinator's structured
+	// diagnostics (worker churn, lease lifecycle with trace IDs). Nil keeps
+	// the coordinator silent — tests stay quiet; easeml-server passes its
+	// process logger.
+	Logger *slog.Logger
 }
 
 // TenantQuota declares one tenant's admission envelope. Zero fields mean
@@ -334,11 +353,30 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 			MaxInFlight: cfg.Batch,
 		})
 	}
+	if cfg.Pprof {
+		// -pprof arms the contention profilers too: without these the mutex
+		// and block profiles under /debug/pprof are permanently empty.
+		if cfg.MutexProfileFraction >= 0 {
+			frac := cfg.MutexProfileFraction
+			if frac == 0 {
+				frac = 100
+			}
+			runtime.SetMutexProfileFraction(frac)
+		}
+		if cfg.BlockProfileRate >= 0 {
+			rate := cfg.BlockProfileRate
+			if rate == 0 {
+				rate = 1_000_000
+			}
+			runtime.SetBlockProfileRate(rate)
+		}
+	}
 	if cfg.Fleet || cfg.FleetAddr != "" {
 		s.coord = fleet.NewCoordinator(sched, fleet.CoordinatorConfig{
 			LeaseTTL:    cfg.LeaseTTL,
 			Seed:        cfg.Seed,
 			MaxInFlight: cfg.FleetMaxInFlight,
+			Logger:      cfg.Logger,
 		})
 		s.coord.Start()
 		if cfg.FleetAddr != "" {

@@ -30,7 +30,16 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
+
+// admissionVerdicts counts every admission decision by tenant and verdict
+// ("admitted" / "rejected"); rejections are what the HTTP surface turns
+// into 429s. The same tallies are kept per tenant on the controller for
+// the /admin/metrics JSON view.
+var admissionVerdicts = telemetry.Default().CounterVec("easeml_admission_verdicts_total",
+	"Admission decisions by tenant and verdict; rejected maps to HTTP 429.", "tenant", "verdict")
 
 // Class is a tenant's declared service class. The zero value is treated as
 // ClassStandard everywhere.
@@ -202,6 +211,22 @@ type tenantState struct {
 	tokens     float64
 	lastRefill time.Time
 	activeJobs int
+	// admitted / rejected tally this process's verdicts for the tenant;
+	// rejected is exactly the number of 429s the tenant has been served.
+	admitted uint64
+	rejected uint64
+}
+
+// verdictLocked records one admission decision on both the tenant's JSON
+// tallies and the Prometheus counters. Callers hold c.mu.
+func verdictLocked(tenant string, st *tenantState, err error) {
+	if err != nil {
+		st.rejected++
+		admissionVerdicts.With(tenant, "rejected").Inc()
+		return
+	}
+	st.admitted++
+	admissionVerdicts.With(tenant, "admitted").Inc()
 }
 
 // Controller enforces admission decisions. It is safe for concurrent use;
@@ -296,8 +321,10 @@ func (c *Controller) AdmitOp(tenant string) error {
 	defer c.mu.Unlock()
 	st := c.state(tenant)
 	if err := c.takeTokenLocked(st); err != nil {
+		verdictLocked(tenant, st, err)
 		return fmt.Errorf("admission: tenant %q: %w", tenant, err)
 	}
+	verdictLocked(tenant, st, nil)
 	return nil
 }
 
@@ -310,12 +337,16 @@ func (c *Controller) AdmitJob(tenant string) error {
 	defer c.mu.Unlock()
 	st := c.state(tenant)
 	if max := st.quota.MaxJobs; max > 0 && st.activeJobs >= max {
-		return fmt.Errorf("admission: tenant %q has %d unfinished jobs (cap %d): %w",
+		err := fmt.Errorf("admission: tenant %q has %d unfinished jobs (cap %d): %w",
 			tenant, st.activeJobs, max, ErrQuotaExceeded)
+		verdictLocked(tenant, st, err)
+		return err
 	}
 	if err := c.takeTokenLocked(st); err != nil {
+		verdictLocked(tenant, st, err)
 		return fmt.Errorf("admission: tenant %q: %w", tenant, err)
 	}
+	verdictLocked(tenant, st, nil)
 	st.activeJobs++
 	return nil
 }
@@ -380,6 +411,10 @@ type TenantStatus struct {
 	RatePerSec float64 `json:"rate_per_sec,omitempty"`
 	Burst      int     `json:"burst,omitempty"`
 	Budget     float64 `json:"budget,omitempty"`
+	// Admitted / Rejected tally this process's admission verdicts for the
+	// tenant; Rejected is the number of 429s served.
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
 }
 
 // Snapshot renders every known tenant (declared or seen) sorted by name.
@@ -397,6 +432,8 @@ func (c *Controller) Snapshot() []TenantStatus {
 			RatePerSec: st.quota.RatePerSec,
 			Burst:      st.quota.Burst,
 			Budget:     st.quota.Budget,
+			Admitted:   st.admitted,
+			Rejected:   st.rejected,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/dsl"
+	"repro/internal/telemetry"
 	"repro/internal/templates"
 )
 
@@ -45,8 +47,10 @@ type AgentConfig struct {
 	// immediately — the behaviour of a crashed worker (tests and the
 	// kill-a-worker demo use it; real agents should leave gracefully).
 	SkipLeaveOnExit bool
-	// Logf, when set, receives agent diagnostics.
-	Logf func(format string, args ...any)
+	// Logger, when set, receives structured agent diagnostics; run
+	// lifecycle events carry the lease's trace ID. Nil keeps the agent
+	// silent.
+	Logger *slog.Logger
 }
 
 // Agent is one fleet worker: it registers with the coordinator, polls for
@@ -182,7 +186,7 @@ func (a *Agent) Run(ctx context.Context) error {
 		leaveCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		if err := a.client.leave(leaveCtx, a.WorkerID()); err != nil {
-			a.logf("fleet agent %s: leave: %v", a.cfg.Name, err)
+			a.logWarn("leave failed", "name", a.cfg.Name, "err", err)
 		}
 	}
 	return nil
@@ -217,8 +221,8 @@ func (a *Agent) register(ctx context.Context) error {
 		})
 		if err == nil {
 			a.adoptRegistration(resp)
-			a.logf("fleet agent %s: registered as %s (heartbeat %s, poll %s)",
-				a.cfg.Name, resp.WorkerID, a.heartbeatEvery, a.pollEvery)
+			a.logInfo("registered with coordinator",
+				"name", a.cfg.Name, "worker", resp.WorkerID, "heartbeat", a.heartbeatEvery, "poll", a.pollEvery)
 			return nil
 		}
 		lastErr = err
@@ -288,10 +292,10 @@ func (a *Agent) pollOnce(ctx context.Context, execWG *sync.WaitGroup) bool {
 	leases, err := a.client.lease(ctx, workerID, free)
 	if err != nil {
 		if IsCode(err, CodeUnknownWorker) {
-			a.logf("fleet agent %s: coordinator does not know us; re-registering", a.cfg.Name)
+			a.logInfo("coordinator does not know us; re-registering", "name", a.cfg.Name)
 			_ = a.register(ctx)
 		} else if ctx.Err() == nil {
-			a.logf("fleet agent %s: lease poll: %v", a.cfg.Name, err)
+			a.logWarn("lease poll failed", "name", a.cfg.Name, "err", err)
 		}
 		return false
 	}
@@ -300,7 +304,7 @@ func (a *Agent) pollOnce(ctx context.Context, execWG *sync.WaitGroup) bool {
 		if err != nil {
 			// Unresolvable work: report the failure so the coordinator can
 			// retry it elsewhere (or abandon it).
-			a.report(CompleteRequest{WorkerID: workerID, LeaseID: wl.LeaseID, Error: err.Error()})
+			a.report(CompleteRequest{WorkerID: workerID, LeaseID: wl.LeaseID, Error: err.Error()}, wl.Trace)
 			continue
 		}
 		runCtx, cancel := context.WithCancel(ctx)
@@ -347,23 +351,28 @@ func (a *Agent) execute(ctx context.Context, exec Executor, workerID string, wl 
 	if err != nil {
 		req.Error = err.Error()
 		a.failed.Add(1)
-		a.logf("fleet agent %s: %s/%s failed: %v", a.cfg.Name, wl.JobID, wl.Candidate, err)
+		a.logWarn("run failed",
+			"job", wl.JobID, "candidate", wl.Candidate, "lease", wl.LeaseID, "trace", wl.Trace, "err", err)
 	}
-	if a.report(req) && err == nil {
+	if a.report(req, wl.Trace) && err == nil {
 		// Counted only once the coordinator accepted the result, so
 		// Completed agrees with the registry's per-worker tally (a report
 		// that lost a settle race settled nothing).
 		a.completed.Add(1)
+		a.logInfo("run completed",
+			"job", wl.JobID, "candidate", wl.Candidate, "lease", wl.LeaseID,
+			"accuracy", acc, "cost", cost, "trace", wl.Trace)
 	}
 }
 
 // report delivers a completion, retrying transient transport failures; a
 // 409 (the report lost a settle race) is dropped silently — by protocol
-// the result belongs to whoever settled first. It reports whether the
-// coordinator accepted the result.
-func (a *Agent) report(req CompleteRequest) bool {
+// the result belongs to whoever settled first. The lease's trace ID rides
+// the X-Easeml-Trace header so the coordinator sees the same trace. It
+// reports whether the coordinator accepted the result.
+func (a *Agent) report(req CompleteRequest, trace string) bool {
 	for attempt := 0; attempt < 3; attempt++ {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ctx, cancel := context.WithTimeout(telemetry.WithTraceID(context.Background(), trace), 5*time.Second)
 		_, err := a.client.complete(ctx, req)
 		cancel()
 		if err == nil {
@@ -372,13 +381,14 @@ func (a *Agent) report(req CompleteRequest) bool {
 		var pe *ProtocolError
 		if errors.As(err, &pe) {
 			if pe.Status == 409 {
-				a.logf("fleet agent %s: lease %d settle race lost (%s); dropping", a.cfg.Name, req.LeaseID, pe.Code)
+				a.logInfo("settle race lost; dropping report",
+					"lease", req.LeaseID, "code", pe.Code, "trace", trace)
 			} else {
-				a.logf("fleet agent %s: report for lease %d rejected: %v", a.cfg.Name, req.LeaseID, err)
+				a.logWarn("report rejected", "lease", req.LeaseID, "trace", trace, "err", err)
 			}
 			return false // a definitive server answer: retrying cannot change it
 		}
-		a.logf("fleet agent %s: report for lease %d failed (attempt %d): %v", a.cfg.Name, req.LeaseID, attempt+1, err)
+		a.logWarn("report attempt failed", "lease", req.LeaseID, "attempt", attempt+1, "trace", trace, "err", err)
 		time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
 	}
 	return false
@@ -478,9 +488,9 @@ func (a *Agent) heartbeatLoop(ctx context.Context) {
 			if !known[id] {
 				if cancel, ok := a.running[id]; ok {
 					if preempted[id] {
-						a.logf("fleet agent %s: lease %d preempted for higher-priority work; aborting run", a.cfg.Name, id)
+						a.logInfo("lease preempted for higher-priority work; aborting run", "lease", id)
 					} else {
-						a.logf("fleet agent %s: lease %d reclaimed; aborting run", a.cfg.Name, id)
+						a.logInfo("lease reclaimed; aborting run", "lease", id)
 					}
 					cancel()
 				}
@@ -490,8 +500,16 @@ func (a *Agent) heartbeatLoop(ctx context.Context) {
 	}
 }
 
-func (a *Agent) logf(format string, args ...any) {
-	if a.cfg.Logf != nil {
-		a.cfg.Logf(format, args...)
+// logInfo and logWarn emit structured agent diagnostics when a Logger is
+// configured; a nil Logger keeps the agent silent.
+func (a *Agent) logInfo(msg string, args ...any) {
+	if a.cfg.Logger != nil {
+		a.cfg.Logger.Info(msg, args...)
+	}
+}
+
+func (a *Agent) logWarn(msg string, args ...any) {
+	if a.cfg.Logger != nil {
+		a.cfg.Logger.Warn(msg, args...)
 	}
 }

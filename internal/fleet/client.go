@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 // ProtocolError is a non-2xx reply from the coordinator, carrying the
@@ -103,6 +104,7 @@ func (p *protoClient) post(ctx context.Context, path string, body, dst any) erro
 		return fmt.Errorf("fleet: building %s request: %w", path, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	telemetry.SetTraceHeader(req.Header, ctx)
 	resp, err := p.httpc.Do(req)
 	if err != nil {
 		return fmt.Errorf("fleet: POST %s: %w", path, err)

@@ -3,11 +3,34 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// Fleet lifecycle tallies. Registered in the process-global telemetry
+// registry; FleetStatus remains the JSON view of the same story.
+var (
+	fleetRegistrations = telemetry.Default().Counter("easeml_fleet_registrations_total",
+		"Worker registrations accepted (re-registrations after eviction included).")
+	fleetHeartbeats = telemetry.Default().Counter("easeml_fleet_heartbeats_total",
+		"Worker heartbeats processed.")
+	fleetLeasePolls = telemetry.Default().Counter("easeml_fleet_lease_polls_total",
+		"Lease polls served, whether or not work was granted.")
+	fleetLeasesGranted = telemetry.Default().Counter("easeml_fleet_leases_granted_total",
+		"Leases handed to remote workers.")
+	fleetLeaseExpirations = telemetry.Default().Counter("easeml_fleet_lease_expirations_total",
+		"Remote leases reclaimed by TTL expiry.")
+	fleetLeasePreemptions = telemetry.Default().Counter("easeml_fleet_lease_preemptions_total",
+		"Remote leases reclaimed by priority preemption.")
+	fleetCompletes = telemetry.Default().CounterVec("easeml_fleet_completes_total",
+		"Remote lease settlements by outcome (completed, released, abandoned, conflict, error).", "outcome")
+	fleetLeaves = telemetry.Default().Counter("easeml_fleet_leaves_total",
+		"Graceful worker departures.")
 )
 
 // CoordinatorConfig parameterizes a Coordinator. Zero values select the
@@ -44,9 +67,11 @@ type CoordinatorConfig struct {
 	// Clock overrides the time source (tests); it is installed on the
 	// scheduler too, so lease expiry and the registry agree on now.
 	Clock func() time.Time
-	// Logf, when set, receives coordinator diagnostics (sweeper errors,
-	// worker transitions).
-	Logf func(format string, args ...any)
+	// Logger, when set, receives structured coordinator diagnostics:
+	// worker transitions and the lease lifecycle (grant, settle, expiry,
+	// preemption), each lease event carrying its trace ID. Nil keeps the
+	// coordinator silent.
+	Logger *slog.Logger
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -184,15 +209,17 @@ func (c *Coordinator) sweepLoop(stop <-chan struct{}, done chan<- struct{}) {
 func (c *Coordinator) Sweep() int {
 	expired, err := c.sched.ExpireLeases()
 	if err != nil {
-		c.logf("fleet: logging lease expiry: %v", err)
+		c.logWarn("logging lease expiry failed", "err", err)
 	}
 	for _, l := range expired {
 		c.mu.Lock()
 		delete(c.remote, l.ID)
 		c.mu.Unlock()
 		c.expiredTotal.Add(1)
+		fleetLeaseExpirations.Inc()
 		c.reg.leaseSettled(l.Worker, l.ID, "expired")
-		c.logf("fleet: lease %d (%s/%s) expired on %s; candidate re-queued", l.ID, l.JobID, l.Candidate.Name(), l.Worker)
+		c.logInfo("lease expired; candidate re-queued",
+			"lease", l.ID, "job", l.JobID, "candidate", l.Candidate.Name(), "worker", l.Worker, "trace", l.Trace)
 	}
 	c.reg.sweepDead()
 	// Drop queued preemption notices for workers that are no longer alive
@@ -221,7 +248,8 @@ func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
 		devices = 1
 	}
 	id := c.reg.register(req.Name, devices, req.Alpha)
-	c.logf("fleet: worker %s (%s, %d devices) joined", id, req.Name, devices)
+	fleetRegistrations.Inc()
+	c.logInfo("worker joined", "worker", id, "name", req.Name, "devices", devices)
 	return RegisterResponse{
 		WorkerID:    id,
 		LeaseTTLMS:  float64(c.cfg.LeaseTTL) / float64(time.Millisecond),
@@ -238,6 +266,7 @@ func (c *Coordinator) Lease(workerID string, max int) ([]WireLease, error) {
 	if err := c.reg.heartbeat(workerID); err != nil {
 		return nil, err
 	}
+	fleetLeasePolls.Inc()
 	if max <= 0 {
 		max = 1
 	}
@@ -280,7 +309,10 @@ func (c *Coordinator) Lease(workerID string, max int) ([]WireLease, error) {
 			continue
 		}
 		c.remote[l.ID] = &remoteLease{lease: l, worker: workerID}
-		wire = append(wire, WireLease{LeaseID: l.ID, JobID: l.JobID, Candidate: l.Candidate.Name()})
+		wire = append(wire, WireLease{LeaseID: l.ID, JobID: l.JobID, Candidate: l.Candidate.Name(), Trace: l.Trace})
+		fleetLeasesGranted.Inc()
+		c.logInfo("lease granted",
+			"lease", l.ID, "job", l.JobID, "candidate", l.Candidate.Name(), "worker", workerID, "trace", l.Trace)
 	}
 	return wire, nil
 }
@@ -296,7 +328,7 @@ func (c *Coordinator) preemptLocked() {
 	if err != nil {
 		// The lease is reclaimed either way; only the WAL history append
 		// failed.
-		c.logf("fleet: logging preemption: %v", err)
+		c.logWarn("logging preemption failed", "err", err)
 	}
 	if victim == nil {
 		return
@@ -304,9 +336,11 @@ func (c *Coordinator) preemptLocked() {
 	delete(c.remote, victim.ID)
 	c.preempted[victim.Worker] = append(c.preempted[victim.Worker], victim.ID)
 	c.preemptedTotal.Add(1)
+	fleetLeasePreemptions.Inc()
 	c.reg.leaseSettled(victim.Worker, victim.ID, "preempted")
-	c.logf("fleet: lease %d (%s/%s) preempted on %s for guaranteed work; candidate re-queued",
-		victim.ID, victim.JobID, victim.Candidate.Name(), victim.Worker)
+	c.logInfo("lease preempted for guaranteed work; candidate re-queued",
+		"lease", victim.ID, "job", victim.JobID, "candidate", victim.Candidate.Name(),
+		"worker", victim.Worker, "trace", victim.Trace)
 }
 
 // Preempt runs one priority-preemption pass directly (tests, and
@@ -330,6 +364,7 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 	if err := c.reg.heartbeat(req.WorkerID); err != nil {
 		return HeartbeatResponse{}, err
 	}
+	fleetHeartbeats.Inc()
 	var resp HeartbeatResponse
 	c.mu.Lock()
 	resp.Preempted = c.preempted[req.WorkerID]
@@ -361,6 +396,7 @@ func (c *Coordinator) Complete(req CompleteRequest) (string, error) {
 	rl, ok := c.remote[req.LeaseID]
 	if !ok || rl.worker != req.WorkerID {
 		c.mu.Unlock()
+		fleetCompletes.With("conflict").Inc()
 		return "", fmt.Errorf("fleet: lease %d is not held by %s: %w", req.LeaseID, req.WorkerID, server.ErrLeaseConflict)
 	}
 	delete(c.remote, req.LeaseID) // claim: at most one report settles a lease
@@ -385,15 +421,20 @@ func (c *Coordinator) Complete(req CompleteRequest) (string, error) {
 	case failures >= c.cfg.MaxRetries:
 		settled = "abandoned"
 		err = c.sched.Abandon(l)
-		c.logf("fleet: %s/%s abandoned after %d failed runs (last: %s)", l.JobID, l.Candidate.Name(), failures, req.Error)
+		c.logInfo("candidate abandoned after repeated failures",
+			"job", l.JobID, "candidate", l.Candidate.Name(), "failures", failures,
+			"last_error", req.Error, "trace", l.Trace)
 	default:
 		settled = "released"
 		err = c.sched.Release(l)
 	}
 	if err != nil {
-		if !errors.Is(err, server.ErrLeaseConflict) {
+		if errors.Is(err, server.ErrLeaseConflict) {
+			fleetCompletes.With("conflict").Inc()
+		} else {
 			// The lease is gone from the scheduler either way (e.g. the job
 			// failed mid-settle); count the run against the worker.
+			fleetCompletes.With("error").Inc()
 			c.reg.leaseSettled(req.WorkerID, req.LeaseID, "failed")
 		}
 		return "", err
@@ -401,7 +442,10 @@ func (c *Coordinator) Complete(req CompleteRequest) (string, error) {
 	if req.Error != "" {
 		c.sched.NoteTrainingFailure(l.JobID, l.Arm)
 	}
+	fleetCompletes.With(settled).Inc()
 	c.reg.leaseSettled(req.WorkerID, req.LeaseID, settled)
+	c.logInfo("lease settled",
+		"lease", req.LeaseID, "outcome", settled, "job", l.JobID, "worker", req.WorkerID, "trace", l.Trace)
 	return settled, nil
 }
 
@@ -425,7 +469,8 @@ func (c *Coordinator) Leave(workerID string) (int, error) {
 			released++
 		}
 	}
-	c.logf("fleet: worker %s left, %d leases re-queued", workerID, released)
+	fleetLeaves.Inc()
+	c.logInfo("worker left", "worker", workerID, "released", released)
 	return released, nil
 }
 
@@ -469,8 +514,16 @@ func (c *Coordinator) FleetStatus() server.FleetStatus {
 	return st
 }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.cfg.Logf != nil {
-		c.cfg.Logf(format, args...)
+// logInfo and logWarn emit structured coordinator diagnostics when a
+// Logger is configured; a nil Logger keeps the coordinator silent.
+func (c *Coordinator) logInfo(msg string, args ...any) {
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info(msg, args...)
+	}
+}
+
+func (c *Coordinator) logWarn(msg string, args ...any) {
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Warn(msg, args...)
 	}
 }

@@ -80,6 +80,11 @@ type WireLease struct {
 	LeaseID   int    `json:"lease_id"`
 	JobID     string `json:"job_id"`
 	Candidate string `json:"candidate"`
+	// Trace is the lease's trace ID, minted by the scheduler at pick time.
+	// Workers carry it into their structured logs and onto the
+	// X-Easeml-Trace header of the completion report, so one lease is
+	// traceable end to end across processes.
+	Trace string `json:"trace,omitempty"`
 }
 
 // LeaseResponse returns the granted leases (possibly none).

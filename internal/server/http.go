@@ -8,6 +8,8 @@ import (
 	"strings"
 
 	"repro/internal/admission"
+	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // API wraps a Scheduler with the HTTP surface of the ease.ml service:
@@ -18,6 +20,7 @@ import (
 //	POST /jobs/{id}/feed           register example pairs
 //	POST /jobs/{id}/refine         toggle an example
 //	POST /jobs/{id}/infer          apply the best model
+//	GET  /metrics                  Prometheus text exposition of all telemetry
 //	POST /admin/rounds             run scheduling rounds synchronously
 //	GET  /admin/snapshot           checkpoint the shared storage as JSON
 //	POST /admin/snapshot           compact the WAL into the on-disk snapshot
@@ -157,11 +160,15 @@ func (a *API) WithAdmission(ctrl *admission.Controller) *API {
 	return a
 }
 
-// Handler returns the HTTP handler for the service.
+// Handler returns the HTTP handler for the service: the API routes plus
+// GET /metrics (Prometheus exposition), the whole surface wrapped in the
+// telemetry middleware — per-route latency histograms, status-code
+// counters and X-Easeml-Trace propagation.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", a.handleJobs)
 	mux.HandleFunc("/jobs/", a.handleJobOp)
+	mux.HandleFunc("/metrics", a.handlePrometheus)
 	mux.HandleFunc("/admin/rounds", a.handleRounds)
 	mux.HandleFunc("/admin/snapshot", a.handleSnapshot)
 	mux.HandleFunc("/admin/metrics", a.handleMetrics)
@@ -169,7 +176,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("/admin/stop", a.handleEngineStop)
 	mux.HandleFunc("/admin/fleet", a.handleFleet)
 	mux.HandleFunc("/admin/quotas", a.handleQuotas)
-	return mux
+	return telemetry.InstrumentHTTP(telemetry.Default(), RouteLabel, mux)
 }
 
 // SubmitRequest is the POST /jobs payload.
@@ -369,6 +376,28 @@ type SetQuotaRequest struct {
 	admission.Quota
 }
 
+// quotaRows builds the per-tenant status rows shared by GET /admin/quotas
+// and the admission section of GET /admin/metrics: the declared quota,
+// live usage and cost, and the budget-exhausted flag.
+func (a *API) quotaRows() []QuotaStatus {
+	costs := a.sched.TenantCosts()
+	exhausted := make(map[string]bool)
+	for _, job := range a.sched.Jobs() {
+		if a.sched.BudgetExhausted(job.ID) {
+			exhausted[job.Name] = true
+		}
+	}
+	var rows []QuotaStatus
+	for _, ts := range a.adm.Snapshot() {
+		rows = append(rows, QuotaStatus{
+			TenantStatus:    ts,
+			CostUsed:        costs[ts.Tenant],
+			BudgetExhausted: exhausted[ts.Tenant],
+		})
+	}
+	return rows
+}
+
 func (a *API) handleQuotas(w http.ResponseWriter, r *http.Request) {
 	if a.adm == nil {
 		WriteError(w, http.StatusConflict, errors.New("no admission controller configured (run the server with -quota-config)"))
@@ -376,22 +405,7 @@ func (a *API) handleQuotas(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodGet:
-		costs := a.sched.TenantCosts()
-		exhausted := make(map[string]bool)
-		for _, job := range a.sched.Jobs() {
-			if a.sched.BudgetExhausted(job.ID) {
-				exhausted[job.Name] = true
-			}
-		}
-		resp := QuotasResponse{DefaultClass: a.adm.DefaultClass()}
-		for _, ts := range a.adm.Snapshot() {
-			resp.Tenants = append(resp.Tenants, QuotaStatus{
-				TenantStatus:    ts,
-				CostUsed:        costs[ts.Tenant],
-				BudgetExhausted: exhausted[ts.Tenant],
-			})
-		}
-		WriteJSON(w, http.StatusOK, resp)
+		WriteJSON(w, http.StatusOK, QuotasResponse{DefaultClass: a.adm.DefaultClass(), Tenants: a.quotaRows()})
 	case http.MethodPost:
 		var req SetQuotaRequest
 		if !ReadJSON(w, r, &req) {
@@ -421,13 +435,41 @@ func (a *API) handleFleet(w http.ResponseWriter, r *http.Request) {
 
 // MetricsResponse is the GET /admin/metrics reply. Selection reports the
 // pick-path counters: selection-index epoch/heap/shadow traffic plus the
-// aggregated per-job bandit cache hit/miss/invalidation tallies.
+// aggregated per-job bandit cache hit/miss/invalidation tallies. The
+// admission, fleet and WAL sections appear when the corresponding
+// subsystem is configured; GET /metrics carries the same state as
+// Prometheus exposition.
 type MetricsResponse struct {
 	Jobs      int            `json:"jobs"`
 	Rounds    int            `json:"rounds"`
 	InFlight  int            `json:"in_flight"`
 	Selection SelectionStats `json:"selection"`
 	Engine    *EngineStatus  `json:"engine,omitempty"`
+	// Admission is the per-tenant view: slots (active vs. max jobs),
+	// budgets with live cost, and admitted/rejected verdict tallies
+	// (rejected == 429s served).
+	Admission *AdmissionMetrics `json:"admission,omitempty"`
+	// Fleet condenses the worker registry: workers by state plus the
+	// lease expiry/preemption counters.
+	Fleet *FleetMetrics `json:"fleet,omitempty"`
+	// WAL reports the durability layer's operation tallies and sequence
+	// horizon (nil for an in-memory scheduler).
+	WAL *storage.LogStats `json:"wal,omitempty"`
+}
+
+// AdmissionMetrics is the admission section of MetricsResponse.
+type AdmissionMetrics struct {
+	DefaultClass admission.Class `json:"default_class"`
+	Tenants      []QuotaStatus   `json:"tenants"`
+}
+
+// FleetMetrics is the fleet section of MetricsResponse: the registry
+// grouped by worker state plus fleet-wide lease reclaim counters.
+type FleetMetrics struct {
+	WorkersByState  map[string]int `json:"workers_by_state"`
+	RemoteLeases    int            `json:"remote_leases"`
+	ExpiredLeases   int64          `json:"expired_leases"`
+	PreemptedLeases int64          `json:"preempted_leases"`
 }
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -444,6 +486,21 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if a.engine != nil {
 		st := a.engine.Status()
 		resp.Engine = &st
+	}
+	if a.adm != nil {
+		resp.Admission = &AdmissionMetrics{DefaultClass: a.adm.DefaultClass(), Tenants: a.quotaRows()}
+	}
+	if a.fleet != nil {
+		fs := a.fleet.FleetStatus()
+		resp.Fleet = &FleetMetrics{
+			WorkersByState:  map[string]int{"alive": fs.Alive, "dead": fs.Dead, "left": fs.Left},
+			RemoteLeases:    fs.RemoteLeases,
+			ExpiredLeases:   fs.ExpiredLeases,
+			PreemptedLeases: fs.PreemptedLeases,
+		}
+	}
+	if stats, ok := a.sched.WALStats(); ok {
+		resp.WAL = &stats
 	}
 	WriteJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleValue finds the exposition sample whose name-plus-labels prefix
+// matches exactly and returns its value; it fails the test when absent.
+func sampleValue(t *testing.T, body, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, sample+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, sample+" "), 64)
+		if err != nil {
+			t.Fatalf("sample %s has unparseable value in %q: %v", sample, line, err)
+		}
+		return v
+	}
+	t.Fatalf("exposition has no sample %q", sample)
+	return 0
+}
+
+// sampleLineRE is the shape of one Prometheus text-format sample:
+// name{labels} value. Values are Go floats (formatFloat) or integers.
+var sampleLineRE = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$`)
+
+// GET /metrics must serve a parseable Prometheus exposition with the
+// pick-stage and WAL histograms populated (non-zero p99) after real picks
+// flow through a durable scheduler — the issue's acceptance scrape.
+func TestPrometheusExpositionEndToEnd(t *testing.T) {
+	sc, wal := newDurableScheduler(t, t.TempDir())
+	defer wal.Close()
+	if _, err := sc.Submit("metrics", recoveryTSProgram); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		work, err := sc.PickWork(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range work {
+			if l.Trace == "" {
+				t.Error("pick minted a lease without a trace ID")
+			}
+			if err := sc.Complete(l, 0.5, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	srv := httptest.NewServer(NewAPI(sc).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type %q, want Prometheus text v0.0.4", ct)
+	}
+	if resp.Header.Get("X-Easeml-Trace") == "" {
+		t.Error("response is missing the X-Easeml-Trace header")
+	}
+
+	exposition := string(body)
+	// Every non-comment line must parse as a sample — the CI smoke step
+	// runs the same check via tools/metriclint -exposition.
+	for _, line := range strings.Split(exposition, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLineRE.MatchString(line) {
+			t.Errorf("unparseable exposition line: %q", line)
+		}
+	}
+
+	// The acceptance histograms: populated with non-zero p99.
+	for _, name := range []string{
+		"easeml_pick_stage_select_seconds_p99",
+		"easeml_pick_stage_lock_wait_seconds_p99",
+		"easeml_pick_stage_wal_append_seconds_p99",
+		"easeml_wal_append_seconds_p99",
+	} {
+		if v := sampleValue(t, exposition, name); v <= 0 {
+			t.Errorf("%s = %g, want > 0", name, v)
+		}
+	}
+	if v := sampleValue(t, exposition, "easeml_wal_append_seconds_count"); v <= 0 {
+		t.Errorf("easeml_wal_append_seconds_count = %g, want > 0", v)
+	}
+	if v := sampleValue(t, exposition, "easeml_wal_seq"); v <= 0 {
+		t.Errorf("easeml_wal_seq = %g, want > 0", v)
+	}
+	if v := sampleValue(t, exposition, "easeml_jobs"); v != 1 {
+		t.Errorf("easeml_jobs = %g, want 1", v)
+	}
+
+	// A second scrape sees the first one's own HTTP traffic counted.
+	resp2, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if v := sampleValue(t, string(body2), `easeml_http_requests_total{route="/metrics",code="200"}`); v < 1 {
+		t.Errorf("easeml_http_requests_total for /metrics = %g, want >= 1", v)
+	}
+}
+
+type stubFleet struct{}
+
+func (stubFleet) FleetStatus() FleetStatus {
+	return FleetStatus{Alive: 2, Dead: 1, Left: 3, RemoteLeases: 4, ExpiredLeases: 5, PreemptedLeases: 6}
+}
+
+// GET /admin/metrics keeps its JSON shape and gains the fleet and WAL
+// sections when those subsystems are attached.
+func TestAdminMetricsExtendedSections(t *testing.T) {
+	sc, wal := newDurableScheduler(t, t.TempDir())
+	defer wal.Close()
+	if _, err := sc.Submit("sections", recoveryTSProgram); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewAPI(sc).WithFleet(stubFleet{}).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Fleet == nil {
+		t.Fatal("metrics response has no fleet section")
+	}
+	if m.Fleet.WorkersByState["alive"] != 2 || m.Fleet.WorkersByState["left"] != 3 {
+		t.Errorf("fleet workers by state = %v", m.Fleet.WorkersByState)
+	}
+	if m.Fleet.ExpiredLeases != 5 || m.Fleet.PreemptedLeases != 6 {
+		t.Errorf("fleet lease counters = %+v", m.Fleet)
+	}
+	if m.WAL == nil {
+		t.Fatal("metrics response has no WAL section for a durable scheduler")
+	}
+	if m.WAL.Appends == 0 || m.WAL.Seq == 0 {
+		t.Errorf("WAL stats not populated: %+v", m.WAL)
+	}
+	if m.Admission != nil {
+		t.Error("admission section present without an admission controller")
+	}
+}

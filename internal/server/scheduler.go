@@ -79,6 +79,7 @@ import (
 	"repro/internal/dsl"
 	"repro/internal/gp"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/templates"
 	"repro/internal/trainsim"
 )
@@ -684,6 +685,12 @@ type Lease struct {
 	// time, then every HeartbeatLease). Guarded by coordMu.
 	LastHeartbeat time.Time
 
+	// Trace is the lease's lifecycle trace ID, minted at pick time. It
+	// travels with the lease through the fleet protocol (the wire lease
+	// and the X-Easeml-Trace header) so coordinator and worker logs for
+	// one lease correlate. Immutable after pick.
+	Trace string
+
 	// settling marks a lease whose Complete/Abandon is in progress: the
 	// lease stays in the table — keeping its arm excluded from selection —
 	// until the bandit update lands, closing the window in which the arm
@@ -714,16 +721,22 @@ func (sc *Scheduler) PickWork(maxInFlight int) ([]*Lease, error) {
 		return nil, fmt.Errorf("server: maxInFlight %d must be positive", maxInFlight)
 	}
 	jobs := sc.jobsSnapshot()
+	t0 := time.Now()
 	sc.coordMu.Lock()
 	defer sc.coordMu.Unlock()
+	coordAcquired := time.Now()
 
 	inFlight := sc.inFlightArmsLocked()
 	var shadows map[string]*bandit.GPUCB
 	if sc.legacySelection {
 		shadows = make(map[string]*bandit.GPUCB)
 	}
+	sweepT0 := time.Now()
 	tenants, unlock := sc.lockForPicking(jobs, inFlight)
 	defer unlock()
+	// Lock wait is coordMu acquisition plus the per-job lock sweep —
+	// the two places a pick batch can stall behind other work.
+	pickStageLockWait.Observe(coordAcquired.Sub(t0) + time.Since(sweepT0))
 	var picked []*Lease
 	for len(sc.leases) < maxInFlight {
 		l, err := sc.pickNextLocked(jobs, tenants, inFlight, shadows)
@@ -735,6 +748,7 @@ func (sc *Scheduler) PickWork(maxInFlight int) ([]*Lease, error) {
 		}
 		picked = append(picked, l)
 	}
+	telemetry.SlowOp("pick_work", time.Since(t0), "leases", len(picked), "jobs", len(jobs))
 	return picked, nil
 }
 
@@ -853,6 +867,8 @@ func (sc *Scheduler) pickNextLocked(jobs []*Job, tenants []*core.Tenant, inFligh
 	if !anyActive {
 		return nil, nil
 	}
+	selectT0 := time.Now()
+	defer pickStageSelect.ObserveSince(selectT0)
 	indexed := shadows == nil
 	var idx int
 	if op, ok := sc.picker.(core.OraclePicker); indexed && ok {
@@ -881,24 +897,30 @@ func (sc *Scheduler) pickNextLocked(jobs []*Job, tenants []*core.Tenant, inFligh
 	switch {
 	case !indexed:
 		if shadow, ok := shadows[job.ID]; ok {
+			hallT0 := time.Now()
 			arm, ucb = shadow.SelectArm()
 			shadow.Hallucinate(arm)
+			pickStageHallucinate.ObserveSince(hallT0)
 		} else if len(inFlight[job.ID]) == 0 {
 			arm, ucb = job.tenant.Bandit.SelectArm()
 		} else {
+			hallT0 := time.Now()
 			shadow = job.tenant.Bandit.CloneShadow(inFlight[job.ID])
 			shadows[job.ID] = shadow
 			arm, ucb = shadow.SelectArm()
 			shadow.Hallucinate(arm)
+			pickStageHallucinate.ObserveSince(hallT0)
 		}
 	case len(inFlight[job.ID]) == 0:
 		arm, ucb = job.tenant.Bandit.SelectArm()
 	default:
 		sc.selIdx.ensure(jobs)
 		entry := &sc.selIdx.entries[idx]
+		hallT0 := time.Now()
 		shadow := sc.selIdx.shadowFor(entry, job.tenant.Bandit, inFlight[job.ID])
 		arm, ucb = shadow.SelectArm()
 		sc.selIdx.hallucinate(entry, []int{arm})
+		pickStageHallucinate.ObserveSince(hallT0)
 	}
 	if arm < 0 {
 		// Cannot happen for an Active tenant; surface it rather than loop.
@@ -907,7 +929,9 @@ func (sc *Scheduler) pickNextLocked(jobs []*Job, tenants []*core.Tenant, inFligh
 	inFlight[job.ID] = append(inFlight[job.ID], arm)
 	job.tenant.SetLeased(len(inFlight[job.ID]))
 	sc.nextLease++
-	l := &Lease{ID: sc.nextLease, JobID: job.ID, Arm: arm, Candidate: job.Candidates[arm], UCB: ucb}
+	l := &Lease{ID: sc.nextLease, JobID: job.ID, Arm: arm, Candidate: job.Candidates[arm], UCB: ucb,
+		Trace: telemetry.NewTraceID()}
+	leaseTraces.Inc()
 	if sc.leaseTTL > 0 {
 		now := sc.now()
 		l.LastHeartbeat = now
@@ -1017,9 +1041,11 @@ func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
 	}
 	job.store.RecordModel(rec)
 	if sc.log != nil {
+		walT0 := time.Now()
 		if err := sc.log.AppendModelRecorded(l.JobID, rec); err != nil {
 			return fmt.Errorf("server: logging result for %s/%s: %w", l.JobID, rec.Name, err)
 		}
+		pickStageWALAppend.ObserveSince(walT0)
 	}
 	// The observation paid its arm's cost into the bandit; check the
 	// tenant's budget after the result is durable, so a budget-drained job

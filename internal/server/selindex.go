@@ -3,6 +3,7 @@ package server
 import (
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/bandit"
 	"repro/internal/core"
@@ -152,6 +153,11 @@ func (ix *selectionIndex) markDirty(jobID string) {
 // O(1) when the bandit's own UCB cache is warm (lease-only bumps) and one
 // O(K·t²) posterior pass when an observation landed.
 func (ix *selectionIndex) repair(tenants []*core.Tenant) {
+	if len(ix.dirty) == 0 {
+		return
+	}
+	t0 := time.Now()
+	defer pickStageIndexRepair.ObserveSince(t0)
 	keep := ix.dirty[:0]
 	for _, i := range ix.dirty {
 		if i >= len(tenants) {

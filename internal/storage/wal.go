@@ -8,6 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // The write-ahead log turns the shared storage into a real durability
@@ -148,6 +152,22 @@ const (
 	snapshotFile = "snapshot.json"
 )
 
+// WAL telemetry: append latency covers serialize + write + flush (the
+// durability an acknowledged mutation buys); fsync latency is the
+// compaction/close path only, matching the Log's durability contract.
+var (
+	walAppendLatency = telemetry.Default().Histogram("easeml_wal_append_seconds",
+		"WAL append latency: serialize, write and flush one event to the OS.")
+	walAppends = telemetry.Default().CounterVec("easeml_wal_appends_total",
+		"WAL events appended, by event type.", "type")
+	walFsyncLatency = telemetry.Default().Histogram("easeml_wal_fsync_seconds",
+		"WAL and snapshot fsync latency (paid at compaction and close).")
+	walFsyncs = telemetry.Default().Counter("easeml_wal_fsyncs_total",
+		"File fsyncs issued by the WAL (snapshot, tail rewrite, close).")
+	walCompactions = telemetry.Default().Counter("easeml_wal_compactions_total",
+		"Snapshot compactions completed.")
+)
+
 // Log is an append-only JSONL write-ahead log over a data directory.
 // Appends are serialized and flushed to the OS before returning, so an
 // acknowledged mutation survives a process crash (not necessarily a power
@@ -158,6 +178,44 @@ type Log struct {
 	f   *os.File
 	w   *bufio.Writer
 	seq uint64
+
+	// Per-log operation tallies for the /admin/metrics WAL section; the
+	// process-global Prometheus counters above aggregate across logs.
+	appends     atomic.Uint64
+	fsyncs      atomic.Uint64
+	compactions atomic.Uint64
+}
+
+// LogStats is one log's operation tallies plus its sequence horizon —
+// the WAL section of the /admin/metrics reply.
+type LogStats struct {
+	Appends     uint64 `json:"appends"`
+	Fsyncs      uint64 `json:"fsyncs"`
+	Compactions uint64 `json:"compactions"`
+	Seq         uint64 `json:"seq"`
+}
+
+// Stats snapshots the log's operation tallies and sequence horizon.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	seq := l.seq
+	l.mu.Unlock()
+	return LogStats{
+		Appends:     l.appends.Load(),
+		Fsyncs:      l.fsyncs.Load(),
+		Compactions: l.compactions.Load(),
+		Seq:         seq,
+	}
+}
+
+// timedSync fsyncs f under the WAL's fsync telemetry.
+func (l *Log) timedSync(f *os.File) error {
+	t0 := time.Now()
+	err := f.Sync()
+	walFsyncLatency.ObserveSince(t0)
+	walFsyncs.Inc()
+	l.fsyncs.Add(1)
+	return err
 }
 
 // OpenDir opens (creating if needed) a data directory and recovers its
@@ -364,6 +422,7 @@ func (l *Log) appendLocked(ev Event) error {
 	if l.f == nil {
 		return fmt.Errorf("storage: append to closed WAL")
 	}
+	t0 := time.Now()
 	l.seq++
 	ev.Seq = l.seq
 	data, err := json.Marshal(ev)
@@ -377,6 +436,11 @@ func (l *Log) appendLocked(ev Event) error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("storage: flushing WAL: %w", err)
 	}
+	elapsed := time.Since(t0)
+	walAppendLatency.Observe(elapsed)
+	walAppends.With(string(ev.Type)).Inc()
+	l.appends.Add(1)
+	telemetry.SlowOp("wal_append", elapsed, "type", string(ev.Type), "seq", l.seq)
 	return nil
 }
 
@@ -470,7 +534,7 @@ func (l *Log) Compact(jobs []JobMeta, abandoned map[string][]string, budgetExhau
 		os.Remove(tmp)
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	if err := l.timedSync(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("storage: syncing snapshot: %w", err)
@@ -484,7 +548,12 @@ func (l *Log) Compact(jobs []JobMeta, abandoned map[string][]string, budgetExhau
 	if err := syncDir(l.dir); err != nil {
 		return err
 	}
-	return l.rewriteTailLocked(through)
+	if err := l.rewriteTailLocked(through); err != nil {
+		return err
+	}
+	walCompactions.Inc()
+	l.compactions.Add(1)
+	return nil
 }
 
 // rewriteTailLocked replaces the WAL with only the events past the
@@ -522,7 +591,7 @@ func (l *Log) rewriteTailLocked(through uint64) error {
 	// The surviving tail events were acknowledged as durable before the
 	// compaction; the rewrite must not weaken that, so it is fsynced
 	// before the rename makes it the log.
-	if err := f.Sync(); err != nil {
+	if err := l.timedSync(f); err != nil {
 		f.Close()
 		return fmt.Errorf("storage: syncing compacted WAL: %w", err)
 	}
@@ -559,7 +628,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	flushErr := l.w.Flush()
-	syncErr := l.f.Sync()
+	syncErr := l.timedSync(l.f)
 	closeErr := l.f.Close()
 	l.f = nil
 	if flushErr != nil {

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: exponential base-2 buckets over latency, from
+// histBase up. Bucket i covers (histBase<<(i-1), histBase<<i] nanoseconds
+// (bucket 0 is everything at or below histBase); one overflow bucket
+// catches the tail. 2x resolution keeps the exact-bucket quantiles within
+// a factor of two of the true order statistic, which is plenty to tell a
+// 2µs pick from a 40µs one, while the whole shard stays a flat array
+// indexed by bits.Len64 — no search, no branches on the hot path.
+const (
+	histBase    = 250 // ns; smallest bucket upper bound
+	histBuckets = 32  // finite buckets; histBase<<31 ≈ 537s
+	histShards  = 8   // must be a power of two
+)
+
+// histShard is one shard's bucket array. Shards are padded apart so two
+// cores observing into neighbouring shards don't share a cache line.
+type histShard struct {
+	counts [histBuckets + 1]atomic.Uint64 // +1: overflow
+	sumNS  atomic.Uint64
+	_      [64]byte
+}
+
+// Histogram is a lock-free sharded latency histogram. Observe picks a
+// shard via the runtime's per-P cheap random source and does two atomic
+// adds; scrapes merge the shards. There is no mutex anywhere, so an
+// Observe under coordMu never waits on a concurrent exposition.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a duration to its bucket so that the bucket's upper
+// bound is inclusive (Prometheus `le` semantics): d ≤ histBase<<i.
+func bucketIndex(d time.Duration) int {
+	if d <= histBase {
+		return 0
+	}
+	idx := bits.Len64((uint64(d) - 1) / histBase)
+	if idx > histBuckets {
+		return histBuckets
+	}
+	return idx
+}
+
+// bucketUpperNS returns bucket i's inclusive upper bound in nanoseconds;
+// the overflow bucket reports the largest finite bound (quantiles that
+// land there are clamped, which the exposition's +Inf bucket makes
+// visible).
+func bucketUpperNS(i int) uint64 {
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return histBase << uint(i)
+}
+
+// Observe records one latency sample. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := &h.shards[rand.Uint32()&(histShards-1)]
+	s.counts[bucketIndex(d)].Add(1)
+	s.sumNS.Add(uint64(d))
+}
+
+// ObserveSince records time.Since(t0).
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// snapshot merges the shards into one bucket array and sum.
+func (h *Histogram) snapshot() (counts [histBuckets + 1]uint64, sumNS uint64) {
+	for s := range h.shards {
+		for b := range h.shards[s].counts {
+			counts[b] += h.shards[s].counts[b].Load()
+		}
+		sumNS += h.shards[s].sumNS.Load()
+	}
+	return counts, sumNS
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	counts, _ := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Sum returns the sum of all observed durations.
+func (h *Histogram) Sum() time.Duration {
+	_, sumNS := h.snapshot()
+	return time.Duration(sumNS)
+}
+
+// Quantile returns the exact-bucket q-quantile: the inclusive upper
+// bound of the bucket containing the ceil(q·n)-th smallest observation.
+// It returns 0 on an empty histogram and clamps q to [0, 1].
+func (h *Histogram) Quantile(q float64) time.Duration {
+	counts, _ := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return time.Duration(bucketUpperNS(i))
+		}
+	}
+	return time.Duration(bucketUpperNS(histBuckets))
+}
+
+// writeBuckets emits the child's _bucket/_sum/_count series. fam/key
+// provide the label rendering context (le is appended to the child's own
+// labels).
+func (h *Histogram) writeBuckets(w io.Writer, name string, fam *family, key string) {
+	counts, sumNS := h.snapshot()
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += counts[i]
+		le := formatFloat(float64(bucketUpperNS(i)) / 1e9)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, fam.renderLabels(key, `le="`+le+`"`), cum)
+	}
+	cum += counts[histBuckets]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, fam.renderLabels(key, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, fam.renderLabels(key, ""), formatFloat(float64(sumNS)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, fam.renderLabels(key, ""), cum)
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response status code for the per-route
+// status counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// InstrumentHTTP wraps next with the standard HTTP telemetry: per-route
+// request latency (easeml_http_request_seconds{route}), per-route status
+// counters (easeml_http_requests_total{route,code}), and trace
+// propagation — the inbound X-Easeml-Trace header (or a freshly minted
+// ID) lands in the request context and is echoed on the response.
+//
+// route maps a request to its metric label; it must return a bounded set
+// of values (normalize path parameters), or the counter cardinality
+// explodes.
+func InstrumentHTTP(reg *Registry, route func(*http.Request) string, next http.Handler) http.Handler {
+	requests := reg.CounterVec("easeml_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	latency := reg.HistogramVec("easeml_http_request_seconds",
+		"HTTP request latency by route.", "route")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		ctx, trace := TraceFromRequest(r)
+		w.Header().Set(TraceHeader, trace)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		rt := route(r)
+		elapsed := time.Since(t0)
+		latency.With(rt).Observe(elapsed)
+		requests.With(rt, strconv.Itoa(sw.code)).Inc()
+		SlowOp("http_"+r.Method, elapsed, "route", rt, "status", sw.code, "trace", trace)
+	})
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// NewLogger builds the process logger: format is "text" or "json" (the
+// -log-format flag), level one of debug/info/warn/error (-log-level).
+// Binaries install the result with slog.SetDefault so package-level slow-op
+// and error logging inherits it.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+}
+
+// ParseLevel maps a flag string to a slog.Level; "" means info.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown log level %q", s)
+	}
+}
+
+// slowOpNS is the slow-operation threshold in nanoseconds; 0 disables the
+// slow-op log entirely. Configured once at startup (the -slow-op flag),
+// read on every guarded operation, hence atomic.
+var slowOpNS atomic.Int64
+
+func init() { slowOpNS.Store(int64(100 * time.Millisecond)) }
+
+var slowOps = Default().CounterVec("easeml_slow_ops_total",
+	"Operations that crossed the slow-op log threshold, by operation.", "op")
+
+// SetSlowOpThreshold sets the duration above which SlowOp logs (and
+// counts) an operation. d <= 0 disables the slow-op log.
+func SetSlowOpThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	slowOpNS.Store(int64(d))
+}
+
+// SlowOpThreshold returns the current threshold (0 = disabled).
+func SlowOpThreshold() time.Duration { return time.Duration(slowOpNS.Load()) }
+
+// SlowOp logs a warning on the default logger when an operation exceeded
+// the configured threshold, and bumps easeml_slow_ops_total{op}. attrs
+// are extra slog key/value pairs (trace IDs, job IDs). The fast path — op
+// under threshold — is one atomic load and a compare.
+func SlowOp(op string, elapsed time.Duration, attrs ...any) {
+	t := slowOpNS.Load()
+	if t <= 0 || int64(elapsed) < t {
+		return
+	}
+	slowOps.With(op).Inc()
+	args := append([]any{"op", op, "elapsed", elapsed, "threshold", time.Duration(t)}, attrs...)
+	slog.Warn("slow operation", args...)
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintSourceFindsViolations(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `package a
+
+var (
+	ok  = telemetry.Default().Counter("easeml_good_total", "fine")
+	bad = telemetry.Default().Gauge("Easeml-Bad", "not snake case")
+)
+`)
+	writeFile(t, dir, "b.go", `package a
+
+var dup = telemetry.Default().Counter("easeml_good_total", "claimed twice")
+
+func render(w io.Writer) {
+	telemetry.WriteMetricHeader(w, "easeml_dynamic", "scrape-time family", "gauge")
+}
+`)
+	// _test.go files register private names into fresh registries and are
+	// out of scope.
+	writeFile(t, dir, "a_test.go", `package a
+
+var testOnly = reg.Counter("NOT_CHECKED", "test registry")
+`)
+
+	problems, err := lintSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, `"Easeml-Bad" is not lower snake_case`) {
+		t.Errorf("missing snake_case violation in:\n%s", joined)
+	}
+	if !strings.Contains(joined, `"easeml_good_total" already registered`) {
+		t.Errorf("missing duplicate-name violation in:\n%s", joined)
+	}
+	if strings.Contains(joined, "NOT_CHECKED") {
+		t.Errorf("lint reached into _test.go files:\n%s", joined)
+	}
+	if len(problems) != 2 {
+		t.Errorf("got %d problems, want 2:\n%s", len(problems), joined)
+	}
+}
+
+func TestLintSourceCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `package a
+
+var c = telemetry.Default().CounterVec("easeml_things_total", "fine", "kind")
+`)
+	problems, err := lintSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("clean tree produced problems: %v", problems)
+	}
+}
+
+func TestLintExposition(t *testing.T) {
+	good := `# HELP easeml_jobs Jobs known.
+# TYPE easeml_jobs gauge
+easeml_jobs 3
+# HELP easeml_wal_append_seconds Append latency.
+# TYPE easeml_wal_append_seconds histogram
+easeml_wal_append_seconds_bucket{le="0.001"} 10
+easeml_wal_append_seconds_bucket{le="+Inf"} 12
+easeml_wal_append_seconds_sum 0.5
+easeml_wal_append_seconds_count 12
+# HELP easeml_http_requests_total Requests.
+# TYPE easeml_http_requests_total counter
+easeml_http_requests_total{route="/jobs",code="200"} 7
+`
+	if problems := lintExposition(strings.NewReader(good)); len(problems) != 0 {
+		t.Errorf("valid exposition rejected: %v", problems)
+	}
+
+	for name, bad := range map[string]string{
+		"garbage line":      "# TYPE easeml_x gauge\neaseml_x 1\nthis is not a sample\n",
+		"sample sans TYPE":  "easeml_orphan 4\n",
+		"malformed TYPE":    "# TYPE easeml_x wibble\neaseml_x 1\n",
+		"duplicate TYPE":    "# TYPE easeml_x gauge\n# TYPE easeml_x gauge\neaseml_x 1\n",
+		"empty exposition":  "\n",
+		"unquoted label":    "# TYPE easeml_x gauge\neaseml_x{a=b} 1\n",
+		"non-numeric value": "# TYPE easeml_x gauge\neaseml_x one\n",
+	} {
+		if problems := lintExposition(strings.NewReader(bad)); len(problems) == 0 {
+			t.Errorf("%s: accepted invalid exposition %q", name, bad)
+		}
+	}
+}
