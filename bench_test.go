@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -155,11 +156,27 @@ type pickPathBench struct {
 	Speedup            float64 `json:"speedup"`
 }
 
+// ingestBench is the ingest section of one trajectory entry: acked Feed
+// throughput under concurrent clients against a durable service, where
+// every Feed is fsynced to the WAL before it returns. The baseline
+// serializes one write+fsync per append — the pre-segmentation
+// single-file WAL discipline — while group commit lets concurrent
+// appends share one fsync.
+type ingestBench struct {
+	Benchmark               string  `json:"benchmark"`
+	Feeders                 int     `json:"feeders"`
+	FsyncBeforeAck          bool    `json:"fsync_before_ack"`
+	FsyncPerAppendEventsSec float64 `json:"fsync_per_append_events_per_sec"`
+	GroupCommitEventsSec    float64 `json:"group_commit_events_per_sec"`
+	Speedup                 float64 `json:"speedup"`
+}
+
 // benchRun is one commit's entry in the benchmark trajectory.
 type benchRun struct {
 	Commit    string         `json:"commit"`
 	Scheduler *schedBenchDoc `json:"scheduler,omitempty"`
 	PickPath  *pickPathBench `json:"pick_path,omitempty"`
+	Ingest    *ingestBench   `json:"ingest,omitempty"`
 }
 
 // benchTrajectory is the BENCH_scheduler.json schema: one entry per
@@ -302,6 +319,89 @@ func BenchmarkSchedulerMultiTenant(b *testing.B) {
 			}
 			schedBenchMu.Unlock()
 			writeSchedBench(b)
+		})
+	}
+}
+
+var (
+	feedSatMu     sync.Mutex
+	feedSatPerSec = map[string]float64{}
+)
+
+// BenchmarkFeedSaturation measures acked ingest throughput: 8 concurrent
+// Feed clients split b.N appends against a durable service, and every
+// Feed is fsynced to the WAL before it returns. fsync-per-append
+// serializes one write+fsync per Feed under the log mutex — the
+// pre-segmentation single-file WAL discipline — while group-commit runs
+// the committer pipeline, so appends arriving during one fsync batch
+// into the next. acked-events/s is the headline metric; both modes and
+// their ratio land in BENCH_scheduler.json's ingest section.
+func BenchmarkFeedSaturation(b *testing.B) {
+	const (
+		feeders = 8
+		program = "{input: {[Tensor[4]], [next]}, output: {[Tensor[2]], []}}"
+	)
+	for _, mode := range []struct {
+		name     string
+		interval time.Duration
+	}{
+		{"fsync-per-append", -1}, // serialized: one fsync per Feed, no committer
+		{"group-commit", 0},      // committer pipeline: one fsync per batch
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			svc, err := easeml.OpenService(easeml.ServiceConfig{
+				GPUs: 4, Seed: 7, DataDir: b.TempDir(), WALSyncInterval: mode.interval,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			job, err := svc.Submit("sat", program)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < feeders; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						if _, err := svc.Feed(job.Name, []float64{float64(i), 1, 2, 3}, []float64{0, 1}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			perSec := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(perSec, "acked-events/s")
+			feedSatMu.Lock()
+			feedSatPerSec[mode.name] = perSec
+			feedSatMu.Unlock()
+		})
+	}
+	feedSatMu.Lock()
+	base, group := feedSatPerSec["fsync-per-append"], feedSatPerSec["group-commit"]
+	feedSatMu.Unlock()
+	if base > 0 && group > 0 {
+		b.ReportMetric(group/base, "speedup")
+		updateBenchTrajectory(b, func(run *benchRun) {
+			run.Ingest = &ingestBench{
+				Benchmark:               "BenchmarkFeedSaturation",
+				Feeders:                 feeders,
+				FsyncBeforeAck:          true,
+				FsyncPerAppendEventsSec: base,
+				GroupCommitEventsSec:    group,
+				Speedup:                 group / base,
+			}
 		})
 	}
 }

@@ -153,6 +153,21 @@ type ServiceConfig struct {
 	// Requires OpenService (NewService panics on a DataDir it cannot
 	// open).
 	DataDir string
+	// WALSegmentBytes is the write-ahead log's segment roll threshold: an
+	// append that would push the active wal-<firstseq>.jsonl past it seals
+	// the segment and opens the next, giving incremental compaction
+	// (CompactStep) its granularity. Zero means the storage default
+	// (4 MiB); ignored without DataDir.
+	WALSegmentBytes int64
+	// WALSyncInterval shapes the WAL's group commit. Zero (the default)
+	// fsyncs every append immediately — batching still arises naturally
+	// from appends that arrive during the previous batch's fsync. A
+	// positive interval makes the committer linger that long so concurrent
+	// writers share one fsync (appends are acked within ~interval; the
+	// server flag default is 2ms). Negative disables group commit: each
+	// append pays its own serialized write+fsync. Every mode fsyncs before
+	// acknowledging. Ignored without DataDir.
+	WALSyncInterval time.Duration
 	// Fleet enables the distributed-worker coordinator (internal/fleet):
 	// remote easeml-worker agents register, lease candidates, heartbeat
 	// and report results over the /fleet/* endpoints, which are mounted on
@@ -319,7 +334,10 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 		s.adm = ctrl
 	}
 	if cfg.DataDir != "" {
-		log, rec, err := storage.OpenDir(cfg.DataDir)
+		log, rec, err := storage.OpenDirOptions(cfg.DataDir, storage.LogOptions{
+			SegmentBytes: cfg.WALSegmentBytes,
+			SyncInterval: cfg.WALSyncInterval,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -399,6 +417,12 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 // Compact folds the write-ahead log into the data directory's snapshot,
 // bounding boot-time replay. It errors for a service without a DataDir.
 func (s *Service) Compact() error { return s.sched.Compact() }
+
+// CompactStep folds only the oldest sealed WAL segment into the snapshot
+// — the incremental counterpart to Compact, with an O(segment) pause. It
+// reports whether a segment was folded (false when nothing is sealed yet)
+// and errors for a service without a DataDir.
+func (s *Service) CompactStep() (bool, error) { return s.sched.CompactIncremental() }
 
 // Close shuts the service's background machinery down: the fleet
 // coordinator's sweeper and listener stop, then (when durable) the WAL is

@@ -546,15 +546,30 @@ func (a *API) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		// With a data directory, a snapshot request is a compaction
 		// trigger: fold the write-ahead log into the on-disk snapshot.
+		// ?mode=incremental folds only the oldest sealed WAL segment
+		// (an O(segment) pause; "compacted" is false when there was
+		// nothing sealed to fold).
 		if !a.sched.Persistent() {
 			WriteError(w, http.StatusConflict, errors.New("no data dir configured (run the server with -data-dir)"))
 			return
 		}
-		if err := a.sched.Compact(); err != nil {
-			WriteError(w, http.StatusInternalServerError, err)
-			return
+		switch mode := r.URL.Query().Get("mode"); mode {
+		case "", "full":
+			if err := a.sched.Compact(); err != nil {
+				WriteError(w, http.StatusInternalServerError, err)
+				return
+			}
+			WriteJSON(w, http.StatusOK, map[string]bool{"compacted": true})
+		case "incremental":
+			folded, err := a.sched.CompactIncremental()
+			if err != nil {
+				WriteError(w, http.StatusInternalServerError, err)
+				return
+			}
+			WriteJSON(w, http.StatusOK, map[string]bool{"compacted": folded})
+		default:
+			WriteError(w, http.StatusBadRequest, fmt.Errorf("unknown compaction mode %q (use full or incremental)", mode))
 		}
-		WriteJSON(w, http.StatusOK, map[string]bool{"compacted": true})
 	default:
 		WriteError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
 	}

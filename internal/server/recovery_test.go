@@ -21,10 +21,14 @@ const (
 )
 
 func newDurableScheduler(t testing.TB, dir string) (*Scheduler, *storage.Log) {
+	return newDurableSchedulerOpts(t, dir, storage.LogOptions{})
+}
+
+func newDurableSchedulerOpts(t testing.TB, dir string, opts storage.LogOptions) (*Scheduler, *storage.Log) {
 	t.Helper()
 	pool := cluster.NewPool(8, 0.9)
 	sc := NewScheduler(NewSimTrainer(pool, 42), nil, "http://test:9000")
-	log, rec, err := storage.OpenDir(dir)
+	log, rec, err := storage.OpenDirOptions(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,6 +212,116 @@ func TestRecoveryAfterCompaction(t *testing.T) {
 	}
 	if st.Examples != 2 {
 		t.Errorf("recovered %d examples, want 2", st.Examples)
+	}
+	if st.Trained != 4 {
+		t.Errorf("recovered %d trained models, want 4", st.Trained)
+	}
+	if sc2.Rounds() != 4 {
+		t.Errorf("recovered %d rounds, want 4", sc2.Rounds())
+	}
+}
+
+// Crash-recovery equivalence across segment rolls: the same workload on a
+// log forced through many tiny segments must recover to exactly the state
+// a single-segment (default) run recovers to.
+func TestCrashRecoveryAcrossSegmentRoll(t *testing.T) {
+	tiny := storage.LogOptions{SegmentBytes: 512}
+	workload := func(t *testing.T, sc *Scheduler) string {
+		t.Helper()
+		job, err := sc.Submit("a", recoveryTSProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			if _, err := sc.Feed(job.ID, []float64{1, 2, 3, float64(i)}, []float64{0, 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sc.RunRounds(3); err != nil {
+			t.Fatal(err)
+		}
+		return job.ID
+	}
+
+	refDir, tinyDir := t.TempDir(), t.TempDir()
+	refSC, _ := newDurableScheduler(t, refDir)
+	refID := workload(t, refSC)
+	tinySC, tinyLog := newDurableSchedulerOpts(t, tinyDir, tiny)
+	tinyID := workload(t, tinySC)
+	if st := tinyLog.Stats(); st.Segments < 2 {
+		t.Fatalf("workload stayed in %d segment(s); raise the event count", st.Segments)
+	}
+	// Crash both without Close.
+
+	refSC2, _ := newDurableScheduler(t, refDir)
+	tinySC2, _ := newDurableSchedulerOpts(t, tinyDir, tiny)
+	refSt, err := refSC2.Status(refID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tinySt, err := tinySC2.Status(tinyID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSt.Examples != tinySt.Examples || refSt.Trained != tinySt.Trained || refSt.Enabled != tinySt.Enabled {
+		t.Errorf("segmented recovery diverged: tiny %+v vs reference %+v", tinySt, refSt)
+	}
+	if refSC2.Rounds() != tinySC2.Rounds() {
+		t.Errorf("recovered rounds %d (tiny) vs %d (reference)", tinySC2.Rounds(), refSC2.Rounds())
+	}
+	refBest, tinyBest := bestByJob(t, refSC2), bestByJob(t, tinySC2)
+	if rb, ok := refBest[refID]; ok {
+		tb := tinyBest[tinyID]
+		if tb.Name != rb.Name || tb.Accuracy != rb.Accuracy {
+			t.Errorf("best after segmented recovery %s@%g, want %s@%g", tb.Name, tb.Accuracy, rb.Name, rb.Accuracy)
+		}
+	}
+}
+
+// A crash right after an incremental compaction step recovers from the
+// stepped snapshot plus the remaining segments' tail.
+func TestRecoveryAfterIncrementalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	tiny := storage.LogOptions{SegmentBytes: 512}
+	sc1, log1 := newDurableSchedulerOpts(t, dir, tiny)
+	job, err := sc1.Submit("a", recoveryTSProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := sc1.Feed(job.ID, []float64{1, 2, 3, float64(i)}, []float64{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sc1.RunRounds(2); err != nil {
+		t.Fatal(err)
+	}
+	if log1.Stats().Segments < 2 {
+		t.Fatalf("workload stayed in one segment; raise the event count")
+	}
+	folded, err := sc1.CompactIncremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !folded {
+		t.Fatal("incremental compaction folded nothing despite sealed segments")
+	}
+	// Mutations after the step live in the surviving segments only.
+	if _, err := sc1.Feed(job.ID, []float64{9, 9, 9, 9}, []float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc1.RunRounds(2); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without Close.
+
+	sc2, _ := newDurableSchedulerOpts(t, dir, tiny)
+	st, err := sc2.Status(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Examples != 13 {
+		t.Errorf("recovered %d examples, want 13", st.Examples)
 	}
 	if st.Trained != 4 {
 		t.Errorf("recovered %d trained models, want 4", st.Trained)

@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment file layout. The WAL is a sequence of fixed-size-ish JSONL
+// segments named by the first sequence number they may hold:
+//
+//	wal-0000000000000001.jsonl   (sealed)
+//	wal-0000000000004096.jsonl   (sealed)
+//	wal-0000000000008210.jsonl   (active, appended to)
+//
+// The name is an ordering key and a lower bound, not a promise that the
+// first record carries exactly that seq: compaction may drop a covered
+// prefix of events without renaming, and a fresh segment opened after a
+// full compaction is named lastWritten+1 before anything is appended.
+// Replay therefore never trusts names for anything but ordering; the
+// per-record seq field is authoritative.
+//
+// Recycled files (recycled-<origin>.seg) are retired segments kept around,
+// truncated to zero, for the next roll to rename back into service —
+// segment reuse instead of delete/create keeps directory churn constant
+// under sustained load. They deliberately do not match the wal-*.jsonl
+// glob, so recovery never replays one. There is no physical preallocation:
+// extending a recycled file with zeros would read back as a corrupt JSONL
+// record, so recycling here saves the create/unlink metadata traffic only.
+const (
+	segmentPrefix = "wal-"
+	segmentSuffix = ".jsonl"
+	segmentSeqLen = 16 // zero-padded decimal digits in the name
+
+	legacyWALFile = "wal.jsonl"
+
+	recyclePrefix = "recycled-"
+	recycleSuffix = ".seg"
+	maxRecycled   = 2 // pool cap; beyond this, retired segments are unlinked
+)
+
+// segmentInfo is one segment's identity: the seq lower bound from its
+// name, the highest event seq actually stored (0 for an empty segment),
+// and its path.
+type segmentInfo struct {
+	first uint64
+	last  uint64
+	path  string
+}
+
+// segmentFileName renders the canonical name for a segment whose events
+// all have seq >= first.
+func segmentFileName(first uint64) string {
+	return fmt.Sprintf("%s%0*d%s", segmentPrefix, segmentSeqLen, first, segmentSuffix)
+}
+
+// parseSegmentName extracts the seq lower bound from a segment file name,
+// or reports that the name is not a segment's.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	mid := name[len(segmentPrefix) : len(name)-len(segmentSuffix)]
+	if len(mid) != segmentSeqLen {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the directory's WAL segments ordered by their seq
+// lower bound; last values are zero until replay fills them in.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: listing WAL segments: %w", err)
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		first, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		segs = append(segs, segmentInfo{first: first, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// listRecycled adopts the directory's recycled-segment pool, pruning it
+// down to the cap (extras are leftovers from a crash mid-recycle).
+func listRecycled(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var pool []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, recyclePrefix) && strings.HasSuffix(name, recycleSuffix) {
+			pool = append(pool, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(pool)
+	for len(pool) > maxRecycled {
+		os.Remove(pool[len(pool)-1])
+		pool = pool[:len(pool)-1]
+	}
+	return pool
+}
+
+// migrateLegacyWAL renames a pre-segmentation wal.jsonl into segment form
+// so one recovery path serves both layouts. The segment is named by the
+// first event's seq (falling back to the snapshot horizon + 1 for an
+// empty or torn-at-the-first-line file — the name only has to order
+// correctly, and there are no other segments to order against).
+func migrateLegacyWAL(dir string, lastSeq uint64) error {
+	path := filepath.Join(dir, legacyWALFile)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: reading legacy WAL: %w", err)
+	}
+	first := lastSeq + 1
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev struct {
+			Seq uint64 `json:"seq"`
+		}
+		if json.Unmarshal(line, &ev) == nil && ev.Seq > 0 {
+			first = ev.Seq
+		}
+		break // only the first non-blank line decides the name
+	}
+	dst := filepath.Join(dir, segmentFileName(first))
+	if _, serr := os.Stat(dst); serr == nil {
+		return fmt.Errorf("storage: both legacy %s and segment %s present", legacyWALFile, filepath.Base(dst))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return fmt.Errorf("storage: migrating legacy WAL: %w", err)
+	}
+	return syncDir(dir)
+}

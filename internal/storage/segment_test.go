@@ -1,0 +1,541 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tinySegments rolls after ~200 bytes so a handful of appends spans
+// several segments.
+var tinySegments = LogOptions{SegmentBytes: 200}
+
+// feedN appends n example_fed events for job-0001 (submitting it first
+// when seq is fresh).
+func feedN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	if l.Seq() == 0 {
+		if err := l.AppendJobSubmitted("job-0001", "demo", "{prog}"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := int(l.Seq())
+	for i := 0; i < n; i++ {
+		if err := l.AppendExampleFed("job-0001", base+i, []float64{1, 2}, []float64{3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func segmentCount(t *testing.T, dir string) int {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(segs)
+}
+
+func TestSegmentRollAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, l, 20)
+	seq := l.Seq()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := segmentCount(t, dir); n < 2 {
+		t.Fatalf("20 appends over %d-byte segments left %d segments, want several", tinySegments.SegmentBytes, n)
+	}
+
+	l2, rec, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events != int(seq) {
+		t.Errorf("replayed %d events across segments, want %d", rec.Events, seq)
+	}
+	ts, ok := rec.Store.Task("job-0001")
+	if !ok {
+		t.Fatal("recovered store missing task")
+	}
+	if got := len(ts.Examples()); got != 20 {
+		t.Errorf("recovered %d examples, want 20", got)
+	}
+	// Sequence numbers continue across the reopened segment chain.
+	feedN(t, l2, 1)
+	if l2.Seq() != seq+1 {
+		t.Errorf("seq %d after recovery append, want %d", l2.Seq(), seq+1)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A torn record at the tail of the *last* segment — the crash-mid-commit
+// signature right after a roll — is truncated away; earlier segments are
+// untouched.
+func TestTornTailAtSegmentBoundary(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, l, 20)
+	seq := l.Seq()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need multiple segments, have %d", len(segs))
+	}
+	last := segs[len(segs)-1].path
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(fmt.Sprintf(`{"seq":%d,"type":"example_fed","jo`, seq+1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, rec, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatalf("torn tail in last segment rejected: %v", err)
+	}
+	if rec.Events != int(seq) {
+		t.Errorf("replayed %d events, want the %d intact ones", rec.Events, seq)
+	}
+	// The torn bytes are gone; the next append must not fuse with them.
+	feedN(t, l2, 1)
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec2, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := rec2.Store.Task("job-0001")
+	if got := len(ts.Examples()); got != 21 {
+		t.Errorf("after torn-tail recovery + append: %d examples, want 21", got)
+	}
+}
+
+// A torn record in a *sealed* segment is not a crash signature — seals are
+// fsynced before the next segment exists — so recovery must refuse it.
+func TestTornSealedSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, l, 20)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need multiple segments, have %d", len(segs))
+	}
+	sealed := segs[0].path
+	data, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sealed, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = OpenDirOptions(dir, tinySegments)
+	if err == nil || (!strings.Contains(err.Error(), "torn") && !strings.Contains(err.Error(), "corrupt")) {
+		t.Fatalf("torn sealed segment accepted: %v", err)
+	}
+}
+
+// Crash between the incremental snapshot install and the segment removal:
+// the snapshot already covers the folded segment, but the segment file
+// survives. Recovery must treat the leftover as covered history (the seq
+// horizon skips it) and reconstruct the same state as a clean fold.
+func TestCrashMidIncrementalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, l, 20)
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, have %d", len(segs))
+	}
+	oldest := segs[0]
+	saved, err := os.ReadFile(oldest.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// State capture mirrors the scheduler's: full current state, folded
+	// at the oldest sealed segment's horizon.
+	store := NewStore()
+	ts, err := store.CreateTask("job-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		ts.PutExample(Example{ID: i, Input: []float64{1, 2}, Output: []float64{3}, Enabled: true})
+	}
+	jobs := []JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}
+	folded, err := l.CompactOldest(jobs, nil, nil, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !folded {
+		t.Fatal("CompactOldest folded nothing despite sealed segments")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Undo the removal: the crash happened after the snapshot rename but
+	// before the segment left the directory.
+	if err := os.WriteFile(oldest.path, saved, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatalf("recovery with leftover folded segment failed: %v", err)
+	}
+	rts, ok := rec.Store.Task("job-0001")
+	if !ok {
+		t.Fatal("recovered store missing task")
+	}
+	if got := len(rts.Examples()); got != 20 {
+		t.Errorf("recovered %d examples, want 20 (duplicate segment must replay as no-op)", got)
+	}
+	if len(rec.Jobs) != 1 {
+		t.Errorf("recovered jobs %+v", rec.Jobs)
+	}
+}
+
+// The same event surviving in two segments (an interrupted compaction can
+// leave overlapping copies) must apply exactly once — including pure
+// history events, which have no natural idempotency key beyond their seq.
+func TestDuplicateEventAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeSeg := func(first uint64, events []Event) {
+		t.Helper()
+		var b []byte
+		for _, ev := range events {
+			line, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b = append(b, line...)
+			b = append(b, '\n')
+		}
+		if err := os.WriteFile(filepath.Join(dir, segmentFileName(first)), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeSeg(1, []Event{
+		{Seq: 1, Type: EventJobSubmitted, Job: "job-0001", Name: "demo", Program: "{prog}"},
+		{Seq: 2, Type: EventLeaseExpired, Job: "job-0001", Candidate: "GRU", Worker: "w1"},
+		{Seq: 3, Type: EventLeaseExpired, Job: "job-0001", Candidate: "LSTM", Worker: "w1"},
+	})
+	writeSeg(3, []Event{
+		{Seq: 3, Type: EventLeaseExpired, Job: "job-0001", Candidate: "LSTM", Worker: "w1"}, // duplicate
+		{Seq: 4, Type: EventLeaseExpired, Job: "job-0001", Candidate: "MLP", Worker: "w2"},
+	})
+
+	l, rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(rec.Expired) != 3 {
+		t.Fatalf("recovered %d expiries from overlapping segments, want 3: %+v", len(rec.Expired), rec.Expired)
+	}
+	if rec.Events != 4 {
+		t.Errorf("applied %d events, want 4 (duplicate seq 3 skipped)", rec.Events)
+	}
+	if l.Seq() != 4 {
+		t.Errorf("recovered seq %d, want 4", l.Seq())
+	}
+}
+
+// Concurrent appends through the group-commit pipeline: every append is
+// acked, the on-disk order matches seq order, and recovery sees them all.
+// Runs across the three SyncInterval regimes.
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		iv   time.Duration
+	}{
+		{"sync-immediate", 0},
+		{"windowed", 500 * time.Microsecond},
+		{"serialized", -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _, err := OpenDirOptions(dir, LogOptions{SegmentBytes: 4096, SyncInterval: tc.iv})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const writers, perWriter = 8, 25
+			var wg sync.WaitGroup
+			errs := make(chan error, writers)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						if err := l.AppendLeaseExpired("job-0001", fmt.Sprintf("cand-%d-%d", w, i), "w"); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			st := l.Stats()
+			if st.Appends != writers*perWriter {
+				t.Errorf("stats report %d appends, want %d", st.Appends, writers*perWriter)
+			}
+			if st.GroupCommits == 0 || st.GroupCommits > st.Appends {
+				t.Errorf("group commits %d outside (0, %d]", st.GroupCommits, st.Appends)
+			}
+			if st.BytesWritten == 0 {
+				t.Error("no bytes written recorded")
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// On-disk order must match seq order across the whole chain:
+			// replay's monotonic filter would silently drop reordered events.
+			segs, err := listSegments(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var prev uint64
+			for _, s := range segs {
+				data, err := os.ReadFile(s.path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+					if line == "" {
+						continue
+					}
+					var ev Event
+					if err := json.Unmarshal([]byte(line), &ev); err != nil {
+						t.Fatal(err)
+					}
+					if ev.Seq != prev+1 {
+						t.Fatalf("segment %s: seq %d follows %d", filepath.Base(s.path), ev.Seq, prev)
+					}
+					prev = ev.Seq
+				}
+			}
+			if prev != writers*perWriter {
+				t.Fatalf("found %d events on disk, want %d", prev, writers*perWriter)
+			}
+
+			_, rec, err := OpenDirOptions(dir, LogOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rec.Expired) != writers*perWriter {
+				t.Errorf("recovered %d events, want %d", len(rec.Expired), writers*perWriter)
+			}
+		})
+	}
+}
+
+// A pre-segmentation wal.jsonl is renamed into segment form on open and
+// replays like any other segment.
+func TestLegacyWALMigration(t *testing.T) {
+	dir := t.TempDir()
+	var b []byte
+	for _, ev := range []Event{
+		{Seq: 1, Type: EventJobSubmitted, Job: "job-0001", Name: "demo", Program: "{prog}"},
+		{Seq: 2, Type: EventExampleFed, Job: "job-0001", Example: 1, Input: []float64{1}, Output: []float64{2}},
+	} {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = append(b, line...)
+		b = append(b, '\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, legacyWALFile), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, rec, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Jobs) != 1 || rec.Events != 2 {
+		t.Fatalf("legacy recovery: %d jobs, %d events", len(rec.Jobs), rec.Events)
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacyWALFile)); !os.IsNotExist(err) {
+		t.Errorf("legacy wal.jsonl still present after migration: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].first != 1 {
+		t.Fatalf("migrated segments %+v, want one named by seq 1", segs)
+	}
+	// Appends continue into the migrated segment.
+	if err := l.AppendExampleFed("job-0001", 2, []float64{3}, []float64{4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := rec2.Store.Task("job-0001")
+	if got := len(ts.Examples()); got != 2 {
+		t.Errorf("recovered %d examples after migration + append, want 2", got)
+	}
+}
+
+// Full compaction retires covered segments into the recycle pool, and the
+// next roll renames a pooled file back into service instead of creating.
+func TestSegmentRecycling(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, l, 20)
+	if n := segmentCount(t, dir); n < 3 {
+		t.Fatalf("need >= 3 segments, have %d", n)
+	}
+	store := NewStore()
+	ts, err := store.CreateTask("job-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		ts.PutExample(Example{ID: i, Input: []float64{1, 2}, Output: []float64{3}, Enabled: true})
+	}
+	jobs := []JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}
+	if err := l.Compact(jobs, nil, nil, store, l.Seq()); err != nil {
+		t.Fatal(err)
+	}
+	if n := segmentCount(t, dir); n != 1 {
+		t.Errorf("full compaction left %d segments, want 1", n)
+	}
+	pool := listRecycled(dir)
+	if len(pool) == 0 || len(pool) > maxRecycled {
+		t.Fatalf("recycle pool holds %d files, want 1..%d", len(pool), maxRecycled)
+	}
+	for _, p := range pool {
+		if info, err := os.Stat(p); err != nil || info.Size() != 0 {
+			t.Errorf("recycled file %s not truncated: %v", p, err)
+		}
+	}
+
+	// Enough appends to roll: the pool shrinks as files return to service.
+	feedN(t, l, 20)
+	if after := listRecycled(dir); len(after) >= len(pool) {
+		t.Errorf("recycle pool did not shrink on reuse: %d -> %d", len(pool), len(after))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts, _ := rec.Store.Task("job-0001")
+	if got := len(rts.Examples()); got != 40 {
+		t.Errorf("recovered %d examples, want 40", got)
+	}
+}
+
+// Incremental compaction folds exactly one sealed segment per step and
+// reports false once nothing sealed remains; state survives each step.
+func TestCompactOldestStepwise(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, l, 20)
+	start := l.Stats().Segments
+	if start < 3 {
+		t.Fatalf("need >= 3 segments, have %d", start)
+	}
+	store := NewStore()
+	ts, err := store.CreateTask("job-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		ts.PutExample(Example{ID: i, Input: []float64{1, 2}, Output: []float64{3}, Enabled: true})
+	}
+	jobs := []JobMeta{{ID: "job-0001", Name: "demo", Program: "{prog}"}}
+	steps := 0
+	for {
+		folded, err := l.CompactOldest(jobs, nil, nil, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !folded {
+			break
+		}
+		steps++
+		if got := l.Stats().Segments; got != start-steps {
+			t.Fatalf("after %d folds: %d segments, want %d", steps, got, start-steps)
+		}
+	}
+	if steps != start-1 {
+		t.Errorf("folded %d segments, want %d (all sealed, never the active one)", steps, start-1)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := OpenDirOptions(dir, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts, ok := rec.Store.Task("job-0001")
+	if !ok {
+		t.Fatal("recovered store missing task")
+	}
+	if got := len(rts.Examples()); got != 20 {
+		t.Errorf("recovered %d examples after stepwise compaction, want 20", got)
+	}
+}

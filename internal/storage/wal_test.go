@@ -2,7 +2,6 @@ package storage
 
 import (
 	"os"
-	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -75,6 +74,19 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 }
 
+// activeSegment returns the path of the directory's newest WAL segment.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s", dir)
+	}
+	return segs[len(segs)-1].path
+}
+
 func TestWALTornTailDiscarded(t *testing.T) {
 	dir := t.TempDir()
 	l, _, err := OpenDir(dir)
@@ -91,7 +103,7 @@ func TestWALTornTailDiscarded(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulate a crash mid-append: a partial record with no newline.
-	walPath := filepath.Join(dir, walFile)
+	walPath := activeSegment(t, dir)
 	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +150,7 @@ func TestWALCorruptionMidFileRejected(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	walPath := filepath.Join(dir, walFile)
+	walPath := activeSegment(t, dir)
 	data, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -180,8 +192,15 @@ func TestCompactionTruncatesAndRecovers(t *testing.T) {
 	if err := l.Compact(jobs, abandoned, nil, store, l.Seq()); err != nil {
 		t.Fatal(err)
 	}
-	if info, err := os.Stat(filepath.Join(dir, walFile)); err != nil || info.Size() != 0 {
-		t.Errorf("WAL not truncated after compaction: %v, size %d", err, info.Size())
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Errorf("full compaction left %d segments, want 1", len(segs))
+	}
+	if info, err := os.Stat(segs[0].path); err != nil || info.Size() != 0 {
+		t.Errorf("WAL not emptied after compaction: %v, size %d", err, info.Size())
 	}
 
 	// Post-compaction appends land in the (empty) log with continuing seq.

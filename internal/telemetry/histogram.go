@@ -27,7 +27,7 @@ const (
 // cores observing into neighbouring shards don't share a cache line.
 type histShard struct {
 	counts [histBuckets + 1]atomic.Uint64 // +1: overflow
-	sumNS  atomic.Uint64
+	sum    atomic.Uint64                  // nanoseconds for Histogram, plain units for ValueHistogram
 	_      [64]byte
 }
 
@@ -72,7 +72,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	s := &h.shards[rand.Uint32()&(histShards-1)]
 	s.counts[bucketIndex(d)].Add(1)
-	s.sumNS.Add(uint64(d))
+	s.sum.Add(uint64(d))
 }
 
 // ObserveSince records time.Since(t0).
@@ -84,7 +84,7 @@ func (h *Histogram) snapshot() (counts [histBuckets + 1]uint64, sumNS uint64) {
 		for b := range h.shards[s].counts {
 			counts[b] += h.shards[s].counts[b].Load()
 		}
-		sumNS += h.shards[s].sumNS.Load()
+		sumNS += h.shards[s].sum.Load()
 	}
 	return counts, sumNS
 }
@@ -137,6 +137,121 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return time.Duration(bucketUpperNS(histBuckets))
+}
+
+// ValueHistogram is the unit-valued sibling of Histogram: the same
+// lock-free sharded layout, but buckets are powers of two over a plain
+// count (batch sizes, queue depths) instead of nanoseconds. Bucket i
+// covers (2^(i-1), 2^i] with bucket 0 holding everything at or below 1,
+// so the exposition's le values are small integers, not seconds.
+type ValueHistogram struct {
+	shards [histShards]histShard
+}
+
+func newValueHistogram() *ValueHistogram { return &ValueHistogram{} }
+
+// valueBucketIndex maps a value to its inclusive-upper-bound bucket:
+// v ≤ 2^i.
+func valueBucketIndex(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	idx := bits.Len64(v - 1)
+	if idx > histBuckets {
+		return histBuckets
+	}
+	return idx
+}
+
+// valueBucketUpper returns bucket i's inclusive upper bound.
+func valueBucketUpper(i int) uint64 {
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return 1 << uint(i)
+}
+
+// Observe records one value sample.
+func (h *ValueHistogram) Observe(v uint64) {
+	s := &h.shards[rand.Uint32()&(histShards-1)]
+	s.counts[valueBucketIndex(v)].Add(1)
+	s.sum.Add(v)
+}
+
+func (h *ValueHistogram) snapshot() (counts [histBuckets + 1]uint64, sum uint64) {
+	for s := range h.shards {
+		for b := range h.shards[s].counts {
+			counts[b] += h.shards[s].counts[b].Load()
+		}
+		sum += h.shards[s].sum.Load()
+	}
+	return counts, sum
+}
+
+// Count returns the total number of observations.
+func (h *ValueHistogram) Count() uint64 {
+	counts, _ := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *ValueHistogram) Sum() uint64 {
+	_, sum := h.snapshot()
+	return sum
+}
+
+// Quantile returns the exact-bucket q-quantile as a plain value (the
+// inclusive upper bound of the bucket containing the ceil(q·n)-th
+// smallest observation); 0 on an empty histogram.
+func (h *ValueHistogram) Quantile(q float64) float64 {
+	counts, _ := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return float64(valueBucketUpper(i))
+		}
+	}
+	return float64(valueBucketUpper(histBuckets))
+}
+
+// writeBuckets emits the child's _bucket/_sum/_count series with plain
+// integer le bounds.
+func (h *ValueHistogram) writeBuckets(w io.Writer, name string, fam *family, key string) {
+	counts, sum := h.snapshot()
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += counts[i]
+		le := formatFloat(float64(valueBucketUpper(i)))
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, fam.renderLabels(key, `le="`+le+`"`), cum)
+	}
+	cum += counts[histBuckets]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, fam.renderLabels(key, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, fam.renderLabels(key, ""), sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, fam.renderLabels(key, ""), cum)
 }
 
 // writeBuckets emits the child's _bucket/_sum/_count series. fam/key

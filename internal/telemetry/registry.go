@@ -164,6 +164,14 @@ func (r *Registry) HistogramVec(name, help string, labels ...string) *HistogramV
 	return &HistogramVec{f: r.register(name, help, KindHistogram, labels)}
 }
 
+// ValueHistogram registers (or finds) a scalar unit-valued histogram
+// (power-of-two buckets over plain counts — batch sizes, queue depths —
+// instead of nanoseconds).
+func (r *Registry) ValueHistogram(name, help string) *ValueHistogram {
+	f := r.register(name, help, KindHistogram, nil)
+	return f.child(nil, func() any { return newValueHistogram() }).(*ValueHistogram)
+}
+
 // CounterVec is a counter family with label dimensions.
 type CounterVec struct{ f *family }
 
@@ -236,6 +244,8 @@ func (f *family) write(w io.Writer) {
 			fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(c.Value()))
 		case *Histogram:
 			c.writeBuckets(w, f.name, f, key)
+		case *ValueHistogram:
+			c.writeBuckets(w, f.name, f, key)
 		}
 	}
 	if f.kind == KindHistogram {
@@ -254,8 +264,14 @@ func (f *family) writeQuantiles(w io.Writer, keys []string, children []any) {
 		name := f.name + q.suffix
 		WriteMetricHeader(w, name, fmt.Sprintf("Exact-bucket q=%g of %s.", q.q, f.name), string(KindGauge))
 		for i, key := range keys {
-			h := children[i].(*Histogram)
-			fmt.Fprintf(w, "%s%s %s\n", name, f.renderLabels(key, ""), formatFloat(h.Quantile(q.q).Seconds()))
+			var v float64
+			switch h := children[i].(type) {
+			case *Histogram:
+				v = h.Quantile(q.q).Seconds()
+			case *ValueHistogram:
+				v = h.Quantile(q.q)
+			}
+			fmt.Fprintf(w, "%s%s %s\n", name, f.renderLabels(key, ""), formatFloat(v))
 		}
 	}
 }

@@ -107,6 +107,61 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}
 }
 
+func TestValueHistogram(t *testing.T) {
+	// Bucket boundaries: le semantics over plain values, powers of two.
+	for i := 0; i < histBuckets; i++ {
+		bound := uint64(1) << uint(i)
+		if got := valueBucketIndex(bound); got != i {
+			t.Errorf("valueBucketIndex(%d) = %d, want %d", bound, got, i)
+		}
+	}
+	if got := valueBucketIndex(3); got != 2 {
+		t.Errorf("valueBucketIndex(3) = %d, want 2 (le 4)", got)
+	}
+
+	h := newValueHistogram()
+	for _, v := range []uint64{1, 1, 2, 8, 64} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count %d, want 5", h.Count())
+	}
+	if h.Sum() != 76 {
+		t.Errorf("sum %d, want 76", h.Sum())
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("p50 %g, want 2", got)
+	}
+	if got := h.Quantile(1); got != 64 {
+		t.Errorf("p100 %g, want 64", got)
+	}
+	if (&ValueHistogram{}).Quantile(0.99) != 0 {
+		t.Error("empty value histogram should report 0")
+	}
+
+	// Exposition: integer le bounds, integer sum, derived quantile gauges.
+	r := NewRegistry()
+	vh := r.ValueHistogram("vh_batch", "a value histogram")
+	vh.Observe(3)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE vh_batch histogram",
+		`vh_batch_bucket{le="1"} 0`,
+		`vh_batch_bucket{le="4"} 1`,
+		`vh_batch_bucket{le="+Inf"} 1`,
+		"vh_batch_sum 3",
+		"vh_batch_count 1",
+		"# TYPE vh_batch_p50 gauge",
+		"vh_batch_p50 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestExpositionFormat(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("fmt_total", "a counter").Add(3)

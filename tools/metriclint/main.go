@@ -2,7 +2,8 @@
 //
 // Source mode (default) walks a Go source tree and collects every metric
 // name registered through the telemetry constructors (Counter, CounterVec,
-// Gauge, GaugeVec, Histogram, HistogramVec) or declared at scrape time via
+// Gauge, GaugeVec, Histogram, HistogramVec, ValueHistogram) or declared at
+// scrape time via
 // telemetry.WriteMetricHeader, then enforces the naming contract:
 //
 //   - names are lower snake_case ([a-z][a-z0-9_]*),
@@ -45,7 +46,7 @@ var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 var constructors = map[string]int{
 	"Counter": 0, "CounterVec": 0,
 	"Gauge": 0, "GaugeVec": 0,
-	"Histogram": 0, "HistogramVec": 0,
+	"Histogram": 0, "HistogramVec": 0, "ValueHistogram": 0,
 	"WriteMetricHeader": 1,
 }
 
