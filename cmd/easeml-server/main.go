@@ -12,6 +12,7 @@
 //	              [-quota-config FILE] [-max-inflight 0] [-pprof]
 //	              [-mutex-profile-fraction 0] [-block-profile-rate 0]
 //	              [-log-format text|json] [-log-level info] [-slow-op 100ms]
+//	              [-trace-buffer 4096] [-version]
 //
 // With -workers N > 0 the async execution engine starts at boot: N
 // concurrent trainers lease work through the scheduler's two-phase API and
@@ -91,11 +92,13 @@ import (
 	"time"
 
 	"repro/easeml"
+	"repro/internal/buildinfo"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":9000", "listen address")
+	version := flag.Bool("version", false, "print the build identity and exit")
 	gpus := flag.Int("gpus", 24, "simulated GPU pool size")
 	seed := flag.Int64("seed", 1, "training-surface seed")
 	alpha := flag.Float64("alpha", 0.9, "pool scaling exponent: g GPUs give one job g^alpha speedup")
@@ -114,7 +117,14 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	slowOp := flag.Duration("slow-op", 100*time.Millisecond, "log operations (picks, WAL appends, HTTP requests) slower than this (0 disables the slow-op log)")
+	traceBuffer := flag.Int("trace-buffer", 0, "flight-recorder span capacity per ring (GET /admin/traces; 0 = default 4096)")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("easeml-server"))
+		return
+	}
+	telemetry.SetProcessName("easeml-server")
 
 	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
 	if err != nil {
@@ -146,6 +156,7 @@ func main() {
 		MutexProfileFraction: *mutexFraction,
 		BlockProfileRate:     *blockRate,
 		Logger:               logger,
+		TraceBuffer:          *traceBuffer,
 	}
 	if *pprofFlag {
 		host := *addr

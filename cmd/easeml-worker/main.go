@@ -9,7 +9,7 @@
 // Usage:
 //
 //	easeml-worker -coordinator http://host:9001 [-name NAME] [-devices 1]
-//	              [-alpha 0.9] [-poll 0] [-heartbeat 0]
+//	              [-alpha 0.9] [-poll 0] [-heartbeat 0] [-version]
 //
 // -devices is how many candidates the worker trains concurrently. -poll
 // and -heartbeat override the coordinator-advertised cadence (0 adopts
@@ -30,12 +30,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/fleet"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	coordinator := flag.String("coordinator", "http://localhost:9001", "coordinator base URL (easeml-server -fleet-addr)")
+	version := flag.Bool("version", false, "print the build identity and exit")
 	name := flag.String("name", "", "worker name shown in the registry (default: hostname)")
 	devices := flag.Int("devices", 1, "concurrent training slots")
 	alpha := flag.Float64("alpha", 0.9, "advertised multi-device scaling exponent")
@@ -44,6 +46,12 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("easeml-worker"))
+		return
+	}
+	telemetry.SetProcessName("easeml-worker")
 
 	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
 	if err != nil {

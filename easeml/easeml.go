@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/admission"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/gp"
 	"repro/internal/server"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/templates"
 )
 
@@ -102,6 +104,7 @@ type Service struct {
 	adm     *admission.Controller // nil unless Quotas/DefaultClass set
 	fleetLn net.Listener          // nil unless FleetAddr is set
 	fleetHS *http.Server
+	closed  atomic.Bool // set by Close; flips /readyz to 503 for drain
 
 	// Recovered summarizes what boot-time recovery restored from DataDir:
 	// zero values for a fresh directory or an in-memory service.
@@ -225,6 +228,13 @@ type ServiceConfig struct {
 	// the coordinator silent — tests stay quiet; easeml-server passes its
 	// process logger.
 	Logger *slog.Logger
+	// TraceBuffer sizes the tracing flight recorder: the span capacity of
+	// each in-memory ring (one for recent spans, one for retained
+	// slow/failed traces — see GET /admin/traces). Zero keeps the current
+	// capacity (telemetry.DefaultTraceBuffer, 4096, unless something
+	// resized it); the recorder is process-global, so the last service
+	// configured wins. The easeml-server -trace-buffer flag feeds this.
+	TraceBuffer int
 }
 
 // TenantQuota declares one tenant's admission envelope. Zero fields mean
@@ -304,6 +314,9 @@ func OpenService(cfg ServiceConfig) (*Service, error) {
 	}
 	if cfg.Alpha == 0 {
 		cfg.Alpha = 0.9
+	}
+	if cfg.TraceBuffer > 0 {
+		telemetry.DefaultRecorder().SetCapacity(cfg.TraceBuffer)
 	}
 	pool := cluster.NewPool(cfg.GPUs, cfg.Alpha)
 	trainer := server.NewSimTrainer(pool, cfg.Seed)
@@ -429,6 +442,7 @@ func (s *Service) CompactStep() (bool, error) { return s.sched.CompactIncrementa
 // compacted and closed. The service must be quiesced first (StopEngine);
 // mutations after Close fail. It is a no-op for a plain in-memory service.
 func (s *Service) Close() error {
+	s.closed.Store(true) // /readyz answers 503 from here on
 	if s.coord != nil {
 		s.coord.Stop()
 	}
@@ -500,7 +514,7 @@ func (s *Service) GPUTime() float64 { return s.pool.Now() }
 // mounted alongside the service API and GET /admin/fleet reports the
 // worker registry.
 func (s *Service) Handler() http.Handler {
-	api := server.NewAPI(s.sched)
+	api := server.NewAPI(s.sched).WithReadiness(s.Ready)
 	if s.engine != nil {
 		api.WithEngine(engineControl{s})
 	}
@@ -541,6 +555,14 @@ func (s *Service) FleetStatus() (server.FleetStatus, bool) {
 		return server.FleetStatus{}, false
 	}
 	return s.coord.FleetStatus(), true
+}
+
+// Ready reports whether the service can take traffic: OpenService has
+// finished (WAL recovery replayed, the fleet listener — when configured —
+// bound and accepting) and Close has not begun. GET /readyz serves this;
+// /healthz stays 200 regardless, distinguishing "alive" from "ready".
+func (s *Service) Ready() bool {
+	return !s.closed.Load()
 }
 
 // FleetAddr returns the bound address of the dedicated fleet listener

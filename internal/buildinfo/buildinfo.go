@@ -1,0 +1,27 @@
+// Package buildinfo carries the ldflags-injected build identity shared by
+// both binaries and the easeml_build_info metric:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3 \
+//	                   -X repro/internal/buildinfo.Commit=abc1234" ./...
+//
+// Unstamped builds (go test, local go run) report the "dev"/"none"
+// fallbacks.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+)
+
+var (
+	// Version is the human-facing release version ("dev" when unstamped).
+	Version = "dev"
+	// Commit is the VCS commit the binary was built from ("none" when
+	// unstamped).
+	Commit = "none"
+)
+
+// String renders the one-line identity served by the -version flag.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (commit %s, %s)", binary, Version, Commit, runtime.Version())
+}

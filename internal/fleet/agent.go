@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -304,7 +305,13 @@ func (a *Agent) pollOnce(ctx context.Context, execWG *sync.WaitGroup) bool {
 		if err != nil {
 			// Unresolvable work: report the failure so the coordinator can
 			// retry it elsewhere (or abandon it).
-			a.report(CompleteRequest{WorkerID: workerID, LeaseID: wl.LeaseID, Error: err.Error()}, wl.Trace)
+			run := telemetry.NewSpanAt(wl.Trace, wl.Span, opWorkerRun, time.Now())
+			run.SetAttr("job", wl.JobID)
+			run.SetAttr("worker", a.cfg.Name)
+			run.Fail(err)
+			run.End()
+			a.report(CompleteRequest{WorkerID: workerID, LeaseID: wl.LeaseID, Error: err.Error(),
+				Spans: []telemetry.SpanData{run.Data()}}, wl.Trace)
 			continue
 		}
 		runCtx, cancel := context.WithCancel(ctx)
@@ -334,6 +341,13 @@ func (a *Agent) pollOnce(ctx context.Context, execWG *sync.WaitGroup) bool {
 // reported: its lease is either already reclaimed or about to be released
 // by the graceful leave.
 func (a *Agent) execute(ctx context.Context, exec Executor, workerID string, wl WireLease, cand templates.Candidate) {
+	// The run span parents to the lease's root span on the coordinator
+	// (wl.Span) and ships back inside the completion report, so the
+	// coordinator's flight recorder holds the whole cross-process tree.
+	run := telemetry.NewSpanAt(wl.Trace, wl.Span, opWorkerRun, time.Now())
+	run.SetAttr("job", wl.JobID)
+	run.SetAttr("candidate", wl.Candidate)
+	run.SetAttr("worker", a.cfg.Name)
 	acc, cost, err := exec.Execute(ctx, wl.JobID, cand)
 	defer func() {
 		a.mu.Lock()
@@ -345,15 +359,23 @@ func (a *Agent) execute(ctx context.Context, exec Executor, workerID string, wl 
 		}
 	}()
 	if ctx.Err() != nil {
+		run.SetAttr("outcome", "aborted")
+		run.End()
 		return
 	}
 	req := CompleteRequest{WorkerID: workerID, LeaseID: wl.LeaseID, Accuracy: acc, Cost: cost}
 	if err != nil {
 		req.Error = err.Error()
+		run.Fail(err)
 		a.failed.Add(1)
 		a.logWarn("run failed",
 			"job", wl.JobID, "candidate", wl.Candidate, "lease", wl.LeaseID, "trace", wl.Trace, "err", err)
+	} else {
+		run.SetAttr("accuracy", strconv.FormatFloat(acc, 'g', -1, 64))
+		run.SetAttr("cost", strconv.FormatFloat(cost, 'g', -1, 64))
 	}
+	run.End()
+	req.Spans = []telemetry.SpanData{run.Data()}
 	if a.report(req, wl.Trace) && err == nil {
 		// Counted only once the coordinator accepted the result, so
 		// Completed agrees with the registry's per-worker tally (a report

@@ -33,6 +33,18 @@ var (
 		"Graceful worker departures.")
 )
 
+// Fleet span operations: the coordinator's grant moment and the worker's
+// remote run, both children of the lease's root span.
+var (
+	opLeaseGrant = telemetry.SpanOp("lease_grant")
+	opWorkerRun  = telemetry.SpanOp("worker_run")
+)
+
+// maxImportSpans caps how many worker-shipped spans one CompleteRequest
+// may import into the coordinator's flight recorder, so a misbehaving
+// worker cannot flush the ring.
+const maxImportSpans = 16
+
 // CoordinatorConfig parameterizes a Coordinator. Zero values select the
 // defaults noted per field.
 type CoordinatorConfig struct {
@@ -298,6 +310,7 @@ func (c *Coordinator) Lease(workerID string, max int) ([]WireLease, error) {
 	}
 	wire := make([]WireLease, 0, len(batch))
 	for _, l := range batch {
+		grantT0 := time.Now()
 		if err := c.sched.AssignLease(l, workerID); err != nil {
 			// Cannot happen for a lease we just picked; hand it back rather
 			// than leak it.
@@ -309,8 +322,12 @@ func (c *Coordinator) Lease(workerID string, max int) ([]WireLease, error) {
 			continue
 		}
 		c.remote[l.ID] = &remoteLease{lease: l, worker: workerID}
-		wire = append(wire, WireLease{LeaseID: l.ID, JobID: l.JobID, Candidate: l.Candidate.Name(), Trace: l.Trace})
+		wire = append(wire, WireLease{LeaseID: l.ID, JobID: l.JobID, Candidate: l.Candidate.Name(),
+			Trace: l.Trace, Span: l.RootSpanID()})
 		fleetLeasesGranted.Inc()
+		grant := telemetry.NewSpanAt(l.Trace, l.RootSpanID(), opLeaseGrant, grantT0)
+		grant.SetAttr("worker", workerID)
+		grant.End()
 		c.logInfo("lease granted",
 			"lease", l.ID, "job", l.JobID, "candidate", l.Candidate.Name(), "worker", workerID, "trace", l.Trace)
 	}
@@ -402,6 +419,23 @@ func (c *Coordinator) Complete(req CompleteRequest) (string, error) {
 	delete(c.remote, req.LeaseID) // claim: at most one report settles a lease
 	l := rl.lease
 	c.mu.Unlock()
+
+	// Import the worker's spans into the coordinator's flight recorder, so
+	// one GET /admin/traces/{id} serves the whole cross-process tree. Only
+	// spans of this lease's trace are accepted (a worker cannot pollute
+	// other traces), capped so a misbehaving report cannot flush the ring.
+	imported := 0
+	for i := range req.Spans {
+		sd := req.Spans[i]
+		if sd.TraceID != l.Trace || sd.SpanID == "" || imported >= maxImportSpans {
+			continue
+		}
+		if sd.Process == "" {
+			sd.Process = "worker:" + req.WorkerID
+		}
+		telemetry.DefaultRecorder().Record(sd)
+		imported++
+	}
 
 	// The failure tally is peeked to decide release-vs-abandon and only
 	// recorded once the settle succeeds — a report that loses the race

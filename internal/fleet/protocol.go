@@ -21,6 +21,8 @@
 // fleet member with zero network in between.
 package fleet
 
+import "repro/internal/telemetry"
+
 // The coordinator's HTTP protocol. All endpoints speak JSON:
 //
 //	POST /fleet/register    RegisterRequest  → RegisterResponse
@@ -85,6 +87,9 @@ type WireLease struct {
 	// X-Easeml-Trace header of the completion report, so one lease is
 	// traceable end to end across processes.
 	Trace string `json:"trace,omitempty"`
+	// Span is the lease's root span ID, so the worker's run span parents
+	// into the coordinator's span tree for the lease.
+	Span string `json:"span,omitempty"`
 }
 
 // LeaseResponse returns the granted leases (possibly none).
@@ -120,6 +125,11 @@ type CompleteRequest struct {
 	Accuracy float64 `json:"accuracy"`
 	Cost     float64 `json:"cost"`
 	Error    string  `json:"error,omitempty"`
+	// Spans ships the worker-side spans of the lease's trace (the run
+	// span, at minimum) back to the coordinator, which imports them into
+	// its flight recorder so GET /admin/traces/{id} serves the whole
+	// cross-process tree from one place.
+	Spans []telemetry.SpanData `json:"spans,omitempty"`
 }
 
 // CompleteResponse reports how the lease settled.

@@ -116,6 +116,15 @@ func (sc *Scheduler) enforceBudget(tenant string) error {
 		}
 		sc.markJobDoneLocked(job)
 		job.mu.Unlock()
+		sc.decisions.add(&DecisionRecord{
+			Kind:        DecisionBudgetExhausted,
+			Tenant:      tenant,
+			Job:         job.ID,
+			Class:       string(job.Class),
+			BudgetLimit: budget,
+			BudgetUsed:  cost,
+			Outcome:     "drained",
+		})
 		// The drain retired arms: the job's cached selection score (and any
 		// hallucination shadow) is stale.
 		sc.coordMu.Lock()
@@ -191,6 +200,24 @@ func (sc *Scheduler) PreemptForPriority() (*Lease, error) {
 	}
 	delete(sc.leases, victim.ID)
 	sc.coordMu.Unlock()
+
+	finishLeaseSpan(victim, "preempted", nil)
+	victimTenant := ""
+	if job, ok := sc.Job(victim.JobID); ok {
+		victimTenant = job.Name
+	}
+	sc.decisions.add(&DecisionRecord{
+		Kind:         DecisionPreemption,
+		Trace:        victim.Trace,
+		Tenant:       victimTenant,
+		Job:          victim.JobID,
+		Candidate:    victim.Candidate.Name(),
+		Arm:          victim.Arm,
+		Class:        string(classByJob[victim.JobID]),
+		ClassWeights: classWeights,
+		Outcome:      "preempted",
+		Detail:       "demanding job " + demanding,
+	})
 
 	if sc.log != nil {
 		if err := sc.log.AppendLeasePreempted(victim.JobID, victim.Candidate.Name(), victim.Worker, demanding); err != nil {

@@ -30,6 +30,11 @@ import (
 //	GET  /admin/fleet              worker registry + lease/expiry counters
 //	GET  /admin/quotas             tenant admission state (classes, caps, budgets)
 //	POST /admin/quotas             install or replace one tenant's quota live
+//	GET  /admin/traces             flight-recorder trace listing (tenant/job/outcome/min-duration filters)
+//	GET  /admin/traces/{id}        one trace's full span tree + WAL seq horizon
+//	GET  /admin/decisions          scheduler decision provenance (job/tenant/kind/trace filters)
+//	GET  /healthz                  liveness probe
+//	GET  /readyz                   readiness probe (WAL recovered, fleet listener up)
 //
 // The three /admin engine endpoints operate on the optional EngineControl
 // wired in with WithEngine (the easeml facade does this when the service is
@@ -49,6 +54,9 @@ type API struct {
 	engine EngineControl
 	fleet  FleetControl
 	adm    *admission.Controller
+	// ready is the optional readiness probe behind GET /readyz (see
+	// WithReadiness in traces.go); nil reports ready.
+	ready func() bool
 }
 
 // EngineControl is the engine surface the admin endpoints drive. It is an
@@ -176,6 +184,11 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("/admin/stop", a.handleEngineStop)
 	mux.HandleFunc("/admin/fleet", a.handleFleet)
 	mux.HandleFunc("/admin/quotas", a.handleQuotas)
+	mux.HandleFunc("/admin/traces", a.handleTraces)
+	mux.HandleFunc("/admin/traces/", a.handleTraces)
+	mux.HandleFunc("/admin/decisions", a.handleDecisions)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/readyz", a.handleReadyz)
 	return telemetry.InstrumentHTTP(telemetry.Default(), RouteLabel, mux)
 }
 

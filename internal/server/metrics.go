@@ -4,8 +4,10 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
@@ -34,15 +36,38 @@ var (
 		"Trace IDs minted for leases at pick time.")
 )
 
+// adminRoutes is the closed set of admin paths RouteLabel passes through
+// verbatim. Anything else under /admin/ collapses (trace IDs to a {id}
+// placeholder, unknown paths to "other"), so the per-route counters stay
+// bounded no matter what IDs or junk a client requests.
+var adminRoutes = map[string]bool{
+	"/admin/rounds": true, "/admin/snapshot": true, "/admin/metrics": true,
+	"/admin/start": true, "/admin/stop": true, "/admin/fleet": true,
+	"/admin/quotas": true, "/admin/traces": true, "/admin/decisions": true,
+}
+
+// fleetRoutes is the closed set of fleet-protocol paths (see
+// fleet.Handler); unknown /fleet/ paths collapse to "other" like any
+// other 404.
+var fleetRoutes = map[string]bool{
+	"/fleet/register": true, "/fleet/lease": true, "/fleet/heartbeat": true,
+	"/fleet/complete": true, "/fleet/leave": true, "/fleet/job": true,
+}
+
 // RouteLabel normalizes a request path to a bounded metric label: job IDs
-// collapse to {id}, unknown paths to "other". Used by the HTTP middleware
-// so per-route counters cannot explode on hostile paths.
+// and trace IDs collapse to {id}, unknown paths to "other". Used by the
+// HTTP middleware so per-route counters cannot explode on hostile paths.
 func RouteLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch {
-	case p == "/jobs", p == "/metrics", strings.HasPrefix(p, "/admin/"),
-		strings.HasPrefix(p, "/fleet/"), strings.HasPrefix(p, "/debug/pprof"):
+	case p == "/jobs", p == "/metrics", p == "/healthz", p == "/readyz":
 		return p
+	case adminRoutes[p], fleetRoutes[p]:
+		return p
+	case strings.HasPrefix(p, "/admin/traces/"):
+		return "/admin/traces/{id}"
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return "/debug/pprof"
 	case strings.HasPrefix(p, "/jobs/"):
 		rest := strings.TrimPrefix(p, "/jobs/")
 		if i := strings.IndexByte(rest, '/'); i >= 0 {
@@ -71,6 +96,13 @@ func (a *API) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) writeDynamicMetrics(w io.Writer) {
+	telemetry.WriteMetricHeader(w, "easeml_build_info",
+		"Build identity (constant 1; the info rides the labels).", "gauge")
+	telemetry.WriteGauge(w, "easeml_build_info",
+		`{version="`+telemetry.EscapeLabelValue(buildinfo.Version)+
+			`",commit="`+telemetry.EscapeLabelValue(buildinfo.Commit)+
+			`",go_version="`+telemetry.EscapeLabelValue(runtime.Version())+`"}`, 1)
+
 	telemetry.WriteMetricHeader(w, "easeml_jobs", "Jobs known to the scheduler.", "gauge")
 	telemetry.WriteGauge(w, "easeml_jobs", "", float64(len(a.sched.Jobs())))
 	telemetry.WriteMetricHeader(w, "easeml_rounds_total", "Scheduling rounds completed.", "counter")

@@ -68,6 +68,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -325,6 +326,10 @@ type Scheduler struct {
 	adm *admission.Controller
 
 	log *storage.Log // nil: in-memory only
+
+	// decisions is the decision-provenance ring (see provenance.go). The
+	// zero value is ready; it does its own leaf locking.
+	decisions decisionRing
 }
 
 // NewScheduler creates a scheduler with the given trainer and user picker
@@ -454,6 +459,9 @@ func (sc *Scheduler) ExpireLeases() ([]*Lease, error) {
 		}
 	}
 	sc.coordMu.Unlock()
+	for _, l := range expired {
+		finishLeaseSpan(l, "expired", nil)
+	}
 	if sc.log != nil {
 		for _, l := range expired {
 			if err := sc.log.AppendLeaseExpired(l.JobID, l.Candidate.Name(), l.Worker); err != nil {
@@ -495,16 +503,23 @@ func (sc *Scheduler) Submit(name, programSrc string) (*Job, error) {
 		// each new job would train up to the in-flight concurrency worth of
 		// candidates before the drain caught up.
 		if budget := sc.adm.Budget(name); budget > 0 && sc.TenantCost(name) >= budget {
-			return nil, fmt.Errorf("server: submitting for tenant %q: GPU budget %g exhausted: %w",
+			err := fmt.Errorf("server: submitting for tenant %q: GPU budget %g exhausted: %w",
 				name, budget, admission.ErrQuotaExceeded)
+			sc.emitAdmissionDecision(name, "rejected", err)
+			return nil, err
 		}
 		if err := sc.adm.AdmitJob(name); err != nil {
-			return nil, fmt.Errorf("server: submitting for tenant %q: %w", name, err)
+			err = fmt.Errorf("server: submitting for tenant %q: %w", name, err)
+			sc.emitAdmissionDecision(name, "rejected", err)
+			return nil, err
 		}
 	}
 	job, err := sc.submitAdmitted(name, programSrc)
 	if err != nil && sc.adm != nil {
 		sc.adm.JobDone(name) // refund the slot of a submission that never published
+	}
+	if err == nil && sc.adm != nil {
+		sc.emitAdmissionDecision(name, "granted", nil)
 	}
 	return job, err
 }
@@ -691,12 +706,29 @@ type Lease struct {
 	// one lease correlate. Immutable after pick.
 	Trace string
 
+	// span is the lease's root lifecycle span, opened at selection and
+	// closed with the terminal outcome (completed / released / abandoned /
+	// expired / preempted / conflict). The pointer is set once before the
+	// lease is published and never reassigned; Span itself is
+	// concurrency-safe.
+	span *telemetry.Span
+
 	// settling marks a lease whose Complete/Abandon is in progress: the
 	// lease stays in the table — keeping its arm excluded from selection —
 	// until the bandit update lands, closing the window in which the arm
 	// would be neither leased nor tried and could be leased twice. Guarded
 	// by coordMu.
 	settling bool
+}
+
+// RootSpanID returns the ID of the lease's root lifecycle span ("" for
+// leases that predate span instrumentation). It ships over the fleet wire
+// so a worker's run span parents into the coordinator's tree.
+func (l *Lease) RootSpanID() string {
+	if l.span == nil {
+		return ""
+	}
+	return l.span.ID()
 }
 
 // InFlight returns the number of outstanding leases.
@@ -736,7 +768,8 @@ func (sc *Scheduler) PickWork(maxInFlight int) ([]*Lease, error) {
 	defer unlock()
 	// Lock wait is coordMu acquisition plus the per-job lock sweep —
 	// the two places a pick batch can stall behind other work.
-	pickStageLockWait.Observe(coordAcquired.Sub(t0) + time.Since(sweepT0))
+	lockWait := coordAcquired.Sub(t0) + time.Since(sweepT0)
+	pickStageLockWait.Observe(lockWait)
 	var picked []*Lease
 	for len(sc.leases) < maxInFlight {
 		l, err := sc.pickNextLocked(jobs, tenants, inFlight, shadows)
@@ -747,6 +780,12 @@ func (sc *Scheduler) PickWork(maxInFlight int) ([]*Lease, error) {
 			break
 		}
 		picked = append(picked, l)
+	}
+	if len(picked) > 0 {
+		// The batch's lock wait precedes every pick; attribute it to the
+		// first lease's tree (once per batch, like the histogram).
+		lw := telemetry.NewSpanAt(picked[0].Trace, picked[0].RootSpanID(), opPickLockWait, t0)
+		lw.EndAt(t0.Add(lockWait))
 	}
 	telemetry.SlowOp("pick_work", time.Since(t0), "leases", len(picked), "jobs", len(jobs))
 	return picked, nil
@@ -879,6 +918,7 @@ func (sc *Scheduler) pickNextLocked(jobs []*Job, tenants []*core.Tenant, inFligh
 		sc.selIdx.stats.LegacyPicks++
 		idx = sc.picker.Pick(tenants)
 	}
+	repairDur := sc.selIdx.takeLastRepair()
 	if idx < 0 || idx >= len(jobs) {
 		return nil, fmt.Errorf("server: picker %s returned index %d with active tenants remaining", sc.picker.Name(), idx)
 	}
@@ -894,38 +934,44 @@ func (sc *Scheduler) pickNextLocked(jobs []*Job, tenants []*core.Tenant, inFligh
 	// the in-flight arms hallucinated.
 	var arm int
 	var ucb float64
+	var hallStart time.Time
+	var hallDur time.Duration
 	switch {
 	case !indexed:
 		if shadow, ok := shadows[job.ID]; ok {
-			hallT0 := time.Now()
+			hallStart = time.Now()
 			arm, ucb = shadow.SelectArm()
 			shadow.Hallucinate(arm)
-			pickStageHallucinate.ObserveSince(hallT0)
+			hallDur = time.Since(hallStart)
+			pickStageHallucinate.Observe(hallDur)
 		} else if len(inFlight[job.ID]) == 0 {
 			arm, ucb = job.tenant.Bandit.SelectArm()
 		} else {
-			hallT0 := time.Now()
+			hallStart = time.Now()
 			shadow = job.tenant.Bandit.CloneShadow(inFlight[job.ID])
 			shadows[job.ID] = shadow
 			arm, ucb = shadow.SelectArm()
 			shadow.Hallucinate(arm)
-			pickStageHallucinate.ObserveSince(hallT0)
+			hallDur = time.Since(hallStart)
+			pickStageHallucinate.Observe(hallDur)
 		}
 	case len(inFlight[job.ID]) == 0:
 		arm, ucb = job.tenant.Bandit.SelectArm()
 	default:
 		sc.selIdx.ensure(jobs)
 		entry := &sc.selIdx.entries[idx]
-		hallT0 := time.Now()
+		hallStart = time.Now()
 		shadow := sc.selIdx.shadowFor(entry, job.tenant.Bandit, inFlight[job.ID])
 		arm, ucb = shadow.SelectArm()
 		sc.selIdx.hallucinate(entry, []int{arm})
-		pickStageHallucinate.ObserveSince(hallT0)
+		hallDur = time.Since(hallStart)
+		pickStageHallucinate.Observe(hallDur)
 	}
 	if arm < 0 {
 		// Cannot happen for an Active tenant; surface it rather than loop.
 		return nil, fmt.Errorf("server: job %s reported active but selected no arm", job.ID)
 	}
+	leasedBefore := len(inFlight[job.ID])
 	inFlight[job.ID] = append(inFlight[job.ID], arm)
 	job.tenant.SetLeased(len(inFlight[job.ID]))
 	sc.nextLease++
@@ -937,6 +983,7 @@ func (sc *Scheduler) pickNextLocked(jobs []*Job, tenants []*core.Tenant, inFligh
 		l.LastHeartbeat = now
 		l.Expires = now.Add(sc.leaseTTL)
 	}
+	sc.emitPickProvenance(l, job, job.tenant.Bandit.UCBSurface(), leasedBefore, len(jobs), selectT0, hallStart, hallDur, repairDur)
 	sc.leases[l.ID] = l
 	sc.selIdx.stats.Picks++
 	return l, nil
@@ -981,20 +1028,38 @@ func (sc *Scheduler) endSettle(l *Lease) {
 // fails on an ill-conditioned covariance fails the job — retiring it from
 // scheduling — instead of killing the server.
 func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
+	settleT0 := time.Now()
 	if err := sc.beginSettle(l); err != nil {
+		// A conflicting settle still leaves evidence: a zero-length settle
+		// span (the root span, if any, was closed by the terminal path that
+		// won the race).
+		if l != nil && l.Trace != "" {
+			s := telemetry.NewSpanAt(l.Trace, l.RootSpanID(), opSettle, settleT0)
+			s.SetAttr("outcome", "conflict")
+			s.Fail(err)
+			s.End()
+		}
+		return err
+	}
+	settle := telemetry.NewSpanAt(l.Trace, l.RootSpanID(), opSettle, settleT0)
+	fail := func(outcome string, err error) error {
+		settle.SetAttr("outcome", outcome)
+		settle.Fail(err)
+		settle.End()
+		finishLeaseSpan(l, outcome, err)
 		return err
 	}
 	job, ok := sc.Job(l.JobID)
 	if !ok {
 		sc.endSettle(l)
-		return fmt.Errorf("server: lease %d refers to unknown job %s", l.ID, l.JobID)
+		return fail("error", fmt.Errorf("server: lease %d refers to unknown job %s", l.ID, l.JobID))
 	}
 
 	job.mu.Lock()
 	if job.failed != "" {
 		job.mu.Unlock()
 		sc.endSettle(l)
-		return fmt.Errorf("server: job %s is failed (%s); dropping result for %s", l.JobID, job.failed, l.Candidate.Name())
+		return fail("failed", fmt.Errorf("server: job %s is failed (%s); dropping result for %s", l.JobID, job.failed, l.Candidate.Name()))
 	}
 	if job.budgetExhausted {
 		// Graceful drain: the tenant's budget ran out while this run was in
@@ -1002,19 +1067,19 @@ func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
 		// the same conflict surface as an expired lease, so workers drop it.
 		job.mu.Unlock()
 		sc.endSettle(l)
-		return fmt.Errorf("server: job %s drained on budget exhaustion; dropping result for %s: %w",
-			l.JobID, l.Candidate.Name(), ErrLeaseConflict)
+		return fail("conflict", fmt.Errorf("server: job %s drained on budget exhaustion; dropping result for %s: %w",
+			l.JobID, l.Candidate.Name(), ErrLeaseConflict))
 	}
 	if job.tenant.Bandit.Tried(l.Arm) {
 		job.mu.Unlock()
 		sc.endSettle(l)
-		return fmt.Errorf("server: lease %d arm %d of %s already observed: %w", l.ID, l.Arm, l.JobID, ErrLeaseConflict)
+		return fail("conflict", fmt.Errorf("server: lease %d arm %d of %s already observed: %w", l.ID, l.Arm, l.JobID, ErrLeaseConflict))
 	}
 	if err := job.tenant.Bandit.Observe(l.Arm, accuracy); err != nil {
 		sc.failJobLocked(job, err)
 		job.mu.Unlock()
 		sc.endSettle(l)
-		return fmt.Errorf("server: job %s failed: %w", l.JobID, err)
+		return fail("failed", fmt.Errorf("server: job %s failed: %w", l.JobID, err))
 	}
 	job.tenant.RecordObservation(l.UCB, accuracy)
 	if job.tenant.Bandit.Exhausted() {
@@ -1042,11 +1107,21 @@ func (sc *Scheduler) Complete(l *Lease, accuracy, cost float64) error {
 	job.store.RecordModel(rec)
 	if sc.log != nil {
 		walT0 := time.Now()
+		wspan := telemetry.NewSpanAt(l.Trace, settle.ID(), opWALAppend, walT0)
 		if err := sc.log.AppendModelRecorded(l.JobID, rec); err != nil {
-			return fmt.Errorf("server: logging result for %s/%s: %w", l.JobID, rec.Name, err)
+			wspan.Fail(err)
+			wspan.End()
+			return fail("error", fmt.Errorf("server: logging result for %s/%s: %w", l.JobID, rec.Name, err))
 		}
+		if st := sc.log.Stats(); st.Seq > 0 {
+			wspan.SetAttr("wal_seq", strconv.FormatUint(st.Seq, 10))
+		}
+		wspan.End()
 		pickStageWALAppend.ObserveSince(walT0)
 	}
+	settle.SetAttr("outcome", "completed")
+	settle.End()
+	finishLeaseSpan(l, "completed", nil)
 	// The observation paid its arm's cost into the bandit; check the
 	// tenant's budget after the result is durable, so a budget-drained job
 	// never loses an acknowledged model record.
@@ -1107,6 +1182,7 @@ func (sc *Scheduler) Abandon(l *Lease) error {
 	}
 	job.mu.Unlock()
 	sc.endSettle(l) // the arm is retired (Tried) now, never re-selectable
+	finishLeaseSpan(l, "abandoned", nil)
 	if fresh && sc.log != nil {
 		if err := sc.log.AppendCandidateAbandoned(l.JobID, l.Candidate.Name()); err != nil {
 			return fmt.Errorf("server: logging abandonment of %s/%s: %w", l.JobID, l.Candidate.Name(), err)
@@ -1136,6 +1212,7 @@ func (sc *Scheduler) Release(l *Lease) error {
 	// the matching checkpoint — the bandit (and so the cached gap score)
 	// is untouched.
 	delete(sc.leases, l.ID)
+	finishLeaseSpan(l, "released", nil)
 	return nil
 }
 

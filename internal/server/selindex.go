@@ -43,6 +43,12 @@ type selectionIndex struct {
 	stash   []int          // scratch for heap pop-and-restore
 	scratch []int          // scratch for the unserved-tenant fold
 	stats   SelectionStats
+
+	// lastRepair accumulates repair time since the last takeLastRepair —
+	// how pickNextLocked learns (under coordMu) whether the pick it just
+	// made paid for an index repair, to mint the pick_index_repair child
+	// span at the same boundary the histogram observes.
+	lastRepair time.Duration
 }
 
 // selEntry is one job's slice of the index.
@@ -157,7 +163,11 @@ func (ix *selectionIndex) repair(tenants []*core.Tenant) {
 		return
 	}
 	t0 := time.Now()
-	defer pickStageIndexRepair.ObserveSince(t0)
+	defer func() {
+		d := time.Since(t0)
+		pickStageIndexRepair.Observe(d)
+		ix.lastRepair += d
+	}()
 	keep := ix.dirty[:0]
 	for _, i := range ix.dirty {
 		if i >= len(tenants) {
@@ -176,6 +186,14 @@ func (ix *selectionIndex) repair(tenants []*core.Tenant) {
 		}
 	}
 	ix.dirty = keep
+}
+
+// takeLastRepair returns and clears the repair time accumulated since the
+// last call. Callers hold coordMu.
+func (ix *selectionIndex) takeLastRepair() time.Duration {
+	d := ix.lastRepair
+	ix.lastRepair = 0
+	return d
 }
 
 // GreedyChoice implements core.SelectionOracle for the tenants slice bound

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -234,6 +235,10 @@ var (
 	walBytesWritten = telemetry.Default().Counter("easeml_wal_bytes_written_total",
 		"Bytes of encoded events written to WAL segments.")
 )
+
+// opWALGroupCommit is the span each WAL group-commit batch records (under
+// its own trace — one fsync serves many request traces).
+var opWALGroupCommit = telemetry.SpanOp("wal_group_commit")
 
 // commitReq is one encoded append waiting in the commit window.
 type commitReq struct {
@@ -669,12 +674,35 @@ func (l *Log) committer() {
 // ioMu; the serialized-append path holds mu, which is the one permitted
 // mu→ioMu nesting.
 func (l *Log) commitBatch(batch []*commitReq) error {
+	// Group commits belong to no single request trace (one fsync serves
+	// many), so each batch records a root span under its own trace: the
+	// flight-recorder view of the WAL's write pipeline.
+	span := telemetry.NewSpanAt(telemetry.NewTraceID(), "", opWALGroupCommit, time.Now())
 	l.ioMu.Lock()
 	defer l.ioMu.Unlock()
 	if l.f == nil {
-		return fmt.Errorf("storage: append to closed WAL")
+		err := fmt.Errorf("storage: append to closed WAL")
+		span.Fail(err)
+		span.End()
+		return err
 	}
 	var n int
+	err := l.commitBatchLocked(batch, &n)
+	if err != nil {
+		span.Fail(err)
+	} else if len(batch) > 0 {
+		span.SetAttr("records", strconv.Itoa(len(batch)))
+		span.SetAttr("bytes", strconv.Itoa(n))
+		span.SetAttr("first_seq", strconv.FormatUint(batch[0].seq, 10))
+		span.SetAttr("last_seq", strconv.FormatUint(batch[len(batch)-1].seq, 10))
+	}
+	span.End()
+	return err
+}
+
+// commitBatchLocked is commitBatch's write+flush+fsync body; callers hold
+// ioMu. n reports the encoded bytes written.
+func (l *Log) commitBatchLocked(batch []*commitReq, n *int) error {
 	for _, r := range batch {
 		if l.size > 0 && l.size+int64(len(r.data)) > l.opts.SegmentBytes {
 			if err := l.rollLocked(r.seq); err != nil {
@@ -685,7 +713,7 @@ func (l *Log) commitBatch(batch []*commitReq) error {
 			return fmt.Errorf("storage: appending WAL event: %w", err)
 		}
 		l.size += int64(len(r.data))
-		n += len(r.data)
+		*n += len(r.data)
 		l.lastWritten = r.seq
 		walAppends.With(string(r.typ)).Inc()
 		l.appends.Add(1)
@@ -699,9 +727,9 @@ func (l *Log) commitBatch(batch []*commitReq) error {
 		return fmt.Errorf("storage: syncing WAL: %w", err)
 	}
 	l.groupCommits.Add(1)
-	l.bytesWritten.Add(uint64(n))
+	l.bytesWritten.Add(uint64(*n))
 	walBatchSize.Observe(uint64(len(batch)))
-	walBytesWritten.Add(uint64(n))
+	walBytesWritten.Add(uint64(*n))
 	return nil
 }
 

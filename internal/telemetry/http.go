@@ -24,11 +24,17 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
+// opHTTPRequest is the root span every instrumented HTTP request records:
+// handler work (and the scheduler spans it triggers) parents under it.
+var opHTTPRequest = SpanOp("http_request")
+
 // InstrumentHTTP wraps next with the standard HTTP telemetry: per-route
 // request latency (easeml_http_request_seconds{route}), per-route status
-// counters (easeml_http_requests_total{route,code}), and trace
-// propagation — the inbound X-Easeml-Trace header (or a freshly minted
-// ID) lands in the request context and is echoed on the response.
+// counters (easeml_http_requests_total{route,code}), trace propagation —
+// the inbound X-Easeml-Trace header (or a freshly minted ID, when the
+// header is absent or fails ValidTraceID) lands in the request context
+// and is echoed on the response — and a root http_request span in the
+// flight recorder for every request.
 //
 // route maps a request to its metric label; it must return a bounded set
 // of values (normalize path parameters), or the counter cardinality
@@ -42,12 +48,21 @@ func InstrumentHTTP(reg *Registry, route func(*http.Request) string, next http.H
 		t0 := time.Now()
 		ctx, trace := TraceFromRequest(r)
 		w.Header().Set(TraceHeader, trace)
+		ctx, span := StartSpan(ctx, opHTTPRequest)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(sw, r.WithContext(ctx))
 		rt := route(r)
 		elapsed := time.Since(t0)
 		latency.With(rt).Observe(elapsed)
 		requests.With(rt, strconv.Itoa(sw.code)).Inc()
+		code := strconv.Itoa(sw.code)
+		span.SetAttr("route", rt)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("status", code)
+		if sw.code >= http.StatusInternalServerError {
+			span.SetAttr("outcome", "error")
+		}
+		span.EndAt(t0.Add(elapsed))
 		SlowOp("http_"+r.Method, elapsed, "route", rt, "status", sw.code, "trace", trace)
 	})
 }

@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanRing is a bounded lock-free ring: writers claim a slot with one
+// atomic add and store a pointer; old spans are overwritten when the ring
+// wraps. Readers (the rare /admin/traces scrape) snapshot slot by slot.
+type spanRing struct {
+	slots []atomic.Pointer[SpanData]
+	head  atomic.Uint64
+}
+
+func newSpanRing(n int) *spanRing {
+	if n < 1 {
+		n = 1
+	}
+	return &spanRing{slots: make([]atomic.Pointer[SpanData], n)}
+}
+
+func (r *spanRing) put(sd *SpanData) {
+	i := r.head.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(sd)
+}
+
+func (r *spanRing) snapshot() []*SpanData {
+	out := make([]*SpanData, 0, len(r.slots))
+	for i := range r.slots {
+		if sd := r.slots[i].Load(); sd != nil {
+			out = append(out, sd)
+		}
+	}
+	return out
+}
+
+// DefaultTraceBuffer is the flight recorder's default ring capacity
+// (spans, per ring); the -trace-buffer flag overrides it.
+const DefaultTraceBuffer = 4096
+
+// maxFlaggedTraces bounds the tail-sampling working set: how many
+// distinct interesting traces the retained ring tracks before the oldest
+// flag is forgotten (its already-retained spans stay until overwritten).
+const maxFlaggedTraces = 512
+
+var (
+	spansRecorded = Default().Counter("easeml_trace_spans_total",
+		"Spans recorded into the flight recorder since process start.")
+	spansRetained = Default().Counter("easeml_trace_spans_retained_total",
+		"Spans copied into the tail-sampling retained ring (slow, failed, or bad-outcome traces).")
+)
+
+// Recorder is the in-process flight recorder: an always-on bounded ring
+// of recent spans plus a second retained ring that tail-sampling feeds —
+// a trace is retained whenever any of its spans errored, crossed the
+// SlowOp threshold, or ended with a bad outcome (failed / preempted /
+// expired / abandoned / conflict). When a trace is first flagged the main
+// ring is swept so the spans that already landed there survive, and every
+// later span of a flagged trace goes straight to the retained ring.
+type Recorder struct {
+	main     atomic.Pointer[spanRing]
+	retained atomic.Pointer[spanRing]
+
+	flagMu   sync.Mutex
+	flagged  map[string]struct{}
+	flagFIFO []string
+}
+
+// NewRecorder creates a recorder with the given per-ring capacity.
+func NewRecorder(capacity int) *Recorder {
+	r := &Recorder{flagged: make(map[string]struct{})}
+	r.SetCapacity(capacity)
+	return r
+}
+
+var defaultRecorder = NewRecorder(DefaultTraceBuffer)
+
+// DefaultRecorder is the process-global flight recorder Span.End records
+// into and GET /admin/traces reads from.
+func DefaultRecorder() *Recorder { return defaultRecorder }
+
+// SetCapacity resizes both rings (discarding recorded spans); called once
+// at startup from the -trace-buffer flag, before traffic.
+func (r *Recorder) SetCapacity(n int) {
+	if n < 1 {
+		n = DefaultTraceBuffer
+	}
+	r.main.Store(newSpanRing(n))
+	r.retained.Store(newSpanRing(n))
+}
+
+// Capacity returns the per-ring span capacity.
+func (r *Recorder) Capacity() int { return len(r.main.Load().slots) }
+
+// processName stamps spans recorded in this process that did not set
+// Process themselves (imported worker spans keep their origin).
+var processName atomic.Pointer[string]
+
+// SetProcessName names this process in every span it records.
+func SetProcessName(name string) { processName.Store(&name) }
+
+// badOutcomes are the outcome attribute values that force retention.
+var badOutcomes = map[string]bool{
+	"failed": true, "preempted": true, "expired": true,
+	"abandoned": true, "conflict": true, "error": true,
+}
+
+// Record stores one finished span. The hot path — ordinary span on an
+// unflagged trace — is one atomic add, one pointer store, and one mutex
+// probe of the flagged set.
+func (r *Recorder) Record(data SpanData) {
+	if data.Process == "" {
+		if p := processName.Load(); p != nil {
+			data.Process = *p
+		}
+	}
+	sd := &data
+	r.main.Load().put(sd)
+	spansRecorded.Inc()
+
+	interesting := sd.Err != "" || badOutcomes[sd.Attrs["outcome"]]
+	if !interesting {
+		if t := SlowOpThreshold(); t > 0 && sd.Duration() > t {
+			interesting = true
+		}
+	}
+
+	r.flagMu.Lock()
+	_, already := r.flagged[sd.TraceID]
+	if !already && interesting {
+		r.flagged[sd.TraceID] = struct{}{}
+		r.flagFIFO = append(r.flagFIFO, sd.TraceID)
+		if len(r.flagFIFO) > maxFlaggedTraces {
+			delete(r.flagged, r.flagFIFO[0])
+			r.flagFIFO = r.flagFIFO[1:]
+		}
+	}
+	r.flagMu.Unlock()
+
+	if !already && !interesting {
+		return
+	}
+	ret := r.retained.Load()
+	ret.put(sd)
+	spansRetained.Inc()
+	if !already {
+		// First flag for this trace: sweep the main ring so the spans
+		// that landed before the interesting one survive ring wrap.
+		for _, prev := range r.main.Load().snapshot() {
+			if prev != sd && prev.TraceID == sd.TraceID {
+				ret.put(prev)
+				spansRetained.Inc()
+			}
+		}
+	}
+}
+
+// TraceFilter narrows a Traces listing. Zero values match everything.
+type TraceFilter struct {
+	Tenant      string
+	Job         string
+	Outcome     string
+	MinDuration time.Duration
+	Limit       int
+}
+
+// TraceSummary is one row of the GET /admin/traces listing.
+type TraceSummary struct {
+	TraceID    string   `json:"trace"`
+	RootOp     string   `json:"root_op,omitempty"`
+	Spans      int      `json:"spans"`
+	StartNS    int64    `json:"start_unix_nano"`
+	DurationNS int64    `json:"duration_ns"`
+	Outcome    string   `json:"outcome,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	Tenant     string   `json:"tenant,omitempty"`
+	Job        string   `json:"job,omitempty"`
+	Processes  []string `json:"processes,omitempty"`
+}
+
+// spans returns every live span, both rings merged, deduplicated by
+// (trace, span) with the retained copy winning.
+func (r *Recorder) spans() map[string][]*SpanData {
+	byTrace := make(map[string][]*SpanData)
+	seen := make(map[[2]string]bool)
+	for _, ring := range []*spanRing{r.retained.Load(), r.main.Load()} {
+		for _, sd := range ring.snapshot() {
+			key := [2]string{sd.TraceID, sd.SpanID}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			byTrace[sd.TraceID] = append(byTrace[sd.TraceID], sd)
+		}
+	}
+	return byTrace
+}
+
+// summarize folds one trace's spans into a listing row.
+func summarize(trace string, spans []*SpanData) TraceSummary {
+	sum := TraceSummary{TraceID: trace, Spans: len(spans)}
+	var minStart, maxEnd int64
+	procs := map[string]bool{}
+	var root *SpanData
+	for _, sd := range spans {
+		if minStart == 0 || sd.StartNS < minStart {
+			minStart = sd.StartNS
+		}
+		if end := sd.StartNS + sd.DurationNS; end > maxEnd {
+			maxEnd = end
+		}
+		if sd.Process != "" {
+			procs[sd.Process] = true
+		}
+		if sd.ParentID == "" && (root == nil || sd.StartNS < root.StartNS) {
+			root = sd
+		}
+		if sum.Error == "" && sd.Err != "" {
+			sum.Error = sd.Err
+		}
+		if o := sd.Attrs["outcome"]; o != "" {
+			sum.Outcome = o
+		}
+		if t := sd.Attrs["tenant"]; t != "" {
+			sum.Tenant = t
+		}
+		if j := sd.Attrs["job"]; j != "" {
+			sum.Job = j
+		}
+	}
+	if root != nil {
+		sum.RootOp = root.Op
+		if o := root.Attrs["outcome"]; o != "" {
+			sum.Outcome = o
+		}
+	}
+	sum.StartNS = minStart
+	sum.DurationNS = maxEnd - minStart
+	for p := range procs {
+		sum.Processes = append(sum.Processes, p)
+	}
+	sort.Strings(sum.Processes)
+	return sum
+}
+
+// Traces lists recorded traces newest-first, filtered.
+func (r *Recorder) Traces(f TraceFilter) []TraceSummary {
+	var out []TraceSummary
+	for trace, spans := range r.spans() {
+		sum := summarize(trace, spans)
+		if f.Tenant != "" && sum.Tenant != f.Tenant {
+			continue
+		}
+		if f.Job != "" && sum.Job != f.Job {
+			continue
+		}
+		if f.Outcome != "" && sum.Outcome != f.Outcome {
+			continue
+		}
+		if f.MinDuration > 0 && time.Duration(sum.DurationNS) < f.MinDuration {
+			continue
+		}
+		out = append(out, sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartNS > out[j].StartNS })
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// Trace returns every recorded span of one trace, oldest first. The
+// second return reports whether the trace is known at all.
+func (r *Recorder) Trace(id string) ([]SpanData, bool) {
+	spans := r.spans()[id]
+	if len(spans) == 0 {
+		return nil, false
+	}
+	out := make([]SpanData, len(spans))
+	for i, sd := range spans {
+		out[i] = *sd
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].SpanID < out[j].SpanID
+	})
+	return out, true
+}
+
+// SpanNode is one node of the assembled span tree served by
+// GET /admin/traces/{id}.
+type SpanNode struct {
+	SpanData
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// BuildSpanTree assembles flat spans into parent/child trees. Spans whose
+// parent is missing (overwritten in the ring, or remote and unshipped)
+// surface as roots, so a partial recording still renders.
+func BuildSpanTree(spans []SpanData) []*SpanNode {
+	nodes := make(map[string]*SpanNode, len(spans))
+	order := make([]*SpanNode, 0, len(spans))
+	for _, sd := range spans {
+		n := &SpanNode{SpanData: sd}
+		nodes[sd.SpanID] = n
+		order = append(order, n)
+	}
+	var roots []*SpanNode
+	for _, n := range order {
+		if p, ok := nodes[n.ParentID]; ok && n.ParentID != "" && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}

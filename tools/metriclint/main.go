@@ -11,6 +11,11 @@
 //     sites claiming the same family is a merge accident waiting to
 //     produce double-counted series).
 //
+// The same walk collects span operation names declared through
+// telemetry.SpanOp and holds them to the same contract in their own
+// namespace: snake_case, registered once. (SpanOp panics on a bad name at
+// runtime; the linter catches it before anything boots.)
+//
 // Exposition mode (-exposition) reads Prometheus text format on stdin and
 // validates it parses: well-formed # HELP / # TYPE preambles, sample lines
 // of the shape name{labels} value, and no sample without a preceding TYPE.
@@ -57,7 +62,7 @@ type site struct {
 
 // lintSource walks root for non-test .go files and returns naming problems.
 func lintSource(root string) ([]string, error) {
-	var sites []site
+	var sites, spanSites []site
 	fset := token.NewFileSet()
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -86,19 +91,21 @@ func lintSource(root string) ([]string, error) {
 			if !ok {
 				return true
 			}
+			if sel.Sel.Name == "SpanOp" && len(call.Args) == 1 {
+				if name, ok := stringArg(call.Args[0]); ok {
+					spanSites = append(spanSites, site{name: name, pos: fset.Position(call.Args[0].Pos()).String()})
+				}
+				return true
+			}
 			argIdx, ok := constructors[sel.Sel.Name]
 			if !ok || len(call.Args) <= argIdx {
 				return true
 			}
-			lit, ok := call.Args[argIdx].(*ast.BasicLit)
-			if !ok || lit.Kind != token.STRING {
+			name, ok := stringArg(call.Args[argIdx])
+			if !ok {
 				return true
 			}
-			name, err := strconv.Unquote(lit.Value)
-			if err != nil {
-				return true
-			}
-			sites = append(sites, site{name: name, pos: fset.Position(lit.Pos()).String()})
+			sites = append(sites, site{name: name, pos: fset.Position(call.Args[argIdx].Pos()).String()})
 			return true
 		})
 		return nil
@@ -119,8 +126,34 @@ func lintSource(root string) ([]string, error) {
 			seen[s.name] = s.pos
 		}
 	}
+	// Span ops are their own namespace: a span op may share a word with a
+	// metric family, but not with another SpanOp declaration.
+	seenOps := make(map[string]string)
+	for _, s := range spanSites {
+		if !nameRE.MatchString(s.name) {
+			problems = append(problems, fmt.Sprintf("%s: span op %q is not lower snake_case", s.pos, s.name))
+		}
+		if prev, dup := seenOps[s.name]; dup {
+			problems = append(problems, fmt.Sprintf("%s: span op %q already registered at %s", s.pos, s.name, prev))
+		} else {
+			seenOps[s.name] = s.pos
+		}
+	}
 	sort.Strings(problems)
 	return problems, nil
+}
+
+// stringArg unwraps a call argument that is a string literal.
+func stringArg(arg ast.Expr) (string, bool) {
+	lit, ok := arg.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return name, true
 }
 
 var (

@@ -57,6 +57,36 @@ var testOnly = reg.Counter("NOT_CHECKED", "test registry")
 	}
 }
 
+func TestLintSourceSpanOps(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `package a
+
+var (
+	opRun  = telemetry.SpanOp("worker_run")
+	opBad  = telemetry.SpanOp("Worker-Run")
+	metric = telemetry.Default().Counter("worker_run", "shares the word with the span op: fine")
+)
+`)
+	writeFile(t, dir, "b.go", `package a
+
+var opDup = telemetry.SpanOp("worker_run")
+`)
+	problems, err := lintSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, `span op "Worker-Run" is not lower snake_case`) {
+		t.Errorf("missing span-op snake_case violation in:\n%s", joined)
+	}
+	if !strings.Contains(joined, `span op "worker_run" already registered`) {
+		t.Errorf("missing duplicate span-op violation in:\n%s", joined)
+	}
+	if len(problems) != 2 {
+		t.Errorf("got %d problems, want 2 (metric/span namespaces must not collide):\n%s", len(problems), joined)
+	}
+}
+
 func TestLintSourceCleanTree(t *testing.T) {
 	dir := t.TempDir()
 	writeFile(t, dir, "a.go", `package a
