@@ -20,6 +20,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"sort"
@@ -30,9 +31,11 @@ import (
 	"time"
 
 	"repro/easeml"
+	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dsl"
 	"repro/internal/experiments"
 	"repro/internal/server"
 )
@@ -171,12 +174,29 @@ type ingestBench struct {
 	Speedup                 float64 `json:"speedup"`
 }
 
+// servingBench is the serving section of one trajectory entry: the online
+// inference path over real HTTP. PerRequestQPS pays one round trip per
+// prediction; BatchQPS and StreamQPS amortize the round trip, the job
+// lookup and the best-model resolution over BatchSize inputs.
+// PlanCacheHitRate is measured on the repeated-program submit workload
+// that precedes the QPS runs.
+type servingBench struct {
+	Benchmark        string  `json:"benchmark"`
+	BatchSize        int     `json:"batch_size"`
+	PerRequestQPS    float64 `json:"per_request_qps"`
+	BatchQPS         float64 `json:"batch_qps"`
+	StreamQPS        float64 `json:"stream_qps"`
+	BatchSpeedup     float64 `json:"batch_speedup"`
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+}
+
 // benchRun is one commit's entry in the benchmark trajectory.
 type benchRun struct {
 	Commit    string         `json:"commit"`
 	Scheduler *schedBenchDoc `json:"scheduler,omitempty"`
 	PickPath  *pickPathBench `json:"pick_path,omitempty"`
 	Ingest    *ingestBench   `json:"ingest,omitempty"`
+	Serving   *servingBench  `json:"serving,omitempty"`
 }
 
 // benchTrajectory is the BENCH_scheduler.json schema: one entry per
@@ -691,5 +711,104 @@ func BenchmarkFigure15Hybrid(b *testing.B) {
 	b.ReportMetric(h10, "hybrid-loss@10")
 	if x, ok := experiments.Crossover(res.Series[0], res.Series[1]); ok {
 		b.ReportMetric(x, "rr-overtakes-greedy@pct")
+	}
+}
+
+// BenchmarkInferQPS measures the online-serving path over real HTTP: one
+// trained job behind httptest, driven through internal/client. per-request
+// is the seed-era serving story (one POST per prediction); batch and
+// stream answer the same inputs through POST /jobs/{id}/infer/batch and
+// the NDJSON streaming endpoint. The setup also replays a repeated-program
+// submit workload against a cold plan cache and records its hit rate; the
+// acceptance gate is batch ≥ 3× per-request QPS and hit rate > 0.9, both
+// persisted in the serving section of BENCH_scheduler.json.
+func BenchmarkInferQPS(b *testing.B) {
+	const (
+		batchSize = 64
+		tsProg    = "{input: {[Tensor[4]], [next]}, output: {[Tensor[2]], []}}"
+	)
+
+	// Repeated-program workload against a cold cache: 50 tenants, one
+	// program.
+	dsl.ResetPlanCache()
+	svc := easeml.NewService(easeml.ServiceConfig{GPUs: 4, Seed: 7})
+	var jobID string
+	for i := 0; i < 50; i++ {
+		job, err := svc.Submit(fmt.Sprintf("bench-tenant-%d", i), tsProg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			jobID = job.Name
+		}
+	}
+	hitRate := dsl.PlanCacheStats().HitRate()
+	if _, err := svc.RunRounds(2); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	cl := client.New(srv.URL)
+	ctx := context.Background()
+	inputs := make([][]float64, batchSize)
+	for i := range inputs {
+		inputs[i] = []float64{float64(i), 1, 2, 3}
+	}
+
+	var perRequestQPS, batchQPS, streamQPS float64
+	b.Run("per-request", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Infer(ctx, jobID, inputs[i%batchSize]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perRequestQPS = float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(perRequestQPS, "qps")
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := cl.InferBatch(ctx, jobID, inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Outputs) != batchSize {
+				b.Fatalf("%d outputs", len(resp.Outputs))
+			}
+		}
+		batchQPS = float64(b.N*batchSize) / b.Elapsed().Seconds()
+		b.ReportMetric(batchQPS, "qps")
+	})
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if _, err := cl.InferStream(ctx, jobID, inputs, func(int, []float64) error {
+				n++
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if n != batchSize {
+				b.Fatalf("%d stream lines", n)
+			}
+		}
+		streamQPS = float64(b.N*batchSize) / b.Elapsed().Seconds()
+		b.ReportMetric(streamQPS, "qps")
+	})
+
+	if perRequestQPS > 0 && batchQPS > 0 {
+		speedup := batchQPS / perRequestQPS
+		b.ReportMetric(speedup, "batch-speedup")
+		b.ReportMetric(hitRate, "plan-cache-hit-rate")
+		updateBenchTrajectory(b, func(run *benchRun) {
+			run.Serving = &servingBench{
+				Benchmark:        "BenchmarkInferQPS",
+				BatchSize:        batchSize,
+				PerRequestQPS:    perRequestQPS,
+				BatchQPS:         batchQPS,
+				StreamQPS:        streamQPS,
+				BatchSpeedup:     speedup,
+				PlanCacheHitRate: hitRate,
+			}
+		})
 	}
 }

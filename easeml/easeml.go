@@ -70,11 +70,11 @@ type Job struct {
 // ParseJob validates a declarative program and produces the candidate
 // models and generated code without starting a service.
 func ParseJob(name, program string) (*Job, error) {
-	prog, err := dsl.Parse(program)
+	prog, err := dsl.ParseCached(program)
 	if err != nil {
 		return nil, err
 	}
-	cands, tpl, err := templates.Generate(prog, nil)
+	cands, tpl, err := templates.GenerateCached(prog)
 	if err != nil {
 		return nil, err
 	}
@@ -494,6 +494,13 @@ func (s *Service) Refine(jobID string, exampleID int, enabled bool) error {
 // Infer applies the best model so far.
 func (s *Service) Infer(jobID string, input []float64) (output []float64, model string, err error) {
 	return s.sched.Infer(jobID, input)
+}
+
+// InferBatch applies the best model to many inputs under one serving
+// session: one job lookup, one best-model resolution, one model for every
+// output.
+func (s *Service) InferBatch(jobID string, inputs [][]float64) (outputs [][]float64, model string, err error) {
+	return s.sched.InferBatch(jobID, inputs)
 }
 
 // Status reports a job's trained models and current best.

@@ -4,9 +4,11 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -77,11 +79,21 @@ func (c *Client) Jobs(ctx context.Context) ([]string, error) {
 	return resp.Jobs, err
 }
 
-// Feed registers example pairs and returns their ids.
+// Feed registers example pairs and returns their ids. A mid-batch server
+// failure still returns the IDs of the examples that committed before the
+// error (alongside the non-nil error), so callers can resume feeding from
+// the first uncommitted pair instead of re-sending duplicates.
 func (c *Client) Feed(ctx context.Context, jobID string, inputs, outputs [][]float64) ([]int, error) {
 	var resp server.FeedResponse
 	err := c.post(ctx, "/jobs/"+jobID+"/feed", server.FeedRequest{Inputs: inputs, Outputs: outputs}, &resp)
-	return resp.IDs, err
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			return apiErr.CommittedIDs, err
+		}
+		return nil, err
+	}
+	return resp.IDs, nil
 }
 
 // Refine enables or disables an example.
@@ -95,6 +107,65 @@ func (c *Client) Infer(ctx context.Context, jobID string, input []float64) (serv
 	var resp server.InferResponse
 	err := c.post(ctx, "/jobs/"+jobID+"/infer", server.InferRequest{Input: input}, &resp)
 	return resp, err
+}
+
+// InferBatch applies the best model to many inputs in one request: one
+// round trip, one server-side session, one model for every output.
+func (c *Client) InferBatch(ctx context.Context, jobID string, inputs [][]float64) (server.InferBatchResponse, error) {
+	var resp server.InferBatchResponse
+	err := c.post(ctx, "/jobs/"+jobID+"/infer/batch", server.InferBatchRequest{Inputs: inputs}, &resp)
+	return resp, err
+}
+
+// InferStream posts inputs to the NDJSON streaming endpoint and invokes fn
+// for each prediction as the server flushes it. It returns the serving
+// model's name. A non-nil error from fn aborts the stream (the connection
+// is dropped, which is the protocol's cancellation signal).
+func (c *Client) InferStream(ctx context.Context, jobID string, inputs [][]float64, fn func(index int, output []float64) error) (string, error) {
+	path := "/jobs/" + jobID + "/infer/stream"
+	payload, err := json.Marshal(server.InferBatchRequest{Inputs: inputs})
+	if err != nil {
+		return "", fmt.Errorf("client: encode %s: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return "", fmt.Errorf("client: build POST %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		raw, _ := io.ReadAll(resp.Body)
+		return "", apiError(path, resp.StatusCode, raw)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return "", fmt.Errorf("client: %s: reading stream header: %w", path, err)
+		}
+		return "", fmt.Errorf("client: %s: empty stream", path)
+	}
+	var hdr server.InferStreamHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return "", fmt.Errorf("client: %s: decode stream header: %w", path, err)
+	}
+	for sc.Scan() {
+		var line server.InferStreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return hdr.Model, fmt.Errorf("client: %s: decode stream line: %w", path, err)
+		}
+		if err := fn(line.Index, line.Output); err != nil {
+			return hdr.Model, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return hdr.Model, fmt.Errorf("client: %s: reading stream: %w", path, err)
+	}
+	return hdr.Model, nil
 }
 
 // Status reports the job's trained models and current best.
@@ -148,6 +219,38 @@ func (c *Client) get(ctx context.Context, path string, dst any) error {
 	return decode(path, resp, dst)
 }
 
+// APIError is a non-2xx server reply, decoded from the standard error
+// envelope. Callers can errors.As for it to branch on Status or Code
+// instead of string-matching the message.
+type APIError struct {
+	Path    string
+	Status  int
+	Code    string // machine tag, e.g. "lease_conflict", "" when untagged
+	Message string // server's error text, "" when the body wasn't an envelope
+	// CommittedIDs carries the example IDs a partially-failed feed batch
+	// had already durably appended before the error (feed replies only).
+	CommittedIDs []int
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("client: %s: HTTP %d", e.Path, e.Status)
+	}
+	return fmt.Sprintf("client: %s: %s (HTTP %d)", e.Path, e.Message, e.Status)
+}
+
+// apiError builds the APIError for one non-2xx reply body.
+func apiError(path string, status int, raw []byte) *APIError {
+	e := &APIError{Path: path, Status: status}
+	var body server.ErrorBody
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		e.Message = body.Error
+		e.Code = body.Code
+		e.CommittedIDs = body.IDs
+	}
+	return e
+}
+
 func decode(path string, resp *http.Response, dst any) error {
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
@@ -155,11 +258,7 @@ func decode(path string, resp *http.Response, dst any) error {
 		return fmt.Errorf("client: read %s: %w", path, err)
 	}
 	if resp.StatusCode >= 400 {
-		var apiErr server.ErrorBody
-		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("client: %s: %s (HTTP %d)", path, apiErr.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("client: %s: HTTP %d", path, resp.StatusCode)
+		return apiError(path, resp.StatusCode, raw)
 	}
 	if err := json.Unmarshal(raw, dst); err != nil {
 		return fmt.Errorf("client: decode %s: %w", path, err)

@@ -1,0 +1,171 @@
+package dsl
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+const cachedProg = "{input: {[Tensor[8, 8, 3]], []}, output: {[Tensor[2]], []}}"
+
+func TestParseCachedMatchesParse(t *testing.T) {
+	ResetPlanCache()
+	want, err := Parse(cachedProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := ParseCached(cachedProg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("lookup %d: cached program differs from Parse:\n got %#v\nwant %#v", i, got, want)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("lookup %d: String() drifted: %q vs %q", i, got.String(), want.String())
+		}
+	}
+}
+
+func TestParseCachedCountsHitsAndMisses(t *testing.T) {
+	ResetPlanCache()
+	if _, err := ParseCached(cachedProg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := ParseCached(cachedProg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := PlanCacheStats()
+	if st.Misses != 1 || st.Hits != 9 {
+		t.Fatalf("stats = %+v, want 1 miss and 9 hits", st)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	if hr := st.HitRate(); hr != 0.9 {
+		t.Fatalf("hit rate %g, want 0.9", hr)
+	}
+}
+
+func TestParseCachedDoesNotCacheErrors(t *testing.T) {
+	ResetPlanCache()
+	for i := 0; i < 3; i++ {
+		if _, err := ParseCached("{not a program}"); err == nil {
+			t.Fatal("invalid program accepted")
+		}
+	}
+	st := PlanCacheStats()
+	if st.Entries != 0 {
+		t.Fatalf("error result was cached: %+v", st)
+	}
+	if st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (errors never become hits)", st.Misses)
+	}
+}
+
+func TestPlanCacheEvicts(t *testing.T) {
+	SetPlanCacheCapacity(4)
+	defer ResetPlanCache()
+	progs := make([]string, 8)
+	for i := range progs {
+		progs[i] = fmt.Sprintf("{input: {[Tensor[%d]], [next]}, output: {[Tensor[2]], []}}", i+2)
+		if _, err := ParseCached(progs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := PlanCacheStats()
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want capacity 4", st.Entries)
+	}
+	if st.Evictions != 4 {
+		t.Fatalf("evictions = %d, want 4", st.Evictions)
+	}
+	// The LRU keeps the most recent four; the oldest re-parse is a miss.
+	if _, err := ParseCached(progs[7]); err != nil {
+		t.Fatal(err)
+	}
+	if got := PlanCacheStats().Hits; got != 1 {
+		t.Fatalf("hits = %d, want 1 (most recent program resident)", got)
+	}
+	if _, err := ParseCached(progs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := PlanCacheStats().Hits; got != 1 {
+		t.Fatalf("hits = %d after touching evicted program, want still 1", got)
+	}
+}
+
+func TestPlanCacheLRUOrder(t *testing.T) {
+	SetPlanCacheCapacity(2)
+	defer ResetPlanCache()
+	a := "{input: {[Tensor[2]], [next]}, output: {[Tensor[2]], []}}"
+	b := "{input: {[Tensor[3]], [next]}, output: {[Tensor[2]], []}}"
+	c := "{input: {[Tensor[4]], [next]}, output: {[Tensor[2]], []}}"
+	for _, p := range []string{a, b} {
+		if _, err := ParseCached(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b becomes the LRU victim when c is inserted.
+	if _, err := ParseCached(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseCached(c); err != nil {
+		t.Fatal(err)
+	}
+	before := PlanCacheStats().Hits
+	if _, err := ParseCached(a); err != nil {
+		t.Fatal(err)
+	}
+	if PlanCacheStats().Hits != before+1 {
+		t.Fatal("recently-used program was evicted")
+	}
+	if _, err := ParseCached(b); err != nil {
+		t.Fatal(err)
+	}
+	if PlanCacheStats().Hits != before+1 {
+		t.Fatal("least-recently-used program survived past capacity")
+	}
+}
+
+func TestParseCachedConcurrent(t *testing.T) {
+	ResetPlanCache()
+	want := MustParse(cachedProg)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				src := fmt.Sprintf("{input: {[Tensor[%d]], [next]}, output: {[Tensor[2]], []}}", 2+(i+g)%5)
+				if _, err := ParseCached(src); err != nil {
+					errs <- err
+					return
+				}
+				got, err := ParseCached(cachedProg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.String() != want.String() {
+					errs <- fmt.Errorf("goroutine %d: cached program drifted to %q", g, got.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := PlanCacheStats()
+	if st.Hits+st.Misses != 8*100*2 {
+		t.Fatalf("lookups = %d, want %d", st.Hits+st.Misses, 8*100*2)
+	}
+}

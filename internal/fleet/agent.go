@@ -432,11 +432,11 @@ func (a *Agent) resolveCandidate(ctx context.Context, exec Executor, epoch int, 
 		if err != nil {
 			return templates.Candidate{}, err
 		}
-		prog, err := dsl.Parse(info.Program)
+		prog, err := dsl.ParseCached(info.Program)
 		if err != nil {
 			return templates.Candidate{}, fmt.Errorf("fleet: parsing program of %s: %w", jobID, err)
 		}
-		cands, _, err := templates.Generate(prog, nil)
+		cands, _, err := templates.GenerateCached(prog)
 		if err != nil {
 			return templates.Candidate{}, fmt.Errorf("fleet: generating candidates of %s: %w", jobID, err)
 		}

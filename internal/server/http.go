@@ -8,8 +8,10 @@ import (
 	"strings"
 
 	"repro/internal/admission"
+	"repro/internal/dsl"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
+	"repro/internal/templates"
 )
 
 // API wraps a Scheduler with the HTTP surface of the ease.ml service:
@@ -20,6 +22,8 @@ import (
 //	POST /jobs/{id}/feed           register example pairs
 //	POST /jobs/{id}/refine         toggle an example
 //	POST /jobs/{id}/infer          apply the best model
+//	POST /jobs/{id}/infer/batch    apply the best model to many inputs at once
+//	POST /jobs/{id}/infer/stream   same request, NDJSON streaming reply
 //	GET  /metrics                  Prometheus text exposition of all telemetry
 //	POST /admin/rounds             run scheduling rounds synchronously
 //	GET  /admin/snapshot           checkpoint the shared storage as JSON
@@ -308,7 +312,12 @@ func (a *API) handleJobOp(w http.ResponseWriter, r *http.Request) {
 		for i := range req.Inputs {
 			exID, err := a.sched.Feed(id, req.Inputs[i], req.Outputs[i])
 			if err != nil {
-				WriteError(w, userErrStatus(err), err)
+				// Examples before i are already durably appended; the error
+				// envelope carries their IDs so the client knows what
+				// committed and can resume from input i.
+				body := errorBody(err)
+				body.IDs = resp.IDs
+				WriteJSON(w, userErrStatus(err), body)
 				return
 			}
 			resp.IDs = append(resp.IDs, exID)
@@ -320,7 +329,7 @@ func (a *API) handleJobOp(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := a.sched.Refine(id, req.Example, req.Enabled); err != nil {
-			WriteError(w, http.StatusBadRequest, err)
+			WriteError(w, userErrStatus(err), err)
 			return
 		}
 		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -331,10 +340,14 @@ func (a *API) handleJobOp(w http.ResponseWriter, r *http.Request) {
 		}
 		out, model, err := a.sched.Infer(id, req.Input)
 		if err != nil {
-			WriteError(w, http.StatusBadRequest, err)
+			WriteError(w, userErrStatus(err), err)
 			return
 		}
 		WriteJSON(w, http.StatusOK, InferResponse{Output: out, Model: model})
+	case "infer/batch":
+		a.handleInferBatch(w, r, id)
+	case "infer/stream":
+		a.handleInferStream(w, r, id)
 	default:
 		WriteError(w, http.StatusNotFound, fmt.Errorf("unknown operation %q", op))
 	}
@@ -468,6 +481,9 @@ type MetricsResponse struct {
 	// WAL reports the durability layer's operation tallies and sequence
 	// horizon (nil for an in-memory scheduler).
 	WAL *storage.LogStats `json:"wal,omitempty"`
+	// PlanCache reports the process-wide DSL program cache and the
+	// candidate-grid cache behind Submit, recovery and agent job fetches.
+	PlanCache *PlanCacheMetrics `json:"plan_cache,omitempty"`
 }
 
 // AdmissionMetrics is the admission section of MetricsResponse.
@@ -515,7 +531,18 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if stats, ok := a.sched.WALStats(); ok {
 		resp.WAL = &stats
 	}
+	resp.PlanCache = &PlanCacheMetrics{
+		Program:    dsl.PlanCacheStats(),
+		Candidates: templates.CandidateCacheStats(),
+	}
 	WriteJSON(w, http.StatusOK, resp)
+}
+
+// PlanCacheMetrics is the plan-cache section of MetricsResponse: the
+// parsed-program cache and the candidate-grid cache, both process-wide.
+type PlanCacheMetrics struct {
+	Program    dsl.CacheStats `json:"program"`
+	Candidates dsl.CacheStats `json:"candidates"`
 }
 
 func (a *API) handleEngineStart(w http.ResponseWriter, r *http.Request) {
@@ -623,6 +650,10 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 type ErrorBody struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
+	// IDs carries the example IDs a partially-failed feed batch had
+	// already durably committed before the error — set only by the feed
+	// handler, so clients can resume instead of re-feeding duplicates.
+	IDs []int `json:"ids,omitempty"`
 }
 
 // CodeLeaseConflict tags HTTP 409 replies caused by ErrLeaseConflict.
@@ -633,11 +664,14 @@ const CodeLeaseConflict = "lease_conflict"
 const CodeQuotaExceeded = "quota_exceeded"
 
 // userErrStatus maps a user-facing mutation error onto its HTTP status:
-// admission rejections are 429 Too Many Requests, everything else is the
-// caller's fault (400).
+// admission rejections are 429 Too Many Requests, unknown job IDs are 404
+// Not Found, everything else is the caller's fault (400).
 func userErrStatus(err error) int {
-	if errors.Is(err, admission.ErrQuotaExceeded) {
+	switch {
+	case errors.Is(err, admission.ErrQuotaExceeded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrNoJob):
+		return http.StatusNotFound
 	}
 	return http.StatusBadRequest
 }
@@ -647,6 +681,13 @@ func userErrStatus(err error) int {
 // CodeQuotaExceeded. Shared with the fleet handlers, so the conflict
 // mapping cannot drift between the two HTTP surfaces.
 func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, errorBody(err))
+}
+
+// errorBody builds the envelope for err, tagging the known error classes.
+// Split from WriteError so handlers that enrich the envelope (feed's
+// partial-commit IDs) keep the same code mapping.
+func errorBody(err error) ErrorBody {
 	body := ErrorBody{Error: err.Error()}
 	switch {
 	case errors.Is(err, ErrLeaseConflict):
@@ -654,5 +695,5 @@ func WriteError(w http.ResponseWriter, status int, err error) {
 	case errors.Is(err, admission.ErrQuotaExceeded):
 		body.Code = CodeQuotaExceeded
 	}
-	WriteJSON(w, status, body)
+	return body
 }

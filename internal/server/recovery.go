@@ -41,7 +41,7 @@ func (sc *Scheduler) Recover(rec *storage.RecoveredState, log *storage.Log) erro
 		// place and only the bandit replay remains.
 		sc.store = rec.Store
 		for _, meta := range rec.Jobs {
-			prog, err := dsl.Parse(meta.Program)
+			prog, err := dsl.ParseCached(meta.Program)
 			if err != nil {
 				return fmt.Errorf("server: recovering job %s: parsing logged program: %w", meta.ID, err)
 			}

@@ -526,7 +526,7 @@ func (sc *Scheduler) Submit(name, programSrc string) (*Job, error) {
 
 // submitAdmitted is Submit past the admission gate.
 func (sc *Scheduler) submitAdmitted(name, programSrc string) (*Job, error) {
-	prog, err := dsl.Parse(programSrc)
+	prog, err := dsl.ParseCached(programSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -569,7 +569,7 @@ func (sc *Scheduler) submitAdmitted(name, programSrc string) (*Job, error) {
 // tenant (its index is fixed at publish time). It takes no scheduler
 // locks; the trainer and store do their own locking.
 func (sc *Scheduler) buildJob(id, name string, prog dsl.Program) (*Job, error) {
-	cands, tpl, err := templates.Generate(prog, nil)
+	cands, tpl, err := templates.GenerateCached(prog)
 	if err != nil {
 		return nil, err
 	}
@@ -674,6 +674,16 @@ func (sc *Scheduler) Rounds() int {
 // (workers racing on retries). HTTP surfaces map it to 409 Conflict so a
 // retrying worker can tell "my result lost a race" from a server fault.
 var ErrLeaseConflict = errors.New("lease conflict")
+
+// ErrNoJob marks lookups of a job ID the scheduler does not know. HTTP
+// surfaces map it to 404 Not Found so clients can tell a missing job from
+// a malformed request.
+var ErrNoJob = errors.New("no such job")
+
+// errNoJob builds the canonical missing-job error for one ID.
+func errNoJob(jobID string) error {
+	return fmt.Errorf("server: no job %q: %w", jobID, ErrNoJob)
+}
 
 // Lease is one unit of leased work: a (job, candidate) pair the scheduler
 // has picked but whose result has not been reported yet. A lease's arm is
@@ -1274,7 +1284,7 @@ func (sc *Scheduler) RunRounds(n int) (int, error) {
 func (sc *Scheduler) Feed(jobID string, input, output []float64) (int, error) {
 	job, ok := sc.Job(jobID)
 	if !ok {
-		return 0, fmt.Errorf("server: no job %q", jobID)
+		return 0, errNoJob(jobID)
 	}
 	if sc.adm != nil {
 		if err := sc.adm.AdmitOp(job.Name); err != nil {
@@ -1301,7 +1311,7 @@ func (sc *Scheduler) Feed(jobID string, input, output []float64) (int, error) {
 func (sc *Scheduler) Refine(jobID string, exampleID int, enabled bool) error {
 	job, ok := sc.Job(jobID)
 	if !ok {
-		return fmt.Errorf("server: no job %q", jobID)
+		return errNoJob(jobID)
 	}
 	if err := job.store.Refine(exampleID, enabled); err != nil {
 		return err
@@ -1317,31 +1327,19 @@ func (sc *Scheduler) Refine(jobID string, exampleID int, enabled bool) error {
 // Infer applies the best model so far to an input. The simulated model
 // produces a deterministic pseudo-prediction whose entries depend on the
 // input and the model name; it returns an error before the first model
-// completes (the user has no model yet).
+// completes (the user has no model yet). Batched and streaming serving
+// live in serving.go on the same InferSession.
 func (sc *Scheduler) Infer(jobID string, input []float64) ([]float64, string, error) {
-	job, ok := sc.Job(jobID)
-	if !ok {
-		return nil, "", fmt.Errorf("server: no job %q", jobID)
+	sess, err := sc.NewInferSession(jobID)
+	if err != nil {
+		return nil, "", err
 	}
-	if want := job.Program.Input.TotalElements(); len(input) != want {
-		return nil, "", fmt.Errorf("server: input has %d elements, schema wants %d", len(input), want)
+	inferRequests.With("single").Inc()
+	out, err := sess.Apply(input)
+	if err != nil {
+		return nil, "", err
 	}
-	best, ok := job.store.Best()
-	if !ok {
-		return nil, "", fmt.Errorf("server: job %q has no trained model yet", jobID)
-	}
-	out := make([]float64, job.Program.Output.TotalElements())
-	h := fnv.New64a()
-	h.Write([]byte(best.Name))
-	seed := float64(h.Sum64()%997) / 997
-	var acc float64
-	for _, v := range input {
-		acc += v
-	}
-	for i := range out {
-		out[i] = math.Abs(math.Sin(acc*seed + float64(i)))
-	}
-	return out, best.Name, nil
+	return out, sess.Model, nil
 }
 
 // Status summarizes a job for the status endpoint.
@@ -1475,7 +1473,7 @@ func (sc *Scheduler) replayTaskLocked(job *Job, ts *storage.TaskStore) error {
 func (sc *Scheduler) Status(jobID string) (Status, error) {
 	job, ok := sc.Job(jobID)
 	if !ok {
-		return Status{}, fmt.Errorf("server: no job %q", jobID)
+		return Status{}, errNoJob(jobID)
 	}
 	st := Status{
 		ID:            job.ID,
