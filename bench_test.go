@@ -37,6 +37,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dsl"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -190,6 +191,24 @@ type servingBench struct {
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
 }
 
+// fleetBench is the fleet section of one trajectory entry: coordinator
+// lease-grant throughput under the plain poll protocol (every grant pays
+// the full PickWork sweep) versus the speculative protocol (workers
+// pre-score against cached posteriors and most grants take the
+// epoch-validated fast path).
+type fleetBench struct {
+	Benchmark          string  `json:"benchmark"`
+	Jobs               int     `json:"jobs"`
+	Workers            int     `json:"workers"`
+	Devices            int     `json:"devices"`
+	PollGrantsPerSec   float64 `json:"poll_grants_per_sec"`
+	SpecGrantsPerSec   float64 `json:"speculative_grants_per_sec"`
+	PollNsPerGrant     float64 `json:"poll_ns_per_grant"`
+	SpecNsPerGrant     float64 `json:"speculative_ns_per_grant"`
+	SpeculativeHitRate float64 `json:"speculative_hit_rate"`
+	Speedup            float64 `json:"speedup"`
+}
+
 // benchRun is one commit's entry in the benchmark trajectory.
 type benchRun struct {
 	Commit    string         `json:"commit"`
@@ -197,6 +216,7 @@ type benchRun struct {
 	PickPath  *pickPathBench `json:"pick_path,omitempty"`
 	Ingest    *ingestBench   `json:"ingest,omitempty"`
 	Serving   *servingBench  `json:"serving,omitempty"`
+	Fleet     *fleetBench    `json:"fleet,omitempty"`
 }
 
 // benchTrajectory is the BENCH_scheduler.json schema: one entry per
@@ -547,6 +567,200 @@ func BenchmarkPickWorkManyJobs(b *testing.B) {
 				ObservedPerJob:     observedPerJob,
 				DeepCloneNsPerIter: deepNs,
 				IndexedNsPerIter:   indexedNs,
+				Speedup:            speedup,
+			}
+		})
+	}
+}
+
+// benchFleetProposals ranks the open (untried, unleased) arms of a bench
+// worker's cached posterior surfaces by UCB and returns the full ranking
+// as speculative proposals, plus the known-epoch map — the agent's scoring
+// loop, hand-rolled because the bench drives the coordinator in-process.
+// Callers cache the result until a fresh posterior delta invalidates it.
+func benchFleetProposals(post map[string]fleet.JobPosterior) ([]fleet.LeaseProposal, map[string]uint64) {
+	epochs := make(map[string]uint64, len(post))
+	type scored struct {
+		p   fleet.LeaseProposal
+		ucb float64
+	}
+	var cands []scored
+	for id, s := range post {
+		epochs[id] = s.Epoch
+		if s.Done {
+			continue
+		}
+		closed := make(map[int]bool, len(s.Tried)+len(s.Leased))
+		for _, k := range s.Tried {
+			closed[k] = true
+		}
+		for _, k := range s.Leased {
+			closed[k] = true
+		}
+		for arm, u := range s.UCB {
+			if !closed[arm] {
+				cands = append(cands, scored{fleet.LeaseProposal{JobID: id, Arm: arm, Epoch: s.Epoch}, u})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ucb != cands[j].ucb {
+			return cands[i].ucb > cands[j].ucb
+		}
+		if cands[i].p.JobID != cands[j].p.JobID {
+			return cands[i].p.JobID < cands[j].p.JobID
+		}
+		return cands[i].p.Arm < cands[j].p.Arm
+	})
+	props := make([]fleet.LeaseProposal, len(cands))
+	for i, c := range cands {
+		props[i] = c.p
+	}
+	return props, epochs
+}
+
+// BenchmarkFleetLeaseThroughput measures coordinator lease-grant
+// throughput: 256 jobs × 35 candidates, 8 registered workers driven
+// serially in-process in a steady-state grant/release cycle (completions
+// report a retryable failure, so candidates re-enter selection and the
+// posterior never drains — the same exchange trick as
+// BenchmarkPickWorkManyJobs). The poll mode takes the full PickWork path
+// for every batch; the speculative mode proposes pre-scored (job, arm,
+// epoch) triples and grants on the epoch-validated fast path. Only the
+// coordinator's Lease call is on the clock — worker-side scoring runs
+// between the timed sections, as it does in a real fleet. granted-leases/s
+// per mode, their ratio and the speculative hit rate land in
+// BENCH_scheduler.json's fleet section; the acceptance gate is ≥2×.
+func BenchmarkFleetLeaseThroughput(b *testing.B) {
+	const (
+		jobs    = 256
+		program = "{input: {[Tensor[16, 16, 3]], []}, output: {[Tensor[2]], []}}" // 35 candidates
+		workers = 8
+		devices = 4
+	)
+	type modeResult struct {
+		grantsPerSec float64
+		nsPerGrant   float64
+		hitRate      float64
+	}
+	results := map[string]*modeResult{}
+	run := func(name string, speculative bool) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			sc := server.NewScheduler(server.NewSimTrainer(cluster.NewPool(8, 0.9), 33), nil, "")
+			for i := 0; i < jobs; i++ {
+				if _, err := sc.Submit(fmt.Sprintf("fleet-%03d", i), program); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Observe a slice of every job so the surfaces carry history.
+			if _, err := sc.RunRounds(jobs * 4); err != nil {
+				b.Fatal(err)
+			}
+			coord := fleet.NewCoordinator(sc, fleet.CoordinatorConfig{
+				Seed: 33, MaxRetries: 1 << 30, DisableSpeculative: !speculative,
+			})
+			// Each bench worker keeps a cached UCB ranking of its posterior
+			// surfaces and re-scores only when a posterior delta arrives —
+			// the same cache discipline as fleet.Agent, hand-rolled so the
+			// untimed worker side stays allocation-quiet and the timed Lease
+			// sections are not polluted by scoring garbage or GC.
+			type wstate struct {
+				id      string
+				post    map[string]fleet.JobPosterior
+				version uint64
+				dirty   bool
+				ranked  []fleet.LeaseProposal
+				epochs  map[string]uint64
+			}
+			ws := make([]*wstate, workers)
+			for i := range ws {
+				reg := coord.Register(fleet.RegisterRequest{Name: fmt.Sprintf("bench-%d", i), Devices: devices})
+				ws[i] = &wstate{id: reg.WorkerID, post: map[string]fleet.JobPosterior{}}
+			}
+			granted, proposed := 0, 0
+			var leaseDur time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := ws[i%workers]
+				req := fleet.LeaseRequest{WorkerID: w.id, Max: devices}
+				if speculative {
+					if w.dirty {
+						w.ranked, w.epochs = benchFleetProposals(w.post)
+						w.dirty = false
+					}
+					req.Proposals, req.PosteriorEpochs = w.ranked, w.epochs
+					req.PosteriorVersion = w.version
+					if len(req.Proposals) > devices {
+						req.Proposals = req.Proposals[:devices]
+					}
+					proposed += len(req.Proposals)
+				}
+				t0 := time.Now()
+				resp, err := coord.Lease(req)
+				leaseDur += time.Since(t0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range resp.Posteriors {
+					w.post[p.JobID] = p
+					w.dirty = true
+				}
+				if resp.PosteriorVersion != 0 {
+					w.version = resp.PosteriorVersion
+				}
+				granted += len(resp.Leases)
+				for _, wl := range resp.Leases {
+					cr, err := coord.Complete(fleet.CompleteRequest{
+						WorkerID: w.id, LeaseID: wl.LeaseID, Error: "bench: steady-state release",
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if cr.Posterior != nil {
+						w.post[cr.Posterior.JobID] = *cr.Posterior
+						w.dirty = true
+					}
+				}
+			}
+			b.StopTimer()
+			if granted == 0 || leaseDur <= 0 {
+				b.Fatal("benchmark granted no leases")
+			}
+			r := &modeResult{
+				grantsPerSec: float64(granted) / leaseDur.Seconds(),
+				nsPerGrant:   float64(leaseDur.Nanoseconds()) / float64(granted),
+			}
+			if speculative && proposed > 0 {
+				r.hitRate = float64(sc.SelectionStats().SpeculativeGrants) / float64(proposed)
+				b.ReportMetric(r.hitRate, "hit-rate")
+			}
+			b.ReportMetric(r.grantsPerSec, "granted-leases/s")
+			b.ReportMetric(r.nsPerGrant, "ns/grant")
+			schedBenchMu.Lock()
+			results[name] = r
+			schedBenchMu.Unlock()
+		})
+	}
+	run("poll", false)
+	run("speculative", true)
+	schedBenchMu.Lock()
+	poll, spec := results["poll"], results["speculative"]
+	schedBenchMu.Unlock()
+	if poll != nil && spec != nil {
+		speedup := spec.grantsPerSec / poll.grantsPerSec
+		b.ReportMetric(speedup, "speedup")
+		updateBenchTrajectory(b, func(run *benchRun) {
+			run.Fleet = &fleetBench{
+				Benchmark:          "BenchmarkFleetLeaseThroughput",
+				Jobs:               jobs,
+				Workers:            workers,
+				Devices:            devices,
+				PollGrantsPerSec:   poll.grantsPerSec,
+				SpecGrantsPerSec:   spec.grantsPerSec,
+				PollNsPerGrant:     poll.nsPerGrant,
+				SpecNsPerGrant:     spec.nsPerGrant,
+				SpeculativeHitRate: spec.hitRate,
 				Speedup:            speedup,
 			}
 		})

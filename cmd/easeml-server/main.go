@@ -8,7 +8,7 @@
 //	easeml-server [-addr :9000] [-gpus 24] [-seed 1] [-alpha 0.9]
 //	              [-workers 0] [-batch 0] [-data-dir DIR]
 //	              [-wal-segment-bytes 4194304] [-wal-sync-interval 2ms]
-//	              [-fleet-addr ADDR] [-lease-ttl 10s]
+//	              [-fleet-addr ADDR] [-lease-ttl 10s] [-speculative]
 //	              [-quota-config FILE] [-max-inflight 0] [-pprof]
 //	              [-mutex-profile-fraction 0] [-block-profile-rate 0]
 //	              [-log-format text|json] [-log-level info] [-slow-op 100ms]
@@ -111,6 +111,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 0, "fleet lease TTL before silent workers' leases are re-queued (default 10s)")
 	quotaConfig := flag.String("quota-config", "", "JSON tenant quota file enabling admission control (classes, caps, rate limits, budgets)")
 	maxInFlight := flag.Int("max-inflight", 0, "cap on total outstanding fleet leases; saturated guaranteed work preempts best-effort (0 = no cap)")
+	speculative := flag.Bool("speculative", true, "accept speculative lease proposals and ship posterior deltas to fleet workers (false = plain poll protocol)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the admin mux (off by default; exposes profiles to anyone who can reach the server)")
 	mutexFraction := flag.Int("mutex-profile-fraction", 0, "with -pprof: runtime.SetMutexProfileFraction sampling rate (0 = default 100, negative = leave runtime setting)")
 	blockRate := flag.Int("block-profile-rate", 0, "with -pprof: runtime.SetBlockProfileRate nanosecond granularity (0 = default 1e6, negative = leave runtime setting)")
@@ -140,23 +141,24 @@ func main() {
 	}
 
 	cfg := easeml.ServiceConfig{
-		GPUs:                 *gpus,
-		Seed:                 *seed,
-		Addr:                 "http://localhost" + *addr,
-		Alpha:                *alpha,
-		Workers:              *workers,
-		Batch:                *batch,
-		DataDir:              *dataDir,
-		WALSegmentBytes:      *walSegmentBytes,
-		WALSyncInterval:      *walSyncInterval,
-		FleetAddr:            *fleetAddr,
-		LeaseTTL:             *leaseTTL,
-		FleetMaxInFlight:     *maxInFlight,
-		Pprof:                *pprofFlag,
-		MutexProfileFraction: *mutexFraction,
-		BlockProfileRate:     *blockRate,
-		Logger:               logger,
-		TraceBuffer:          *traceBuffer,
+		GPUs:                     *gpus,
+		Seed:                     *seed,
+		Addr:                     "http://localhost" + *addr,
+		Alpha:                    *alpha,
+		Workers:                  *workers,
+		Batch:                    *batch,
+		DataDir:                  *dataDir,
+		WALSegmentBytes:          *walSegmentBytes,
+		WALSyncInterval:          *walSyncInterval,
+		FleetAddr:                *fleetAddr,
+		LeaseTTL:                 *leaseTTL,
+		FleetMaxInFlight:         *maxInFlight,
+		DisableSpeculativeLeases: !*speculative,
+		Pprof:                    *pprofFlag,
+		MutexProfileFraction:     *mutexFraction,
+		BlockProfileRate:         *blockRate,
+		Logger:                   logger,
+		TraceBuffer:              *traceBuffer,
 	}
 	if *pprofFlag {
 		host := *addr

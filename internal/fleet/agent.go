@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -48,6 +50,11 @@ type AgentConfig struct {
 	// immediately — the behaviour of a crashed worker (tests and the
 	// kill-a-worker demo use it; real agents should leave gracefully).
 	SkipLeaveOnExit bool
+	// DisableSpeculative turns off worker-side posterior caching and
+	// speculative lease proposals (the default — zero value — is
+	// speculation ON): the agent falls back to plain polling. Wired to
+	// easeml-worker's -speculative=false.
+	DisableSpeculative bool
 	// Logger, when set, receives structured agent diagnostics; run
 	// lifecycle events carry the lease's trace ID. Nil keeps the agent
 	// silent.
@@ -85,6 +92,18 @@ type Agent struct {
 	// name a different program, and stale candidates would corrupt results.
 	jobs    map[string]map[string]templates.Candidate // job → candidate name → candidate
 	running map[int]context.CancelFunc                // lease id → abort
+	// posteriors caches the coordinator-shipped posterior surface per job —
+	// the state speculative proposals are scored against. Updated from
+	// every LeaseResponse and CompleteResponse, dropped on re-registration
+	// (a restarted coordinator may recycle job ids with different
+	// programs). Empty when DisableSpeculative.
+	posteriors map[string]*postSurface
+	// postVersion is the coordinator's global surface version from the
+	// last full posterior sync (LeaseResponse.PosteriorVersion); echoed in
+	// lease requests so an unchanged coordinator answers the resync check
+	// with one integer comparison. Zero until the first sync and after
+	// re-registration.
+	postVersion uint64
 
 	slotFree chan struct{} // kicks the poll loop when an execution settles
 
@@ -112,14 +131,27 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		cfg.Name = host
 	}
 	return &Agent{
-		cfg:      cfg,
-		client:   newProtoClient(cfg.Coordinator, cfg.HTTPClient),
-		exec:     cfg.Executor,
-		ownExec:  cfg.Executor == nil,
-		jobs:     make(map[string]map[string]templates.Candidate),
-		running:  make(map[int]context.CancelFunc),
-		slotFree: make(chan struct{}, 1),
+		cfg:        cfg,
+		client:     newProtoClient(cfg.Coordinator, cfg.HTTPClient),
+		exec:       cfg.Executor,
+		ownExec:    cfg.Executor == nil,
+		jobs:       make(map[string]map[string]templates.Candidate),
+		running:    make(map[int]context.CancelFunc),
+		posteriors: make(map[string]*postSurface),
+		slotFree:   make(chan struct{}, 1),
 	}, nil
+}
+
+// postSurface is the agent's view of one job's posterior: the UCB per arm
+// at a given epoch, with open marking the proposable (untried, unleased)
+// arms. done jobs stay in the map so their epoch keeps riding
+// PosteriorEpochs — dropping them would make the coordinator re-send the
+// delta on every poll.
+type postSurface struct {
+	epoch uint64
+	ucb   []float64
+	open  []bool
+	done  bool
 }
 
 // Completed returns how many runs the agent has reported successfully.
@@ -154,15 +186,18 @@ func (a *Agent) Run(ctx context.Context) error {
 	}()
 
 	var execWG sync.WaitGroup
+	idle := 0 // consecutive empty polls; drives the jittered backoff
 	for ctx.Err() == nil {
 		granted := a.pollOnce(ctx, &execWG)
 		if ctx.Err() != nil {
 			break
 		}
 		if granted {
+			idle = 0
 			continue // slots may still be free; poll again immediately
 		}
-		timer := time.NewTimer(a.pollEvery)
+		idle++
+		timer := time.NewTimer(idleBackoff(a.pollEvery, idle))
 		select {
 		case <-ctx.Done():
 			timer.Stop()
@@ -261,6 +296,8 @@ func (a *Agent) adoptRegistration(resp RegisterResponse) {
 		a.exec = NewSimExecutor(resp.Seed)
 	}
 	a.jobs = make(map[string]map[string]templates.Candidate)
+	a.posteriors = make(map[string]*postSurface)
+	a.postVersion = 0
 	if a.epoch > 1 {
 		return
 	}
@@ -290,7 +327,11 @@ func (a *Agent) pollOnce(ctx context.Context, execWG *sync.WaitGroup) bool {
 	if free <= 0 {
 		return false
 	}
-	leases, err := a.client.lease(ctx, workerID, free)
+	proposals, epochs, version := a.buildProposals(free)
+	resp, err := a.client.lease(ctx, LeaseRequest{
+		WorkerID: workerID, Max: free, Proposals: proposals,
+		PosteriorEpochs: epochs, PosteriorVersion: version,
+	})
 	if err != nil {
 		if IsCode(err, CodeUnknownWorker) {
 			a.logInfo("coordinator does not know us; re-registering", "name", a.cfg.Name)
@@ -300,6 +341,8 @@ func (a *Agent) pollOnce(ctx context.Context, execWG *sync.WaitGroup) bool {
 		}
 		return false
 	}
+	a.adoptPosteriors(workerID, resp.Posteriors, resp.PosteriorVersion)
+	leases := resp.Leases
 	for _, wl := range leases {
 		cand, err := a.resolveCandidate(ctx, exec, epoch, wl.JobID, wl.Candidate)
 		if err != nil {
@@ -331,6 +374,126 @@ func (a *Agent) pollOnce(ctx context.Context, execWG *sync.WaitGroup) bool {
 		}(wl, cand, runCtx, cancel)
 	}
 	return len(leases) > 0
+}
+
+// buildProposals ranks the cached posteriors' open arms and returns up to
+// free speculative proposals, plus the known-epoch map the coordinator
+// diffs for resync and the global surface version of the last full sync.
+// Ordering: affinity first (jobs whose candidate surface this agent already
+// resolved — re-leasing those skips the plan fetch and reuses the
+// executor's registration), then UCB descending, then (job, arm) as a
+// deterministic tie-break. Nil when speculation is off or nothing is cached
+// yet — the poll is then exactly the legacy protocol.
+func (a *Agent) buildProposals(free int) ([]LeaseProposal, map[string]uint64, uint64) {
+	if a.cfg.DisableSpeculative || free <= 0 {
+		return nil, nil, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.posteriors) == 0 {
+		return nil, nil, a.postVersion
+	}
+	epochs := make(map[string]uint64, len(a.posteriors))
+	type scored struct {
+		LeaseProposal
+		ucb      float64
+		affinity bool
+	}
+	var cands []scored
+	for id, s := range a.posteriors {
+		epochs[id] = s.epoch
+		if s.done {
+			continue
+		}
+		_, affinity := a.jobs[id]
+		for arm, open := range s.open {
+			if open {
+				cands = append(cands, scored{LeaseProposal{JobID: id, Arm: arm, Epoch: s.epoch}, s.ucb[arm], affinity})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].affinity != cands[j].affinity {
+			return cands[i].affinity
+		}
+		if cands[i].ucb != cands[j].ucb {
+			return cands[i].ucb > cands[j].ucb
+		}
+		if cands[i].JobID != cands[j].JobID {
+			return cands[i].JobID < cands[j].JobID
+		}
+		return cands[i].Arm < cands[j].Arm
+	})
+	if len(cands) > free {
+		cands = cands[:free]
+	}
+	props := make([]LeaseProposal, len(cands))
+	for i, c := range cands {
+		props[i] = c.LeaseProposal
+	}
+	return props, epochs, a.postVersion
+}
+
+// adoptPosteriors installs coordinator-shipped posterior deltas into the
+// cache, plus the global surface version the diff was answered at (zero
+// leaves the stored version alone — the Complete piggyback carries one
+// job's delta, not a full sync point). workerID is the id the reply was
+// requested under: if the agent re-registered in the meantime the deltas
+// describe a coordinator state the new registration already resynced from
+// scratch, so they are dropped.
+func (a *Agent) adoptPosteriors(workerID string, ps []JobPosterior, version uint64) {
+	if a.cfg.DisableSpeculative {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.workerID != workerID {
+		return
+	}
+	if version != 0 {
+		a.postVersion = version
+	}
+	for i := range ps {
+		p := &ps[i]
+		if p.Done {
+			a.posteriors[p.JobID] = &postSurface{epoch: p.Epoch, done: true}
+			continue
+		}
+		s := &postSurface{epoch: p.Epoch, ucb: p.UCB, open: make([]bool, len(p.UCB))}
+		for k := range s.open {
+			s.open[k] = true
+		}
+		for _, k := range p.Tried {
+			if k >= 0 && k < len(s.open) {
+				s.open[k] = false
+			}
+		}
+		for _, k := range p.Leased {
+			if k >= 0 && k < len(s.open) {
+				s.open[k] = false
+			}
+		}
+		a.posteriors[p.JobID] = s
+	}
+}
+
+// idleBackoff is the delay before the next poll after the streak-th
+// consecutive empty one: base·2^(streak−1), capped at 16×base, with ±25%
+// jitter so an idle fleet's polls spread out instead of hammering the
+// coordinator in lockstep. Any grant resets the streak, and a settling
+// local run still wakes the loop immediately via slotFree.
+func idleBackoff(base time.Duration, streak int) time.Duration {
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < streak && d < 16*base; i++ {
+		d *= 2
+	}
+	if d > 16*base {
+		d = 16 * base
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
 }
 
 // execute runs one lease and reports the outcome. The lease stays in the
@@ -395,9 +558,14 @@ func (a *Agent) execute(ctx context.Context, exec Executor, workerID string, wl 
 func (a *Agent) report(req CompleteRequest, trace string) bool {
 	for attempt := 0; attempt < 3; attempt++ {
 		ctx, cancel := context.WithTimeout(telemetry.WithTraceID(context.Background(), trace), 5*time.Second)
-		_, err := a.client.complete(ctx, req)
+		resp, err := a.client.complete(ctx, req)
 		cancel()
 		if err == nil {
+			if resp.Posterior != nil {
+				// The settle bumped the job's epoch; adopting the piggybacked
+				// surface keeps our very next proposal for it fresh.
+				a.adoptPosteriors(req.WorkerID, []JobPosterior{*resp.Posterior}, 0)
+			}
 			return true
 		}
 		var pe *ProtocolError

@@ -57,10 +57,16 @@ func (p *protoClient) register(ctx context.Context, req RegisterRequest) (Regist
 	return resp, err
 }
 
-func (p *protoClient) lease(ctx context.Context, workerID string, max int) ([]WireLease, error) {
+// lease polls for work. A non-positive Max is defaulted to 1 client-side —
+// the coordinator treats it as a protocol error (400 bad_request), so the
+// client never sends one.
+func (p *protoClient) lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error) {
+	if req.Max <= 0 {
+		req.Max = 1
+	}
 	var resp LeaseResponse
-	err := p.post(ctx, "/fleet/lease", LeaseRequest{WorkerID: workerID, Max: max}, &resp)
-	return resp.Leases, err
+	err := p.post(ctx, "/fleet/lease", req, &resp)
+	return resp, err
 }
 
 func (p *protoClient) heartbeat(ctx context.Context, req HeartbeatRequest) (HeartbeatResponse, error) {

@@ -33,6 +33,26 @@ var (
 		"Graceful worker departures.")
 )
 
+// Speculative-lease tallies: the proposal/validate/resync protocol's
+// traffic. Grants + rejections = proposals; the hit rate
+// (grants / proposals) is the protocol's health number — a persistently
+// low rate means workers resync slower than the posterior moves.
+var (
+	specProposals = telemetry.Default().Counter("easeml_speculative_proposals_total",
+		"Speculative lease proposals received from workers.")
+	specGrants = telemetry.Default().Counter("easeml_speculative_grants_total",
+		"Speculative proposals granted via the epoch-validated fast path.")
+	specRejections = telemetry.Default().CounterVec("easeml_speculative_rejections_total",
+		"Speculative proposals not granted, by reason (stale, capacity, invalid, disabled).", "reason")
+	specPosteriors = telemetry.Default().Counter("easeml_speculative_posteriors_total",
+		"Per-job posterior deltas shipped to workers for local pre-scoring.")
+)
+
+// ErrBadRequest marks protocol violations the sender must fix rather than
+// retry (e.g. a non-positive LeaseRequest.Max); the HTTP surface maps it to
+// 400 with code "bad_request".
+var ErrBadRequest = errors.New("fleet: bad request")
+
 // Fleet span operations: the coordinator's grant moment and the worker's
 // remote run, both children of the lease's root span.
 var (
@@ -84,6 +104,12 @@ type CoordinatorConfig struct {
 	// preemption), each lease event carrying its trace ID. Nil keeps the
 	// coordinator silent.
 	Logger *slog.Logger
+	// DisableSpeculative turns off the speculative lease protocol (the
+	// default — zero value — is speculation ON): proposals are rejected
+	// with reason "disabled" and no posterior deltas ship, so every lease
+	// goes through the full pick path. Wired to easeml-server's
+	// -speculative=false.
+	DisableSpeculative bool
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -271,67 +297,155 @@ func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
 	}
 }
 
-// Lease grants up to max new leases to a worker (a poll also counts as a
-// heartbeat). It returns ErrUnknownWorker for ids the registry does not
-// know.
-func (c *Coordinator) Lease(workerID string, max int) ([]WireLease, error) {
-	if err := c.reg.heartbeat(workerID); err != nil {
-		return nil, err
+// Lease grants up to req.Max new leases to a worker (a poll also counts as
+// a heartbeat). Speculative proposals are validated first — each either
+// grants on the scheduler's epoch-checked fast path or is skipped as stale
+// — and remaining capacity falls back to the normal pick path; the
+// response carries posterior deltas for every job whose epoch moved past
+// req.PosteriorEpochs, which is how workers resync after a miss. It
+// returns ErrUnknownWorker for ids the registry does not know and
+// ErrBadRequest for a non-positive Max.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	if req.Max <= 0 {
+		return LeaseResponse{}, fmt.Errorf("fleet: lease max must be positive, got %d: %w", req.Max, ErrBadRequest)
+	}
+	if err := c.reg.heartbeat(req.WorkerID); err != nil {
+		return LeaseResponse{}, err
 	}
 	fleetLeasePolls.Inc()
-	if max <= 0 {
-		max = 1
-	}
+	speculative := !c.cfg.DisableSpeculative
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	target := c.sched.InFlight() + max
-	if c.cfg.MaxInFlight > 0 && target > c.cfg.MaxInFlight {
-		target = c.cfg.MaxInFlight
-		// The in-flight cap binds: before picking, let priority preemption
-		// reclaim a best-effort slot if a guaranteed tenant is starved, so
-		// saturation cannot lock high-priority work out of the pool.
-		if c.sched.InFlight() >= target {
-			c.preemptLocked()
-		}
-	}
-	batch, err := c.sched.PickWork(target)
-	if err != nil {
-		return nil, err
-	}
-	if len(batch) > max {
-		// In-process engine settles land without c.mu, so the table can
-		// shrink between the InFlight read and the pick, inflating the
-		// target; hand the excess back rather than exceed what the worker
-		// asked to run.
-		for _, l := range batch[max:] {
-			_ = c.sched.Release(l)
-		}
-		batch = batch[:max]
-	}
-	wire := make([]WireLease, 0, len(batch))
-	for _, l := range batch {
-		grantT0 := time.Now()
-		if err := c.sched.AssignLease(l, workerID); err != nil {
-			// Cannot happen for a lease we just picked; hand it back rather
-			// than leak it.
-			_ = c.sched.Release(l)
+	var wire []WireLease
+	for _, p := range req.Proposals {
+		specProposals.Inc()
+		switch {
+		case !speculative:
+			specRejections.With("disabled").Inc()
+			continue
+		case len(wire) >= req.Max,
+			c.cfg.MaxInFlight > 0 && c.sched.InFlight() >= c.cfg.MaxInFlight:
+			specRejections.With("capacity").Inc()
 			continue
 		}
-		if err := c.reg.leaseAssigned(workerID, l.ID); err != nil {
-			_ = c.sched.Release(l)
+		l, err := c.sched.SpeculativeGrant(p.JobID, p.Arm, p.Epoch)
+		if err != nil {
+			specRejections.With("invalid").Inc()
+			c.logWarn("rejecting malformed speculative proposal",
+				"worker", req.WorkerID, "job", p.JobID, "arm", p.Arm, "err", err)
 			continue
 		}
-		c.remote[l.ID] = &remoteLease{lease: l, worker: workerID}
-		wire = append(wire, WireLease{LeaseID: l.ID, JobID: l.JobID, Candidate: l.Candidate.Name(),
-			Trace: l.Trace, Span: l.RootSpanID()})
-		fleetLeasesGranted.Inc()
-		grant := telemetry.NewSpanAt(l.Trace, l.RootSpanID(), opLeaseGrant, grantT0)
-		grant.SetAttr("worker", workerID)
-		grant.End()
+		if l == nil {
+			specRejections.With("stale").Inc()
+			continue
+		}
+		if wl, ok := c.grantLocked(l, req.WorkerID, "speculative"); ok {
+			wire = append(wire, wl)
+			specGrants.Inc()
+		}
+	}
+	if remaining := req.Max - len(wire); remaining > 0 {
+		target := c.sched.InFlight() + remaining
+		if c.cfg.MaxInFlight > 0 && target > c.cfg.MaxInFlight {
+			target = c.cfg.MaxInFlight
+			// The in-flight cap binds: before picking, let priority preemption
+			// reclaim a best-effort slot if a guaranteed tenant is starved, so
+			// saturation cannot lock high-priority work out of the pool.
+			if c.sched.InFlight() >= target {
+				c.preemptLocked()
+			}
+		}
+		batch, err := c.sched.PickWork(target)
+		if err != nil {
+			return LeaseResponse{}, err
+		}
+		if len(batch) > remaining {
+			// In-process engine settles land without c.mu, so the table can
+			// shrink between the InFlight read and the pick, inflating the
+			// target; hand the excess back rather than exceed what the worker
+			// asked to run.
+			for _, l := range batch[remaining:] {
+				_ = c.sched.Release(l)
+			}
+			batch = batch[:remaining]
+		}
+		for _, l := range batch {
+			if wl, ok := c.grantLocked(l, req.WorkerID, "pick"); ok {
+				wire = append(wire, wl)
+			}
+		}
+	}
+	resp := LeaseResponse{Leases: wire}
+	if speculative {
+		// The version is read before the diff: a bandit mutation landing in
+		// between makes the diff fresher than the version we echo, so the
+		// worker re-diffs next poll — never the reverse. When the worker's
+		// last sync version still matches, nothing has moved anywhere and
+		// the whole per-job scan is skipped (grants don't bump it — lease
+		// churn is already covered by the deltas' Leased sets).
+		cur := c.sched.PosteriorVersion()
+		if req.PosteriorVersion != cur {
+			// After the grants, so the deltas' Leased sets already cover
+			// them — the worker's next proposals never re-ask for work it
+			// just got.
+			resp.Posteriors = c.wirePosteriors(req.PosteriorEpochs)
+		}
+		resp.PosteriorVersion = cur
+	}
+	return resp, nil
+}
+
+// grantLocked assigns a freshly picked lease to a worker and builds its
+// wire form; path tags the grant span and log line ("pick" or
+// "speculative"). On bookkeeping failure the lease is handed back rather
+// than leaked. Callers hold c.mu.
+func (c *Coordinator) grantLocked(l *server.Lease, workerID, path string) (WireLease, bool) {
+	grantT0 := time.Now()
+	if err := c.sched.AssignLease(l, workerID); err != nil {
+		// Cannot happen for a lease we just picked; hand it back rather
+		// than leak it.
+		_ = c.sched.Release(l)
+		return WireLease{}, false
+	}
+	if err := c.reg.leaseAssigned(workerID, l.ID); err != nil {
+		_ = c.sched.Release(l)
+		return WireLease{}, false
+	}
+	c.remote[l.ID] = &remoteLease{lease: l, worker: workerID}
+	fleetLeasesGranted.Inc()
+	grant := telemetry.NewSpanAt(l.Trace, l.RootSpanID(), opLeaseGrant, grantT0)
+	grant.SetAttr("worker", workerID)
+	grant.SetAttr("path", path)
+	grant.End()
+	name := l.Candidate.Name() // renders once: the grant path is hot
+	if c.cfg.Logger != nil {
 		c.logInfo("lease granted",
-			"lease", l.ID, "job", l.JobID, "candidate", l.Candidate.Name(), "worker", workerID, "trace", l.Trace)
+			"lease", l.ID, "job", l.JobID, "candidate", name, "worker", workerID,
+			"path", path, "trace", l.Trace)
 	}
-	return wire, nil
+	return WireLease{LeaseID: l.ID, JobID: l.JobID, Candidate: name,
+		Trace: l.Trace, Span: l.RootSpanID()}, true
+}
+
+// wirePosteriors converts the scheduler's changed-epoch deltas to wire
+// form. The scheduler returns nil in legacy-selection mode, which disables
+// speculation end to end there.
+func (c *Coordinator) wirePosteriors(known map[string]uint64) []JobPosterior {
+	deltas := c.sched.PosteriorDeltas(known)
+	if len(deltas) == 0 {
+		return nil
+	}
+	out := make([]JobPosterior, len(deltas))
+	for i, d := range deltas {
+		out[i] = wirePosterior(d)
+	}
+	specPosteriors.Add(uint64(len(out)))
+	return out
+}
+
+func wirePosterior(d server.PosteriorDelta) JobPosterior {
+	return JobPosterior{JobID: d.JobID, Epoch: d.Epoch, Mu: d.Mu, Sigma: d.Sigma,
+		UCB: d.UCB, Tried: d.Tried, Leased: d.Leased, Done: d.Done}
 }
 
 // preemptLocked runs one priority-preemption pass against the scheduler:
@@ -405,16 +519,18 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 // Complete settles a leased run with the worker's reported outcome:
 // success feeds the observation into the scheduler; failure releases the
 // lease for retry, or abandons the candidate after MaxRetries failures. It
-// returns how the lease settled, or an error wrapping
+// returns how the lease settled — plus, for speculative fleets, the
+// settled job's refreshed posterior, so the reporting worker's next
+// proposal for the job is not automatically stale — or an error wrapping
 // server.ErrLeaseConflict when the report lost a race (double complete,
 // lease expired) — the worker drops those.
-func (c *Coordinator) Complete(req CompleteRequest) (string, error) {
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	c.mu.Lock()
 	rl, ok := c.remote[req.LeaseID]
 	if !ok || rl.worker != req.WorkerID {
 		c.mu.Unlock()
 		fleetCompletes.With("conflict").Inc()
-		return "", fmt.Errorf("fleet: lease %d is not held by %s: %w", req.LeaseID, req.WorkerID, server.ErrLeaseConflict)
+		return CompleteResponse{}, fmt.Errorf("fleet: lease %d is not held by %s: %w", req.LeaseID, req.WorkerID, server.ErrLeaseConflict)
 	}
 	delete(c.remote, req.LeaseID) // claim: at most one report settles a lease
 	l := rl.lease
@@ -471,16 +587,32 @@ func (c *Coordinator) Complete(req CompleteRequest) (string, error) {
 			fleetCompletes.With("error").Inc()
 			c.reg.leaseSettled(req.WorkerID, req.LeaseID, "failed")
 		}
-		return "", err
+		return CompleteResponse{}, err
 	}
 	if req.Error != "" {
 		c.sched.NoteTrainingFailure(l.JobID, l.Arm)
 	}
 	fleetCompletes.With(settled).Inc()
 	c.reg.leaseSettled(req.WorkerID, req.LeaseID, settled)
-	c.logInfo("lease settled",
-		"lease", req.LeaseID, "outcome", settled, "job", l.JobID, "worker", req.WorkerID, "trace", l.Trace)
-	return settled, nil
+	if c.cfg.Logger != nil {
+		c.logInfo("lease settled",
+			"lease", req.LeaseID, "outcome", settled, "job", l.JobID, "worker", req.WorkerID, "trace", l.Trace)
+	}
+	resp := CompleteResponse{Settled: settled}
+	if !c.cfg.DisableSpeculative && settled != "released" {
+		// Completion and abandonment bump the job's epoch; piggyback the
+		// fresh surface so the reporting worker resyncs without an extra
+		// round trip. A release leaves the posterior (and epoch) untouched,
+		// so the worker's cached surface is still current — shipping one
+		// would be pure overhead and would invalidate its ranking for
+		// nothing.
+		if d, ok := c.sched.PosteriorDeltaFor(l.JobID); ok {
+			p := wirePosterior(d)
+			resp.Posterior = &p
+			specPosteriors.Inc()
+		}
+	}
+	return resp, nil
 }
 
 // Leave deregisters a worker gracefully: its outstanding leases are

@@ -376,7 +376,8 @@ func TestDoubleCompleteIs409Conflict(t *testing.T) {
 	if reg.Seed != fleetSeed {
 		t.Errorf("advertised seed %d, want %d", reg.Seed, fleetSeed)
 	}
-	leases, err := pc.lease(ctx, reg.WorkerID, 1)
+	lr, err := pc.lease(ctx, LeaseRequest{WorkerID: reg.WorkerID, Max: 1})
+	leases := lr.Leases
 	if err != nil || len(leases) != 1 {
 		t.Fatalf("lease: %v %v", leases, err)
 	}
@@ -390,7 +391,7 @@ func TestDoubleCompleteIs409Conflict(t *testing.T) {
 		t.Errorf("double complete: got %v, want 409 %s", err, server.CodeLeaseConflict)
 	}
 	// Unknown worker ids answer 409 unknown_worker — the re-register signal.
-	_, err = pc.lease(ctx, "worker-9999", 1)
+	_, err = pc.lease(ctx, LeaseRequest{WorkerID: "worker-9999", Max: 1})
 	if !IsCode(err, CodeUnknownWorker) {
 		t.Errorf("lease for unknown worker: got %v, want code %s", err, CodeUnknownWorker)
 	}
@@ -557,7 +558,8 @@ func TestPreemptionOverWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	leases, err := pc.lease(ctx, reg.WorkerID, 2)
+	lr, err := pc.lease(ctx, LeaseRequest{WorkerID: reg.WorkerID, Max: 2})
+	leases := lr.Leases
 	if err != nil || len(leases) != 2 {
 		t.Fatalf("lease: %v %v", leases, err)
 	}
@@ -567,10 +569,11 @@ func TestPreemptionOverWire(t *testing.T) {
 	if _, err := sc.Submit("alice", tsProgram); err != nil {
 		t.Fatal(err)
 	}
-	regrant, err := pc.lease(ctx, reg.WorkerID, 1)
+	rr, err := pc.lease(ctx, LeaseRequest{WorkerID: reg.WorkerID, Max: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	regrant := rr.Leases
 	if len(regrant) != 1 {
 		t.Fatalf("post-preemption poll granted %d leases, want 1", len(regrant))
 	}
@@ -623,10 +626,11 @@ func TestPreemptionOverWire(t *testing.T) {
 		}
 	}
 	for {
-		more, err := pc.lease(ctx, reg.WorkerID, 1)
+		mr, err := pc.lease(ctx, LeaseRequest{WorkerID: reg.WorkerID, Max: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
+		more := mr.Leases
 		if len(more) == 0 {
 			break
 		}

@@ -34,12 +34,12 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	leases, err := c.Lease(req.WorkerID, req.Max)
+	resp, err := c.Lease(req)
 	if err != nil {
 		writeFleetError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, LeaseResponse{Leases: leases})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -60,12 +60,12 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	settled, err := c.Complete(req)
+	resp, err := c.Complete(req)
 	if err != nil {
 		writeFleetError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, CompleteResponse{Settled: settled})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
@@ -95,11 +95,14 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeFleetError maps coordinator errors onto the service's shared error
-// envelope: unknown workers get their fleet-specific 409 code (agents
-// re-register on it), lease conflicts inherit the server mapping, and
-// everything else is a 500.
+// envelope: malformed requests are 400 with code "bad_request" (the sender
+// must fix, not retry), unknown workers get their fleet-specific 409 code
+// (agents re-register on it), lease conflicts inherit the server mapping,
+// and everything else is a 500.
 func writeFleetError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, ErrBadRequest):
+		server.WriteJSON(w, http.StatusBadRequest, server.ErrorBody{Error: err.Error(), Code: CodeBadRequest})
 	case errors.Is(err, ErrUnknownWorker):
 		server.WriteJSON(w, http.StatusConflict, server.ErrorBody{Error: err.Error(), Code: CodeUnknownWorker})
 	case errors.Is(err, server.ErrLeaseConflict):

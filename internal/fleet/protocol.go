@@ -34,12 +34,18 @@ import "repro/internal/telemetry"
 //
 // Errors reuse the server's {"error": ..., "code": ...} envelope; code
 // "lease_conflict" (409) marks settle races a retrying worker should drop,
-// and "unknown_worker" (409) tells an agent to re-register (the
-// coordinator restarted or evicted it).
+// "unknown_worker" (409) tells an agent to re-register (the coordinator
+// restarted or evicted it), and "bad_request" (400) marks malformed
+// requests (e.g. a non-positive LeaseRequest.Max) the sender must fix, not
+// retry.
 
 // CodeUnknownWorker tags 409 replies for requests naming a worker id the
 // registry does not know; agents respond by re-registering.
 const CodeUnknownWorker = "unknown_worker"
+
+// CodeBadRequest tags 400 replies for malformed requests — retrying the
+// same payload can never succeed.
+const CodeBadRequest = "bad_request"
 
 // RegisterRequest announces a worker and its capabilities.
 type RegisterRequest struct {
@@ -69,10 +75,62 @@ type RegisterResponse struct {
 	Seed int64 `json:"seed"`
 }
 
-// LeaseRequest polls for up to Max new leases.
+// LeaseRequest polls for up to Max new leases. Max must be positive — a
+// non-positive value is a protocol error (400, code "bad_request"); the Go
+// client defaults it to 1.
+//
+// A speculative poll additionally carries Proposals — (job, arm, epoch)
+// triples the worker pre-scored against its cached posterior surface — and
+// PosteriorEpochs, the worker's last-seen epoch per job, which the
+// coordinator diffs to decide which posterior deltas to attach to the
+// response. A plain poll (both fields empty) is exactly the old protocol.
 type LeaseRequest struct {
 	WorkerID string `json:"worker_id"`
 	Max      int    `json:"max"`
+	// Proposals are validated in order until Max leases are granted; each
+	// either fast-path grants (epoch matched, arm free) or is skipped
+	// (stale). Remaining capacity falls back to the coordinator's normal
+	// pick path.
+	Proposals []LeaseProposal `json:"proposals,omitempty"`
+	// PosteriorEpochs maps job id → the epoch of the worker's cached
+	// surface; the response carries deltas only for jobs whose epoch moved
+	// (or that the worker has never seen).
+	PosteriorEpochs map[string]uint64 `json:"posterior_epochs,omitempty"`
+	// PosteriorVersion echoes the coordinator's global surface version
+	// from the worker's last full posterior sync (LeaseResponse's field of
+	// the same name). When it still matches, nothing anywhere has moved
+	// and the coordinator skips the per-job epoch diff — the steady-state
+	// fast path. Zero (a worker that never synced, or speculation off)
+	// always triggers the full diff.
+	PosteriorVersion uint64 `json:"posterior_version,omitempty"`
+}
+
+// LeaseProposal is one speculative lease ask: "grant me arm Arm of job Job,
+// which I scored against the posterior surface stamped Epoch". Arm is the
+// candidate's index in the job's (deterministically generated) candidate
+// list — canonical on both sides, so validation is O(1).
+type LeaseProposal struct {
+	JobID string `json:"job_id"`
+	Arm   int    `json:"arm"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// JobPosterior is one job's posterior surface on the wire: per-arm mean,
+// std and (unhallucinated) UCB, stamped with the job's selection-index
+// dirty epoch. Tried lists observed/retired arms (their UCB entries are
+// zeroed — JSON cannot carry the NaN markers the in-process surface uses);
+// Leased lists arms currently held by outstanding leases. Workers propose
+// only arms in neither list. Done marks a job that will never train another
+// candidate; its slices are omitted.
+type JobPosterior struct {
+	JobID  string    `json:"job_id"`
+	Epoch  uint64    `json:"epoch"`
+	Mu     []float64 `json:"mu,omitempty"`
+	Sigma  []float64 `json:"sigma,omitempty"`
+	UCB    []float64 `json:"ucb,omitempty"`
+	Tried  []int     `json:"tried,omitempty"`
+	Leased []int     `json:"leased,omitempty"`
+	Done   bool      `json:"done,omitempty"`
 }
 
 // WireLease is one leased work item on the wire. The candidate is named,
@@ -92,9 +150,19 @@ type WireLease struct {
 	Span string `json:"span,omitempty"`
 }
 
-// LeaseResponse returns the granted leases (possibly none).
+// LeaseResponse returns the granted leases (possibly none) plus, for
+// speculative polls, the posterior deltas for every job whose epoch moved
+// past the worker's PosteriorEpochs — the resync half of the speculative
+// protocol. A delta's Leased set already includes the leases granted by
+// this very response, so the worker's next proposals never re-ask for them.
 type LeaseResponse struct {
-	Leases []WireLease `json:"leases"`
+	Leases     []WireLease    `json:"leases"`
+	Posteriors []JobPosterior `json:"posteriors,omitempty"`
+	// PosteriorVersion is the coordinator's global surface version as of
+	// this response's posterior diff; the worker echoes it in its next
+	// LeaseRequest so an unchanged fleet costs one integer comparison
+	// instead of a per-job epoch scan.
+	PosteriorVersion uint64 `json:"posterior_version,omitempty"`
 }
 
 // HeartbeatRequest refreshes the worker's liveness and the TTL of the
@@ -132,11 +200,18 @@ type CompleteRequest struct {
 	Spans []telemetry.SpanData `json:"spans,omitempty"`
 }
 
-// CompleteResponse reports how the lease settled.
+// CompleteResponse reports how the lease settled. For speculative fleets
+// it also carries the settled job's refreshed posterior: the settle itself
+// bumped the job's epoch, so without this the reporting worker's very next
+// proposal for the job would always be stale — one piggybacked delta saves
+// a resync round trip.
 type CompleteResponse struct {
 	// Settled is "completed", "released" (failed, will retry) or
 	// "abandoned" (failed MaxRetries times, candidate retired).
 	Settled string `json:"settled"`
+	// Posterior is the settled job's fresh surface (nil with speculation
+	// disabled, in legacy-selection mode, or when the job is unknown).
+	Posterior *JobPosterior `json:"posterior,omitempty"`
 }
 
 // LeaveRequest deregisters a worker gracefully: its outstanding leases are

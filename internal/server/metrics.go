@@ -117,7 +117,8 @@ func (a *API) writeDynamicMetrics(w io.Writer) {
 		event string
 		v     uint64
 	}{
-		{"picks", sel.Picks}, {"oracle_picks", sel.OraclePicks}, {"legacy_picks", sel.LegacyPicks},
+		{"picks", sel.Picks}, {"speculative_grants", sel.SpeculativeGrants},
+		{"oracle_picks", sel.OraclePicks}, {"legacy_picks", sel.LegacyPicks},
 		{"jobs_rescored", sel.JobsRescored}, {"heap_pops", sel.HeapPops}, {"epoch_bumps", sel.EpochBumps},
 		{"shadows_built", sel.ShadowsBuilt}, {"shadows_reused", sel.ShadowsReused}, {"shadow_rollbacks", sel.ShadowRollbacks},
 	} {

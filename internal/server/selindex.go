@@ -44,6 +44,15 @@ type selectionIndex struct {
 	scratch []int          // scratch for the unserved-tenant fold
 	stats   SelectionStats
 
+	// version counts selection-surface changes globally: every per-job
+	// epoch bump and every job arrival advances it. It is the fleet
+	// protocol's "did anything move at all?" check — a worker whose last
+	// full posterior sync happened at this version needs no per-job epoch
+	// diff, which keeps the steady-state lease path O(1) in J. Never
+	// reset (a mode-switch reset re-bumps it through ensure), so a stale
+	// worker can never collide with a fresh count.
+	version uint64
+
 	// lastRepair accumulates repair time since the last takeLastRepair —
 	// how pickNextLocked learns (under coordMu) whether the pick it just
 	// made paid for an index repair, to mint the pick_index_repair child
@@ -83,8 +92,13 @@ type selEntry struct {
 // SelectionStats are the pick-path counters exposed through
 // Scheduler.SelectionStats, GET /admin/metrics and the easeml facade.
 type SelectionStats struct {
-	// Picks counts pickNextLocked decisions that produced a lease.
+	// Picks counts pick decisions that produced a lease (both the picker
+	// path and speculative grants).
 	Picks uint64 `json:"picks"`
+	// SpeculativeGrants counts leases granted through the fleet's
+	// speculative fast path (Scheduler.SpeculativeGrant): an epoch-validated
+	// worker proposal, no picker sweep.
+	SpeculativeGrants uint64 `json:"speculative_grants"`
 	// OraclePicks counts picks answered through the selection index
 	// (heap-backed greedy); LegacyPicks counts deep-clone-mode picks and
 	// picks by pickers without an oracle path.
@@ -134,6 +148,7 @@ func (ix *selectionIndex) ensure(jobs []*Job) {
 		ix.dirty = append(ix.dirty, i)
 		ix.heapPush(i)
 	}
+	ix.version++ // new jobs invalidate every worker's full-sync point
 }
 
 // markDirty bumps a job's epoch and queues it for re-scoring. Callers hold
@@ -146,6 +161,7 @@ func (ix *selectionIndex) markDirty(jobID string) {
 	}
 	e := &ix.entries[i]
 	e.epoch++
+	ix.version++
 	ix.stats.EpochBumps++
 	if !e.queued {
 		e.queued = true

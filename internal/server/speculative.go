@@ -1,0 +1,305 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Fleet-side posterior scoring: the scheduler exports each job's cached
+// posterior surface (µ, σ, UCB) tagged with its selection-index dirty epoch,
+// and accepts speculative lease grants for (job, arm, epoch) proposals that
+// workers pre-scored locally against that surface. Validation is one epoch
+// comparison plus a lease-table scan — no picker sweep over all J jobs, no
+// per-pick σ̃ fold, no heap traffic — so the steady-state pick cost moves
+// from the coordinator to the fleet's edges (ROADMAP direction 3).
+//
+// Correctness note: a speculative grant changes which arm runs next, never
+// what its result is. Training results are pure functions of (job,
+// candidate) and a full drain trains every candidate exactly once, so final
+// models are bit-identical to a speculation-off run; only completion order
+// (round numbering) may differ. The equivalence suite in internal/fleet
+// asserts exactly that.
+
+// opPickSpeculative is the selection-stage span of a speculatively granted
+// lease — it replaces opPickSelect in the lease's span tree, so traces make
+// the grant path explicit.
+var opPickSpeculative = telemetry.SpanOp("pick_speculative")
+
+// PosteriorDelta is one job's selection surface as shipped to fleet
+// workers: the posterior mean/std and real (unhallucinated) UCB per arm,
+// stamped with the job's selection-index dirty epoch. Tried lists arms that
+// are observed or retired (their UCB entries are zeroed — the wire format
+// is JSON, which cannot carry the NaN markers UCBSurface uses); Leased
+// lists arms currently held by outstanding leases. Workers propose only
+// arms in neither list. Done marks a job that will never train another
+// candidate (drained, failed or budget-exhausted) — its slices are omitted.
+type PosteriorDelta struct {
+	JobID  string    `json:"job"`
+	Epoch  uint64    `json:"epoch"`
+	Mu     []float64 `json:"mu,omitempty"`
+	Sigma  []float64 `json:"sigma,omitempty"`
+	UCB    []float64 `json:"ucb,omitempty"`
+	Tried  []int     `json:"tried,omitempty"`
+	Leased []int     `json:"leased,omitempty"`
+	Done   bool      `json:"done,omitempty"`
+}
+
+// PosteriorDeltas exports the posterior surface of every job whose dirty
+// epoch differs from the caller's known map (job id → last seen epoch; jobs
+// absent from the map are always sent). It returns nil in legacy-selection
+// mode, which is what disables speculation end to end there. The epoch and
+// the surface are read under one critical section, so a delta is always
+// internally consistent; a worker holding epoch E can propose any untried,
+// unleased arm and the grant validates iff the job's bandit has not moved
+// since E.
+func (sc *Scheduler) PosteriorDeltas(known map[string]uint64) []PosteriorDelta {
+	jobs := sc.jobsSnapshot()
+	if len(jobs) == 0 {
+		return nil
+	}
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	if sc.legacySelection {
+		return nil
+	}
+	sc.selIdx.ensure(jobs)
+	var leasedByJob map[string][]int
+	var out []PosteriorDelta
+	for i, job := range jobs {
+		if v, ok := known[job.ID]; ok && v == sc.selIdx.entries[i].epoch {
+			continue
+		}
+		if leasedByJob == nil {
+			leasedByJob = sc.leasedArmsLocked()
+		}
+		out = append(out, sc.posteriorDeltaLocked(i, job, leasedByJob[job.ID]))
+	}
+	return out
+}
+
+// PosteriorVersion returns the global selection-surface version: it
+// advances whenever any job's dirty epoch bumps or a new job arrives, so a
+// caller whose last full PosteriorDeltas sync happened at this exact
+// version holds a current surface for every job and can skip the per-job
+// epoch diff entirely. Returns 0 in legacy-selection mode (speculation is
+// disabled end to end there).
+func (sc *Scheduler) PosteriorVersion() uint64 {
+	jobs := sc.jobsSnapshot()
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	if sc.legacySelection {
+		return 0
+	}
+	sc.selIdx.ensure(jobs)
+	return sc.selIdx.version
+}
+
+// PosteriorDeltaFor exports one job's current surface (the settle path uses
+// it to hand the refreshed posterior back with a completion, so the worker
+// that just moved the epoch can keep proposing without a resync round
+// trip). ok is false for unknown jobs and in legacy-selection mode.
+func (sc *Scheduler) PosteriorDeltaFor(jobID string) (PosteriorDelta, bool) {
+	job, ok := sc.Job(jobID)
+	if !ok {
+		return PosteriorDelta{}, false
+	}
+	jobs := sc.jobsSnapshot()
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	if sc.legacySelection {
+		return PosteriorDelta{}, false
+	}
+	sc.selIdx.ensure(jobs)
+	i, ok := sc.selIdx.byID[jobID]
+	if !ok {
+		return PosteriorDelta{}, false
+	}
+	return sc.posteriorDeltaLocked(i, job, sc.leasedArmsLocked()[jobID]), true
+}
+
+// leasedArmsLocked groups the outstanding leases' arms by job, sorted
+// ascending (settling leases included — their arms are still excluded from
+// selection). Callers hold coordMu.
+func (sc *Scheduler) leasedArmsLocked() map[string][]int {
+	byJob := make(map[string][]int)
+	for _, l := range sc.leases {
+		byJob[l.JobID] = append(byJob[l.JobID], l.Arm)
+	}
+	for _, arms := range byJob {
+		sort.Ints(arms)
+	}
+	return byJob
+}
+
+// posteriorDeltaLocked builds one job's wire delta. Callers hold coordMu
+// (epoch, lease set) and i indexes both jobs and the selection index; the
+// job lock is taken here so the surface is consistent with the epoch — an
+// observation cannot land in between, because Complete's bandit update
+// holds the job lock and its markDirty needs coordMu.
+func (sc *Scheduler) posteriorDeltaLocked(i int, job *Job, leased []int) PosteriorDelta {
+	d := PosteriorDelta{JobID: job.ID, Epoch: sc.selIdx.entries[i].epoch, Leased: leased}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	b := job.tenant.Bandit
+	if job.failed != "" || job.budgetExhausted || b.Exhausted() {
+		d.Done = true
+		d.Leased = nil
+		return d
+	}
+	d.Mu, d.Sigma = b.Posterior() // fresh copies: safe to hand to the encoder
+	surface := b.UCBSurface()
+	d.UCB = make([]float64, len(surface))
+	for k, v := range surface {
+		if math.IsNaN(v) { // tried or retired
+			d.Tried = append(d.Tried, k)
+			continue
+		}
+		d.UCB[k] = v
+	}
+	return d
+}
+
+// SpeculativeGrant validates one worker proposal and, when it holds, leases
+// (jobID, arm) without running the pick path: the only checks are the dirty-
+// epoch comparison, a lease-table scan (an epoch match says nothing about
+// the lease set — lease churn deliberately does not bump epochs) and the
+// job's own terminal flags, and the only bandit work is the hallucination
+// update on the job's persistent shadow. It returns (nil, nil) when the
+// proposal is stale — wrong epoch, arm already leased/tried, job done —
+// which callers treat as "fall back to the normal pick path and resync the
+// worker". Malformed proposals (unknown arm index) are an error.
+//
+// The fast path intentionally skips the cross-job picker, so it is blind to
+// class weights and σ̃ fair sharing; fairness is preserved by the fallback
+// path (every stale or rejected proposal goes through the full picker) and
+// by preemption, which treats speculative leases like any other.
+func (sc *Scheduler) SpeculativeGrant(jobID string, arm int, epoch uint64) (*Lease, error) {
+	job, ok := sc.Job(jobID)
+	if !ok {
+		return nil, nil // e.g. a proposal that outlived a coordinator restart
+	}
+	if arm < 0 || arm >= len(job.Candidates) {
+		return nil, fmt.Errorf("server: speculative proposal for %s: arm %d out of range [0,%d)", jobID, arm, len(job.Candidates))
+	}
+	jobs := sc.jobsSnapshot()
+	t0 := time.Now()
+	sc.coordMu.Lock()
+	defer sc.coordMu.Unlock()
+	if sc.legacySelection {
+		return nil, nil
+	}
+	sc.selIdx.ensure(jobs)
+	i, ok := sc.selIdx.byID[jobID]
+	if !ok {
+		return nil, nil
+	}
+	entry := &sc.selIdx.entries[i]
+	if entry.epoch != epoch {
+		return nil, nil
+	}
+	// The job's in-flight arms in lease-grant order (ids are monotone) —
+	// the same sequence inFlightArmsLocked feeds the pick path, so the
+	// shadow extended here is bit-identical to the one the next PickWork
+	// would have built.
+	var held []*Lease
+	for _, l := range sc.leases {
+		if l.JobID == jobID {
+			if l.Arm == arm {
+				return nil, nil
+			}
+			held = append(held, l)
+		}
+	}
+	var cur []int
+	if len(held) > 0 {
+		sort.Slice(held, func(a, b int) bool { return held[a].ID < held[b].ID })
+		cur = make([]int, len(held))
+		for k, l := range held {
+			cur[k] = l.Arm
+		}
+	}
+
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.failed != "" || job.budgetExhausted || job.tenant.Bandit.Tried(arm) {
+		return nil, nil
+	}
+	// The lease's UCB (fed into the σ̃ recurrence at settle) prices the arm
+	// on the same hallucinated posterior the pick path would have used.
+	var ucb float64
+	var hallStart time.Time
+	var hallDur time.Duration
+	if len(cur) == 0 {
+		ucb = job.tenant.Bandit.UCB(arm)
+	} else {
+		hallStart = time.Now()
+		shadow := sc.selIdx.shadowFor(entry, job.tenant.Bandit, cur)
+		ucb = shadow.UCB(arm)
+		sc.selIdx.hallucinate(entry, []int{arm})
+		hallDur = time.Since(hallStart)
+		pickStageHallucinate.Observe(hallDur)
+	}
+	sc.nextLease++
+	l := &Lease{ID: sc.nextLease, JobID: jobID, Arm: arm, Candidate: job.Candidates[arm], UCB: ucb,
+		Trace: telemetry.NewTraceID()}
+	leaseTraces.Inc()
+	if sc.leaseTTL > 0 {
+		now := sc.now()
+		l.LastHeartbeat = now
+		l.Expires = now.Add(sc.leaseTTL)
+	}
+	sc.emitSpeculativeProvenance(l, job, len(jobs), t0, hallStart, hallDur)
+	sc.leases[l.ID] = l
+	sc.selIdx.stats.Picks++
+	sc.selIdx.stats.SpeculativeGrants++
+	return l, nil
+}
+
+// emitSpeculativeProvenance records a speculative grant's spans and
+// DecisionRecord: the lease root span carries path=speculative and the
+// selection-stage child is opPickSpeculative (not opPickSelect), so span
+// trees distinguish the two grant paths; the pick decision's Detail says
+// "speculative" for the same reason. No TopUCB table — the whole point of
+// the fast path is not touching the UCB surface. Called with coordMu and
+// the job lock held; it only touches leaf mutexes.
+func (sc *Scheduler) emitSpeculativeProvenance(l *Lease, job *Job, jobsInSnapshot int, t0, hallStart time.Time, hallDur time.Duration) {
+	name := l.Candidate.Name() // renders once: the fast path is hot
+	root := telemetry.NewSpanAt(l.Trace, "", opLease, t0)
+	root.SetAttr("job", l.JobID)
+	root.SetAttr("tenant", job.Name)
+	root.SetAttr("candidate", name)
+	root.SetAttr("path", "speculative")
+	l.span = root
+
+	now := time.Now()
+	sel := telemetry.NewSpanAt(l.Trace, root.ID(), opPickSpeculative, t0)
+	sel.EndAt(now)
+	if hallDur > 0 {
+		h := telemetry.NewSpanAt(l.Trace, root.ID(), opPickHallucinate, hallStart)
+		h.EndAt(hallStart.Add(hallDur))
+	}
+
+	d := &DecisionRecord{
+		Kind:         DecisionPick,
+		TimeNS:       now.UnixNano(),
+		Trace:        l.Trace,
+		Tenant:       job.Name,
+		Job:          l.JobID,
+		Candidate:    name,
+		Arm:          l.Arm,
+		UCB:          l.UCB,
+		Jobs:         jobsInSnapshot,
+		Class:        string(job.Class),
+		ClassWeights: classWeights,
+		BudgetUsed:   job.tenant.Bandit.CumulativeCost(),
+		Detail:       "speculative",
+	}
+	if sc.adm != nil {
+		d.BudgetLimit = sc.adm.Budget(job.Name)
+	}
+	sc.decisions.add(d)
+}
